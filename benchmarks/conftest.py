@@ -1,0 +1,55 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures, renders it
+as text, *saves* it under ``results/`` and *registers* it so the full set
+prints in the terminal summary at the end of the run.
+
+Scale: the default is a reduced cardinality (see
+``repro.experiments.config``); run with ``REPRO_SCALE=paper`` for the
+paper's exact dataset sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import current_scale, experiment_suite, save_text
+
+_REGISTERED = []
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The four evaluation datasets at the active scale."""
+    return experiment_suite()
+
+
+@pytest.fixture(scope="session")
+def register():
+    """Persist a rendered table/series and queue it for the summary."""
+
+    def _register(name: str, text: str) -> None:
+        path = save_text(name, text)
+        _REGISTERED.append((name, path, text))
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REGISTERED:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"=== DisC reproduction outputs (scale={current_scale()}) ==="
+    )
+    for name, path, text in _REGISTERED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line(f"[saved to {path}]")
+
+    from repro.experiments.report import write_report
+
+    report_path = write_report()
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"[aggregate report: {report_path}]")

@@ -1,0 +1,116 @@
+"""Ablations and Section 8 extension benchmarks.
+
+Not figures from the paper, but experiments DESIGN.md commits to:
+
+* **build-time |N_r| counting** — the Section 5.1 design choice Greedy-
+  DisC relies on (paper claims up to 45% fewer accesses),
+* **weighted DisC** — the alpha knob's effect on captured relevance
+  (paper Section 8 objective: maximum-weight DisC subset),
+* **streaming DisC** — online maintenance vs offline consolidation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import StreamingDisC, weighted_disc
+from repro.core.verify import verify_disc
+from repro.experiments import format_table, precompute_ablation
+from repro.index import BruteForceIndex
+
+
+def test_precompute_ablation(benchmark, suite, register):
+    exp = suite["Uniform"]
+    radii = exp.radii[::2]
+    rows = benchmark.pedantic(
+        lambda: precompute_ablation(exp.dataset, radii), rounds=1, iterations=1
+    )
+    register(
+        "ablation_precompute",
+        format_table(
+            "Ablation: build-time |N_r| counting vs post-build init — Uniform",
+            ["radius", "size", "build-time", "post-build", "saving"],
+            [
+                [r["radius"], r["size"], r["build_time_accesses"],
+                 r["post_hoc_accesses"], f"{r['saving']:.0%}"]
+                for r in rows
+            ],
+            float_fmt="{:.3g}",
+        ),
+    )
+    # The design choice must pay off at every radius (identical output
+    # is asserted inside the runner).
+    for row in rows:
+        assert row["saving"] > 0.0, row
+
+
+def test_weighted_alpha_sweep(benchmark, suite, register):
+    """More relevance focus -> more captured weight per selected object,
+    while every solution stays r-DisC diverse."""
+    exp = suite["Clustered"]
+    data = exp.dataset
+    rng = np.random.default_rng(5)
+    weights = rng.random(data.n) ** 2
+    radius = exp.radii[3]
+    alphas = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def run():
+        rows = []
+        for alpha in alphas:
+            index = BruteForceIndex(data.points, data.metric, cache_radius=radius)
+            result = weighted_disc(index, radius, weights, alpha=alpha)
+            report = verify_disc(data.points, data.metric, result.selected, radius)
+            assert report.is_disc_diverse
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "size": result.size,
+                    "total_weight": result.meta["total_weight"],
+                    "weight_per_object": result.meta["total_weight"] / result.size,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    register(
+        "ablation_weighted_alpha",
+        format_table(
+            f"Extension: weighted DisC alpha sweep — Clustered, r={radius:g}",
+            ["alpha", "size", "total weight", "weight/object"],
+            [
+                [r["alpha"], r["size"], r["total_weight"], r["weight_per_object"]]
+                for r in rows
+            ],
+            float_fmt="{:.3f}",
+        ),
+    )
+    assert rows[-1]["weight_per_object"] >= rows[0]["weight_per_object"]
+
+
+def test_streaming_vs_offline(benchmark, suite, register):
+    """Online DisC stays valid at all times; offline consolidation
+    shrinks it by a bounded factor (Theorem 1 limits the gap to B=5
+    on 2-d Euclidean data)."""
+    exp = suite["Clustered"]
+    data = exp.dataset
+    radius = exp.radii[2]
+
+    def run():
+        stream = StreamingDisC(radius=radius)
+        stream.extend(data.points)
+        rebuilt = stream.rebuild()
+        return stream, rebuilt
+
+    stream, rebuilt = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = verify_disc(data.points, data.metric, stream.selected_ids, radius)
+    assert report.is_disc_diverse
+    assert rebuilt.size <= stream.size <= 5 * rebuilt.size
+
+    register(
+        "ablation_streaming",
+        format_table(
+            f"Extension: streaming vs offline DisC — Clustered, r={radius:g}",
+            ["mode", "size"],
+            [["online (arrival order)", stream.size],
+             ["offline greedy rebuild", rebuilt.size]],
+        ),
+    )

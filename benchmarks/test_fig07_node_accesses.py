@@ -1,0 +1,66 @@
+"""Figure 7 (a-d): M-tree node accesses for Basic-DisC, Grey-Greedy-DisC
+and Greedy-C, with and without the pruning rule.
+
+Shape checks from the paper:
+
+* Greedy variants cost more accesses than Basic-DisC, and the gap grows
+  with the radius (greedy performs far more range queries),
+* Basic-DisC's cost *decreases* as the radius grows (single leaf pass;
+  bigger neighborhoods mean fewer queries),
+* pruning saves accesses for both prunable heuristics — most at small
+  radii (up to ~50%).
+"""
+
+import pytest
+
+from repro.experiments import FIG7_ALGORITHMS, format_series, run_algorithm, sweep
+
+DATASET_KEYS = ["Uniform", "Clustered", "Cities", "Cameras"]
+PANEL = dict(zip(DATASET_KEYS, "abcd"))
+
+
+def _render(exp, records):
+    series = {
+        name: [rec.node_accesses for rec in records[name]]
+        for name in FIG7_ALGORITHMS
+    }
+    return format_series(
+        f"Figure 7{PANEL[exp.name]}: node accesses — {exp.name} (n={exp.dataset.n})",
+        "radius",
+        exp.radii,
+        series,
+    )
+
+
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_fig07(benchmark, suite, register, key):
+    exp = suite[key]
+    records = sweep(exp, FIG7_ALGORITHMS)
+    register(f"fig07{PANEL[key]}_{key.lower()}", _render(exp, records))
+
+    basic = [r.node_accesses for r in records["B-DisC"]]
+    basic_pruned = [r.node_accesses for r in records["B-DisC (Pruned)"]]
+    greedy = [r.node_accesses for r in records["Gr-G-DisC"]]
+    greedy_pruned = [r.node_accesses for r in records["Gr-G-DisC (Pruned)"]]
+
+    # Pruning helps (strictly, except degenerate tiny-radius ties).
+    assert all(p <= u for p, u in zip(basic_pruned, basic))
+    assert all(p <= u for p, u in zip(greedy_pruned, greedy))
+    assert sum(p < u for p, u in zip(greedy_pruned, greedy)) >= len(greedy) - 1
+
+    # Greedy costs more than basic at every radius.
+    assert all(g > b for g, b in zip(greedy, basic))
+
+    # Basic gets cheaper as the radius grows (compare ends of the sweep).
+    assert basic[-1] < basic[0]
+
+    # The greedy-vs-basic gap widens with the radius.
+    assert greedy[-1] / basic[-1] > greedy[0] / basic[0]
+
+    benchmark.pedantic(
+        lambda: run_algorithm(
+            "B-DisC (Pruned)", exp.dataset, exp.radii[0], use_cache=False
+        ),
+        rounds=1,
+        iterations=1,
+    )

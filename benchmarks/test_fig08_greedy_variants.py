@@ -1,0 +1,75 @@
+"""Figure 8 (a-d): node accesses for all pruned Greedy-DisC variants
+(grey / white / lazy-grey / lazy-white) against pruned Basic-DisC.
+
+Shape checks:
+
+* lazy variants never cost more than their exact counterparts,
+* grey and white variants select identical subsets (both exact), so any
+  cost difference is purely the update strategy,
+* on the Clustered dataset at larger radii the white variant's relative
+  cost improves (many neighbors grey out at once, leaving few whites to
+  recount) — checked as a weak trend.
+"""
+
+import pytest
+
+from repro.experiments import FIG8_ALGORITHMS, format_series, run_algorithm, sweep
+
+DATASET_KEYS = ["Uniform", "Clustered", "Cities", "Cameras"]
+PANEL = dict(zip(DATASET_KEYS, "abcd"))
+
+
+def _render(exp, records):
+    series = {
+        name: [rec.node_accesses for rec in records[name]]
+        for name in FIG8_ALGORITHMS
+    }
+    return format_series(
+        f"Figure 8{PANEL[exp.name]}: greedy variants node accesses — "
+        f"{exp.name} (n={exp.dataset.n})",
+        "radius",
+        exp.radii,
+        series,
+    )
+
+
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_fig08(benchmark, suite, register, key):
+    exp = suite[key]
+    records = sweep(exp, FIG8_ALGORITHMS)
+    register(f"fig08{PANEL[key]}_{key.lower()}", _render(exp, records))
+
+    grey = records["Gr-G-DisC (Pruned)"]
+    white = records["Wh-G-DisC (Pruned)"]
+    lazy_grey = records["L-Gr-G-DisC (Pruned)"]
+    lazy_white = records["L-Wh-G-DisC (Pruned)"]
+
+    # Exact grey and white maintain the same counts -> same solutions.
+    for g, w in zip(grey, white):
+        assert g.size == w.size, (key, g.radius)
+
+    # Lazy update radii can only reduce the update-query cost.
+    assert all(l.node_accesses <= g.node_accesses for l, g in zip(lazy_grey, grey))
+    assert all(
+        l.node_accesses <= w.node_accesses for l, w in zip(lazy_white, white)
+    )
+
+    benchmark.pedantic(
+        lambda: run_algorithm(
+            "Wh-G-DisC (Pruned)", exp.dataset, exp.radii[-1], use_cache=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_white_variant_gains_on_clustered(benchmark, suite):
+    """Paper: 'White-Greedy-DisC performs very well for the clustered
+    dataset as r increases'.  Check the cost ratio white/grey shrinks
+    from the smallest to the largest radius."""
+    exp = suite["Clustered"]
+    records = sweep(exp, ["Gr-G-DisC (Pruned)", "Wh-G-DisC (Pruned)"])
+    grey = [r.node_accesses for r in records["Gr-G-DisC (Pruned)"]]
+    white = [r.node_accesses for r in records["Wh-G-DisC (Pruned)"]]
+    assert white[-1] / grey[-1] < white[0] / grey[0]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+"""Figure 9: impact of dataset cardinality (a-b) and dimensionality (c-d)
+on Greedy-DisC solution size and node accesses (Clustered data).
+
+Shape checks:
+
+* solution size is much more sensitive to cardinality at small radii
+  than at large radii (9a),
+* node accesses grow with cardinality (9b),
+* solution size grows with dimensionality — the curse of dimensionality
+  makes space sparser (9c).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    cardinality_sweep,
+    current_scale,
+    dimensionality_sweep,
+    format_series,
+)
+
+RADII = [0.01, 0.03, 0.05, 0.07]
+
+if current_scale() == "paper":
+    CARDINALITIES = [5000, 10000, 15000]
+    DIM_N = 10000
+else:
+    CARDINALITIES = [1250, 2500, 3750]
+    DIM_N = 2500
+DIMS = [2, 4, 6, 8, 10]
+
+
+def test_fig09ab_cardinality(benchmark, register):
+    sweeps = cardinality_sweep(CARDINALITIES, RADII)
+    sizes = {
+        f"r={radius:g}": [rec.size for rec in records]
+        for radius, records in sweeps.items()
+    }
+    accesses = {
+        f"r={radius:g}": [rec.node_accesses for rec in records]
+        for radius, records in sweeps.items()
+    }
+    register(
+        "fig09a_cardinality_size",
+        format_series("Figure 9a: solution size vs cardinality (Clustered 2-d)",
+                      "n", CARDINALITIES, sizes),
+    )
+    register(
+        "fig09b_cardinality_accesses",
+        format_series("Figure 9b: node accesses vs cardinality (Clustered 2-d)",
+                      "n", CARDINALITIES, accesses),
+    )
+
+    small_r = sweeps[RADII[0]]
+    large_r = sweeps[RADII[-1]]
+    # 9a: relative growth of |S| with n is larger at small radii.
+    growth_small = small_r[-1].size / max(small_r[0].size, 1)
+    growth_large = large_r[-1].size / max(large_r[0].size, 1)
+    assert growth_small > growth_large
+    # 9b: more data, more accesses (reference radius).
+    mid = sweeps[RADII[1]]
+    assert mid[-1].node_accesses > mid[0].node_accesses
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig09cd_dimensionality(benchmark, register):
+    sweeps = dimensionality_sweep(DIMS, RADII, n=DIM_N)
+    sizes = {
+        f"r={radius:g}": [rec.size for rec in records]
+        for radius, records in sweeps.items()
+    }
+    accesses = {
+        f"r={radius:g}": [rec.node_accesses for rec in records]
+        for radius, records in sweeps.items()
+    }
+    register(
+        "fig09c_dimensionality_size",
+        format_series(
+            f"Figure 9c: solution size vs dimensionality (Clustered, n={DIM_N})",
+            "d", DIMS, sizes),
+    )
+    register(
+        "fig09d_dimensionality_accesses",
+        format_series(
+            f"Figure 9d: node accesses vs dimensionality (Clustered, n={DIM_N})",
+            "d", DIMS, accesses),
+    )
+
+    # 9c: sparser space at higher d -> more diverse objects, for every r.
+    for radius, records in sweeps.items():
+        assert records[-1].size > records[0].size, radius
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Figure 10: node accesses under M-trees of varying fat-factor, built
+with four splitting policies (Uniform and Clustered datasets).
+
+Shape checks:
+
+* the MinOverlap policy yields the lowest fat-factor, random the highest,
+* on Uniform data, higher fat-factor means more node accesses for the
+  same (identical) solution — checked at the smallest radius, where
+  overlap matters most,
+* on Clustered data the effect is muted (locality + pruning),
+* the split policy never changes which objects are selected.
+"""
+
+import pytest
+
+from repro.experiments import fat_factor_sweep, format_series
+
+RADII = [0.1, 0.3, 0.5, 0.7, 0.9]
+POLICIES = ("min_overlap", "max_spread", "balanced", "random")
+
+
+@pytest.mark.parametrize("key", ["Uniform", "Clustered"])
+def test_fig10(benchmark, suite, register, key):
+    exp = suite[key]
+    rows = fat_factor_sweep(exp.dataset, RADII, policies=POLICIES)
+    series = {
+        f"{row['policy']} (f={row['fat_factor']:.3f})": row["node_accesses"]
+        for row in rows
+    }
+    register(
+        f"fig10_{key.lower()}_fat_factor",
+        format_series(
+            f"Figure 10: node accesses vs fat-factor — {key} (n={exp.dataset.n})",
+            "radius",
+            RADII,
+            series,
+        ),
+    )
+
+    factors = {row["policy"]: row["fat_factor"] for row in rows}
+    assert factors["min_overlap"] <= min(factors.values()) + 1e-9
+    assert factors["random"] >= factors["min_overlap"]
+
+    # Tree shape never changes the selected objects.
+    assert len({tuple(row["sizes"]) for row in rows}) == 1
+
+    if key == "Uniform":
+        by_factor = sorted(rows, key=lambda row: row["fat_factor"])
+        # Lowest-overlap tree is cheaper than highest-overlap tree at the
+        # smallest radius, where navigation dominates.
+        assert by_factor[0]["node_accesses"][0] < by_factor[-1]["node_accesses"][0]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig10_convergence_at_huge_radius(benchmark, suite):
+    """Paper: 'all lines begin to converge for r > 0.7' — a single
+    object covers nearly everything, so tree shape stops mattering.
+    Check the relative spread shrinks from r=0.1 to r=0.9 on Uniform."""
+    exp = suite["Uniform"]
+    rows = fat_factor_sweep(exp.dataset, [0.1, 0.9], policies=POLICIES)
+    first = [row["node_accesses"][0] for row in rows]
+    last = [row["node_accesses"][1] for row in rows]
+    spread_first = (max(first) - min(first)) / max(first)
+    spread_last = (max(last) - min(last)) / max(last)
+    assert spread_last <= spread_first + 0.05
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Figures 11-13: zooming-in vs recomputing from scratch.
+
+For each consecutive radius pair (larger -> smaller) on Clustered and
+Cities: solution size (Fig 11), node accesses (Fig 12) and the Jaccard
+distance to the previous solution (Fig 13) for Greedy-DisC-from-scratch,
+Zoom-In, and Greedy-Zoom-In.
+
+Shape checks:
+
+* zooming yields similar solution sizes (within ~25% of from-scratch),
+* zooming costs fewer node accesses than recomputing,
+* zoomed solutions are much closer to the previous solution (smaller
+  Jaccard distance) than from-scratch ones — the paper's headline
+  usability claim.
+"""
+
+import pytest
+
+from repro.experiments import format_series, zoom_in_experiment, zoom_in_series
+
+SERIES = ["Greedy-DisC", "Zoom-In", "Greedy-Zoom-In"]
+
+
+@pytest.mark.parametrize("key", ["Clustered", "Cities"])
+def test_zoom_in(benchmark, suite, register, key):
+    dataset_key, radii = zoom_in_series()[key]
+    exp = suite[dataset_key]
+    rows = zoom_in_experiment(exp, radii)
+    targets = [row["radius_to"] for row in rows]
+
+    for figure, field in (("11", "sizes"), ("12", "node_accesses"), ("13", "jaccard")):
+        series = {
+            name: [row[field][name] for row in rows] for name in SERIES
+        }
+        register(
+            f"fig{figure}_zoom_in_{key.lower()}_{field}",
+            format_series(
+                f"Figure {figure}: zoom-in {field} — {key} (n={exp.dataset.n})",
+                "radius",
+                targets,
+                series,
+            ),
+        )
+
+    for row in rows:
+        scratch = row["sizes"]["Greedy-DisC"]
+        for name in ("Zoom-In", "Greedy-Zoom-In"):
+            assert row["sizes"][name] <= scratch * 1.25 + 3, (key, row)
+        # Fewer accesses than recomputation for the arbitrary variant.
+        assert row["node_accesses"]["Zoom-In"] < row["node_accesses"]["Greedy-DisC"]
+        # Zoomed results stay closer to what the user saw before.
+        assert row["jaccard"]["Zoom-In"] <= row["jaccard"]["Greedy-DisC"] + 1e-9
+        assert (
+            row["jaccard"]["Greedy-Zoom-In"] <= row["jaccard"]["Greedy-DisC"] + 1e-9
+        )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_zoom_in_preserves_previous_solution(benchmark, suite):
+    """Lemma 5(i) at benchmark scale: every zoom-in keeps all previous
+    selections, so its Jaccard distance is exactly |added| / |union|."""
+    dataset_key, radii = zoom_in_series()["Clustered"]
+    rows = zoom_in_experiment(suite[dataset_key], radii[:3])
+    for row in rows:
+        assert row["jaccard"]["Greedy-Zoom-In"] < 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

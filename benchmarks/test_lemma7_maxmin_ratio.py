@@ -1,0 +1,45 @@
+"""Lemma 7: DisC's minimum pairwise distance λ is within a factor 3 of
+the optimal MaxMin value λ* for the same k.
+
+We use greedy MaxMin as the comparator: λ_greedy <= λ*, so the observed
+ratio λ_greedy / λ_DisC must stay below 3 with slack (and empirically
+does, typically < 2).
+"""
+
+import pytest
+
+from repro.experiments import format_table, lemma7_experiment
+
+
+@pytest.mark.parametrize("key", ["Uniform", "Clustered"])
+def test_lemma7(benchmark, suite, register, key):
+    exp = suite[key]
+    rows = benchmark.pedantic(
+        lambda: lemma7_experiment(exp.dataset, exp.radii), rounds=1, iterations=1
+    )
+    assert rows, "at least one radius must yield k >= 2"
+
+    register(
+        f"lemma7_{key.lower()}",
+        format_table(
+            f"Lemma 7: λ(MaxMin greedy) vs λ(DisC) — {key} (bound: 3x)",
+            ["radius", "k", "λ DisC", "λ MaxMin", "ratio"],
+            [
+                [
+                    row["radius"],
+                    row["k"],
+                    row["lambda_disc"],
+                    row["lambda_maxmin_greedy"],
+                    row["ratio"],
+                ]
+                for row in rows
+            ],
+            float_fmt="{:.4f}",
+        ),
+    )
+
+    for row in rows:
+        # DisC's dissimilarity condition: λ > r.
+        assert row["lambda_disc"] > row["radius"], row
+        # Lemma 7 with the greedy lower bound on λ*.
+        assert row["ratio"] <= row["bound"] + 1e-9, row

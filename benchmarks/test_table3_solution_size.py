@@ -1,0 +1,82 @@
+"""Table 3 (a-d): solution size per radius for the DisC heuristics.
+
+Paper rows: B-DisC, G-DisC, L-Gr-G-DisC, L-Wh-G-DisC, G-C; one sub-table
+per dataset.  Shape checks encoded below:
+
+* sizes decrease monotonically with the radius,
+* Greedy-DisC never exceeds Basic-DisC by more than noise,
+* the lazy variants sit at or above exact greedy,
+* Greedy-C is within a small factor of Greedy-DisC (relaxing
+  independence "does not reduce the size considerably"),
+* Clustered sizes < Uniform sizes at equal radius.
+"""
+
+import pytest
+
+from repro.experiments import TABLE3_ALGORITHMS, format_table, run_algorithm, sweep
+
+DATASET_KEYS = ["Uniform", "Clustered", "Cities", "Cameras"]
+SUBTABLE = dict(zip(DATASET_KEYS, "abcd"))
+
+
+def _render(exp, records):
+    headers = ["algorithm"] + [f"r={r:g}" for r in exp.radii]
+    rows = [
+        [name] + [rec.size for rec in records[name]] for name in TABLE3_ALGORITHMS
+    ]
+    return format_table(
+        f"Table 3{SUBTABLE[exp.name]}: solution size — {exp.name} "
+        f"(n={exp.dataset.n})",
+        headers,
+        rows,
+    )
+
+
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_table3(benchmark, suite, register, key):
+    exp = suite[key]
+    records = sweep(exp, TABLE3_ALGORITHMS)
+    register(f"table3{SUBTABLE[key]}_{key.lower()}", _render(exp, records))
+
+    basic = [r.size for r in records["B-DisC"]]
+    greedy = [r.size for r in records["Gr-G-DisC"]]
+    lazy_grey = [r.size for r in records["L-Gr-G-DisC (Pruned)"]]
+    lazy_white = [r.size for r in records["L-Wh-G-DisC (Pruned)"]]
+    cover = [r.size for r in records["G-C"]]
+
+    # Monotone decrease with the radius.
+    for series in (basic, greedy):
+        assert all(a >= b for a, b in zip(series, series[1:])), (key, series)
+    # Greedy beats (or ties) basic at almost every radius.
+    wins = sum(1 for g, b in zip(greedy, basic) if g <= b)
+    assert wins >= len(greedy) - 1, (key, greedy, basic)
+    # Lazy variants track exact greedy closely.  They are usually a bit
+    # larger (stale counts), but — as in the paper's own Table 3 (e.g.
+    # Clustered r=0.07: L-Wh 41 < G-DisC 43) — they can also edge it out,
+    # so only a closeness band is asserted.
+    for lazy in (lazy_grey, lazy_white):
+        for l, g in zip(lazy, greedy):
+            assert l >= g * 0.9 - 2, (key, lazy, greedy)
+            assert l <= g * 1.3 + 3, (key, lazy, greedy)
+    # Greedy-C stays close to Greedy-DisC.
+    for c, g in zip(cover, greedy):
+        assert c <= g * 1.25 + 2, (key, cover, greedy)
+
+    # Timing target: the reference heuristic at the middle radius.
+    mid = exp.radii[len(exp.radii) // 2]
+    benchmark.pedantic(
+        lambda: run_algorithm("Gr-G-DisC", exp.dataset, mid, use_cache=False),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_clustered_smaller_than_uniform(benchmark, suite):
+    """Section 6: clustered data needs fewer diverse objects at equal r."""
+    uniform = suite["Uniform"]
+    clustered = suite["Clustered"]
+    records_u = sweep(uniform, ["Gr-G-DisC"])["Gr-G-DisC"]
+    records_c = sweep(clustered, ["Gr-G-DisC"])["Gr-G-DisC"]
+    smaller = sum(1 for u, c in zip(records_u, records_c) if c.size <= u.size)
+    assert smaller >= len(records_u) - 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Comparing DisC with MaxMin, MaxSum and k-medoids (paper Figure 6).
+
+Runs every diversification model on the same clustered dataset with a
+matched subset size k and renders each selection as an ASCII scatter so
+the paper's qualitative observations are visible in the terminal:
+
+* MaxSum picks the outskirts and ignores interior clusters,
+* k-medoids picks cluster centres and ignores outliers,
+* MaxMin spreads out but under-represents dense areas,
+* DisC (and r-C) cover the entire dataset.
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro import clustered_dataset
+from repro.baselines import solution_summary
+from repro.experiments import model_comparison, radius_for_target_size
+from repro.experiments.plotting import ascii_scatter
+
+
+def main() -> None:
+    data = clustered_dataset(n=2000, dim=2, seed=42)
+    radius = radius_for_target_size(data, 15, low=0.05, high=0.6, tolerance=1)
+    print(f"dataset: {data}\nradius giving k~15: r={radius:.3f}\n")
+
+    table = model_comparison(data, radius)
+    for name, row in table.items():
+        print(ascii_scatter(
+            data.points, row["selected"],
+            title=f"{name}  (k={row['size']})", width=66, height=20,
+        ))
+        print(f"  fMin={row['fmin']:.3f}  fSum={row['fsum']:.1f}  "
+              f"coverage={row['coverage']:.1%}  "
+              f"repr.error={row['representation_error']:.4f}\n")
+
+    print("reading guide: '@' selected, 'o' dense area, '.' data point")
+    print("DisC is the only model with 100% coverage at radius r —")
+    print("every camera/city/point has a representative within r.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,205 @@
+"""High-level public API.
+
+Most users want three things: build an index over their query result,
+compute a DisC diverse subset, and zoom.  :class:`DiscDiversifier` wraps
+that workflow; the free functions serve one-shot use.
+
+Example
+-------
+>>> from repro import DiscDiversifier, uniform_dataset
+>>> data = uniform_dataset(n=500, seed=1)
+>>> diversifier = DiscDiversifier(data)
+>>> result = diversifier.select(radius=0.1)
+>>> finer = diversifier.zoom_in(0.05)
+>>> assert set(result.selected) <= set(finer.selected)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.baselines import (
+    kmedoids_select,
+    maxmin_select,
+    maxsum_select,
+    solution_summary,
+)
+from repro.core import (
+    DiscResult,
+    basic_disc,
+    fast_c,
+    greedy_c,
+    greedy_disc,
+    local_zoom,
+    verify_disc,
+    zoom_in,
+    zoom_out,
+)
+from repro.datasets import Dataset
+from repro.distance import get_metric
+from repro.index import BruteForceIndex, GridIndex, KDTreeIndex, NeighborIndex
+from repro.mtree import MTreeIndex
+
+__all__ = ["build_index", "disc_select", "DiscDiversifier"]
+
+_METHODS = {
+    "basic": basic_disc,
+    "greedy": greedy_disc,
+    "greedy-c": greedy_c,
+    "fast-c": fast_c,
+}
+
+
+def _resolve(data, metric):
+    """Accept a Dataset or a raw array (+ metric) uniformly."""
+    if isinstance(data, Dataset):
+        return data.points, data.metric
+    if metric is None:
+        raise ValueError("metric is required when passing a raw point array")
+    return np.asarray(data), get_metric(metric)
+
+
+def build_index(
+    data: Union[Dataset, np.ndarray],
+    metric=None,
+    *,
+    engine: str = "auto",
+    **engine_options,
+) -> NeighborIndex:
+    """Construct a neighbor index over ``data``.
+
+    ``engine`` is one of ``"auto"``, ``"brute"``, ``"grid"``,
+    ``"kdtree"``, ``"mtree"``.  ``auto`` picks the M-tree (the paper's
+    substrate) — it works for any metric and enables pruning and zooming
+    accelerations.  Extra keyword options go to the engine constructor
+    (e.g. ``capacity=...``, ``split_policy=...``, ``build_radius=...``
+    for the M-tree; ``cell_size=...`` for the grid; ``leafsize=...`` for
+    the KD-tree).
+    """
+    points, resolved_metric = _resolve(data, metric)
+    engine = engine.lower()
+    if engine in ("auto", "mtree"):
+        return MTreeIndex(points, resolved_metric, **engine_options)
+    if engine == "brute":
+        return BruteForceIndex(points, resolved_metric, **engine_options)
+    if engine == "grid":
+        return GridIndex(points, resolved_metric, **engine_options)
+    if engine == "kdtree":
+        return KDTreeIndex(points, resolved_metric, **engine_options)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected auto, brute, grid, kdtree or mtree"
+    )
+
+
+def disc_select(
+    data: Union[Dataset, np.ndarray],
+    radius: float,
+    *,
+    metric=None,
+    method: str = "greedy",
+    engine: str = "auto",
+    engine_options: Optional[dict] = None,
+    **method_options,
+) -> DiscResult:
+    """One-shot DisC diversification.
+
+    ``method`` is one of ``"basic"``, ``"greedy"``, ``"greedy-c"``,
+    ``"fast-c"``; remaining keyword arguments go to the heuristic
+    (``prune=True``, ``update_variant="white"``, ``lazy=True``, ...).
+    """
+    try:
+        algorithm = _METHODS[method.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
+        ) from None
+    index = build_index(data, metric, engine=engine, **(engine_options or {}))
+    return algorithm(index, radius, **method_options)
+
+
+class DiscDiversifier:
+    """Stateful façade: index once, then select / zoom / compare.
+
+    Keeps the last :class:`DiscResult` so that zooming picks up from the
+    solution the user is looking at, matching the paper's interactive
+    mode of operation (Section 3).
+    """
+
+    def __init__(
+        self,
+        data: Union[Dataset, np.ndarray],
+        metric=None,
+        *,
+        engine: str = "auto",
+        **engine_options,
+    ):
+        self.points, self.metric = _resolve(data, metric)
+        self.index = build_index(self.points, self.metric, engine=engine, **engine_options)
+        self.last_result: Optional[DiscResult] = None
+
+    # ------------------------------------------------------------------
+    def select(self, radius: float, *, method: str = "greedy", **options) -> DiscResult:
+        """Compute a fresh DisC diverse subset at ``radius``."""
+        try:
+            algorithm = _METHODS[method.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
+            ) from None
+        options.setdefault("track_closest_black", True)
+        self.last_result = algorithm(self.index, radius, **options)
+        return self.last_result
+
+    def _require_last(self) -> DiscResult:
+        if self.last_result is None:
+            raise RuntimeError("call select() before zooming")
+        return self.last_result
+
+    def zoom_in(self, new_radius: float, *, greedy: bool = True) -> DiscResult:
+        """Adapt the current solution to a smaller radius (more results)."""
+        self.last_result = zoom_in(
+            self.index, self._require_last(), new_radius, greedy=greedy
+        )
+        return self.last_result
+
+    def zoom_out(self, new_radius: float, *, variant: Optional[str] = "a") -> DiscResult:
+        """Adapt the current solution to a larger radius (fewer results)."""
+        self.last_result = zoom_out(
+            self.index, self._require_last(), new_radius, greedy_variant=variant
+        )
+        return self.last_result
+
+    def local_zoom(self, center_id: int, new_radius: float, *, greedy: bool = True) -> DiscResult:
+        """Re-diversify only the area around one selected object."""
+        self.last_result = local_zoom(
+            self.index, self._require_last(), center_id, new_radius, greedy=greedy
+        )
+        return self.last_result
+
+    # ------------------------------------------------------------------
+    def verify(self, result: Optional[DiscResult] = None):
+        """Check Definition 1 on a result (defaults to the last one)."""
+        result = result or self._require_last()
+        return verify_disc(self.points, self.metric, result.selected, result.radius)
+
+    def compare_methods(self, radius: float, *, seed: int = 0) -> dict:
+        """Run DisC + the Section 4 baselines at matched k (Figure 6).
+
+        DisC determines the subset size; MaxMin, MaxSum and k-medoids are
+        then run with that k so their quality metrics are comparable.
+        """
+        disc = greedy_disc(self.index, radius)
+        k = max(disc.size, 1)
+        rows = {
+            "DisC": disc.selected,
+            "r-C": greedy_c(self.index, radius).selected,
+            "MaxMin": maxmin_select(self.points, self.metric, k),
+            "MaxSum": maxsum_select(self.points, self.metric, k),
+            "k-medoids": kmedoids_select(self.points, self.metric, k, seed=seed),
+        }
+        return {
+            name: solution_summary(self.points, self.metric, selected, radius)
+            for name, selected in rows.items()
+        }

@@ -1,0 +1,29 @@
+"""Comparison models from the paper's Section 4 (MaxMin, MaxSum,
+k-medoids) and solution-quality metrics."""
+
+from repro.baselines.kmedoids import kmedoids_objective, kmedoids_select
+from repro.baselines.maxmin import maxmin_select, maxmin_value
+from repro.baselines.maxsum import maxsum_select, maxsum_value
+from repro.baselines.metrics import (
+    coverage_ratio,
+    fmin,
+    fsum,
+    jaccard_distance,
+    representation_error,
+    solution_summary,
+)
+
+__all__ = [
+    "maxmin_select",
+    "maxmin_value",
+    "maxsum_select",
+    "maxsum_value",
+    "kmedoids_select",
+    "kmedoids_objective",
+    "fmin",
+    "fsum",
+    "coverage_ratio",
+    "representation_error",
+    "jaccard_distance",
+    "solution_summary",
+]

@@ -1,0 +1,102 @@
+"""k-medoids clustering (Section 4 comparison).
+
+The paper contrasts DisC with k-medoids because medoids can be read as a
+representative subset: it minimises the mean distance from every object
+to its closest selected object.  Figure 6(d) shows the characteristic
+failure the comparison highlights — medoids sit in cluster centres and
+ignore outliers, so the dataset is not *covered* in the DisC sense.
+
+Implementation: Voronoi-iteration k-medoids (alternate assignment and
+per-cluster medoid update), with k-means++-style seeding for spread-out
+initial medoids.  This scales to the paper's 10000-point datasets where
+classic PAM would not, while converging to the same objective family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distance import get_metric
+
+__all__ = ["kmedoids_select", "kmedoids_objective"]
+
+
+def _seed_medoids(points, metric, k: int, rng: np.random.Generator) -> List[int]:
+    """k-means++ style: sample proportionally to distance-to-closest."""
+    n = points.shape[0]
+    first = int(rng.integers(n))
+    medoids = [first]
+    closest = metric.to_point(points, points[first])
+    while len(medoids) < k:
+        weights = np.maximum(closest, 0.0)
+        total = weights.sum()
+        if total == 0.0:
+            # All remaining points coincide with medoids; pick arbitrarily.
+            remaining = [i for i in range(n) if i not in set(medoids)]
+            medoids.extend(remaining[: k - len(medoids)])
+            break
+        pick = int(rng.choice(n, p=weights / total))
+        if pick in medoids:
+            continue
+        medoids.append(pick)
+        np.minimum(closest, metric.to_point(points, points[pick]), out=closest)
+    return medoids
+
+
+def kmedoids_select(
+    points: np.ndarray,
+    metric,
+    k: int,
+    *,
+    seed: Optional[int] = 0,
+    max_iter: int = 30,
+) -> List[int]:
+    """Select ``k`` medoids via Voronoi iteration.
+
+    Deterministic given ``seed``; stops at convergence or ``max_iter``.
+    """
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    n = points.shape[0]
+    if not 0 < k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if k == n:
+        return list(range(n))
+    rng = np.random.default_rng(seed)
+    medoids = _seed_medoids(points, metric, k, rng)
+
+    for _ in range(max_iter):
+        # Assignment step: nearest medoid per object.
+        distance_to_medoids = np.stack(
+            [metric.to_point(points, points[m]) for m in medoids], axis=1
+        )
+        assignment = np.argmin(distance_to_medoids, axis=1)
+
+        # Update step: each cluster's in-cluster 1-median.
+        new_medoids = []
+        for cluster_index in range(len(medoids)):
+            members = np.nonzero(assignment == cluster_index)[0]
+            if members.size == 0:
+                new_medoids.append(medoids[cluster_index])
+                continue
+            submatrix = metric.pairwise(points[members])
+            best_local = int(np.argmin(submatrix.sum(axis=0)))
+            new_medoids.append(int(members[best_local]))
+        if new_medoids == medoids:
+            break
+        medoids = new_medoids
+    return medoids
+
+
+def kmedoids_objective(points: np.ndarray, metric, selected: List[int]) -> float:
+    """``(1/|P|) Σ dist(p_i, c(p_i))`` — the paper's k-medoids objective."""
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    if not selected:
+        raise ValueError("selected must be non-empty")
+    closest = np.full(points.shape[0], np.inf)
+    for medoid in selected:
+        np.minimum(closest, metric.to_point(points, points[medoid]), out=closest)
+    return float(closest.mean())

@@ -1,0 +1,88 @@
+"""Solution-quality metrics used across Sections 4 and 6.
+
+* ``fmin`` / ``fsum`` — the MaxMin / MaxSum objectives.
+* ``coverage_ratio`` — fraction of the dataset within r of the solution
+  (DisC solutions score 1.0 by construction; MaxSum and k-medoids do
+  not, which is Figure 6's point).
+* ``representation_error`` — the k-medoids objective (mean distance to
+  the closest selected object).
+* ``jaccard_distance`` — 1 − |A∩B| / |A∪B| between two solutions; the
+  paper's measure of how much a zoomed solution preserves the previous
+  one (Figures 13 and 16).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.baselines.maxmin import maxmin_value
+from repro.baselines.maxsum import maxsum_value
+from repro.distance import get_metric
+
+__all__ = [
+    "fmin",
+    "fsum",
+    "coverage_ratio",
+    "representation_error",
+    "jaccard_distance",
+    "solution_summary",
+]
+
+
+def fmin(points, metric, selected: Sequence[int]) -> float:
+    """Minimum pairwise distance in the selection (MaxMin objective)."""
+    return maxmin_value(points, metric, list(selected))
+
+
+def fsum(points, metric, selected: Sequence[int]) -> float:
+    """Total pairwise distance in the selection (MaxSum objective)."""
+    return maxsum_value(points, metric, list(selected))
+
+
+def _closest_to_selected(points, metric, selected: Sequence[int]) -> np.ndarray:
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    closest = np.full(points.shape[0], np.inf)
+    for sel in selected:
+        np.minimum(closest, metric.to_point(points, points[sel]), out=closest)
+    return closest
+
+
+def coverage_ratio(points, metric, selected: Sequence[int], radius: float) -> float:
+    """Fraction of objects within ``radius`` of some selected object."""
+    ids = list(selected)
+    if not ids:
+        return 0.0
+    closest = _closest_to_selected(points, metric, ids)
+    return float(np.mean(closest <= radius))
+
+
+def representation_error(points, metric, selected: Sequence[int]) -> float:
+    """Mean distance to the closest selected object (k-medoids cost)."""
+    ids = list(selected)
+    if not ids:
+        raise ValueError("selected must be non-empty")
+    return float(_closest_to_selected(points, metric, ids).mean())
+
+
+def jaccard_distance(a: Iterable[int], b: Iterable[int]) -> float:
+    """1 − |A∩B| / |A∪B|; 0.0 for two empty sets (identical)."""
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return 1.0 - len(set_a & set_b) / len(union)
+
+
+def solution_summary(points, metric, selected: Sequence[int], radius: float) -> dict:
+    """All quality metrics for one solution, for experiment reports."""
+    ids = list(selected)
+    return {
+        "size": len(ids),
+        "fmin": fmin(points, metric, ids),
+        "fsum": fsum(points, metric, ids),
+        "coverage": coverage_ratio(points, metric, ids, radius),
+        "representation_error": representation_error(points, metric, ids),
+    }

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library, dataset and algorithm inventory.
+``select``
+    Diversify a built-in dataset at a radius; optionally render an
+    ASCII map and dump the selected ids.
+``zoom``
+    Select at one radius, then zoom in/out to another and report how
+    much of the solution survived.
+``compare``
+    The Figure 6 model comparison table on a dataset/radius.
+``table3``
+    Regenerate one sub-table of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.api import DiscDiversifier
+from repro.baselines import jaccard_distance
+from repro.datasets import (
+    cameras_dataset,
+    cities_dataset,
+    clustered_dataset,
+    uniform_dataset,
+)
+from repro.experiments import (
+    ALGORITHMS,
+    TABLE3_ALGORITHMS,
+    ExperimentDataset,
+    experiment_suite,
+    format_table,
+    model_comparison,
+    sweep,
+)
+from repro.experiments.plotting import ascii_scatter
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = {
+    "uniform": lambda n, seed: uniform_dataset(n=n or 2500, seed=seed),
+    "clustered": lambda n, seed: clustered_dataset(n=n or 2500, seed=seed),
+    "cities": lambda n, seed: cities_dataset(n=n or 2000, seed=seed),
+    "cameras": lambda n, seed: cameras_dataset(n=n or 579, seed=seed),
+}
+
+
+def _load_dataset(name: str, n: Optional[int], seed: int):
+    try:
+        return _DATASETS[name](n, seed)
+    except KeyError:
+        raise SystemExit(
+            f"unknown dataset {name!r}; choose from {sorted(_DATASETS)}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DisC diversity (Drosou & Pitoura, VLDB 2013) reproduction",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library inventory")
+
+    def add_common(p):
+        p.add_argument("--dataset", default="clustered", choices=sorted(_DATASETS))
+        p.add_argument("--n", type=int, default=None, help="dataset cardinality")
+        p.add_argument("--seed", type=int, default=42)
+
+    p_select = sub.add_parser("select", help="compute an r-DisC diverse subset")
+    add_common(p_select)
+    p_select.add_argument("--radius", type=float, required=True)
+    p_select.add_argument(
+        "--method", default="greedy", choices=["basic", "greedy", "greedy-c", "fast-c"]
+    )
+    p_select.add_argument("--plot", action="store_true", help="ASCII map (2-d data)")
+    p_select.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_zoom = sub.add_parser("zoom", help="select then zoom to another radius")
+    add_common(p_zoom)
+    p_zoom.add_argument("--radius", type=float, required=True, help="initial radius")
+    p_zoom.add_argument("--to", type=float, required=True, help="target radius")
+
+    p_compare = sub.add_parser("compare", help="Figure 6 model comparison")
+    add_common(p_compare)
+    p_compare.add_argument("--radius", type=float, required=True)
+
+    p_table3 = sub.add_parser("table3", help="regenerate a Table 3 sub-table")
+    p_table3.add_argument(
+        "--dataset",
+        default="Uniform",
+        choices=["Uniform", "Clustered", "Cities", "Cameras"],
+    )
+    return parser
+
+
+def _cmd_info(_args) -> int:
+    print(f"repro {__version__} — DisC diversity reproduction (VLDB 2013)")
+    print("\ndatasets: " + ", ".join(sorted(_DATASETS)))
+    print("heuristics: " + ", ".join(sorted(ALGORITHMS)))
+    print("engines: mtree (default), brute, grid, kdtree")
+    print("\nsee DESIGN.md for the experiment index and EXPERIMENTS.md for")
+    print("paper-vs-measured results; `pytest benchmarks/ --benchmark-only`")
+    print("regenerates every table and figure.")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    data = _load_dataset(args.dataset, args.n, args.seed)
+    diversifier = DiscDiversifier(data)
+    result = diversifier.select(args.radius, method=args.method)
+    report = diversifier.verify()
+    if args.json:
+        print(json.dumps({
+            "dataset": data.name,
+            "n": data.n,
+            "radius": args.radius,
+            "method": args.method,
+            "size": result.size,
+            "node_accesses": result.node_accesses,
+            "selected": result.selected,
+            "covering": report.is_covering,
+            "independent": report.is_independent,
+        }))
+        return 0
+    print(f"{data.name} (n={data.n}), r={args.radius}: "
+          f"{result.size} diverse objects via {result.algorithm}")
+    print(f"node accesses: {result.node_accesses}  |  {report}")
+    if args.plot:
+        if data.dim != 2:
+            print("(--plot requires 2-d data)", file=sys.stderr)
+        else:
+            print(ascii_scatter(data.points, result.selected))
+    return 0
+
+
+def _cmd_zoom(args) -> int:
+    data = _load_dataset(args.dataset, args.n, args.seed)
+    diversifier = DiscDiversifier(data)
+    first = diversifier.select(args.radius)
+    if args.to < args.radius:
+        second = diversifier.zoom_in(args.to)
+        direction = "in"
+    elif args.to > args.radius:
+        second = diversifier.zoom_out(args.to)
+        direction = "out"
+    else:
+        raise SystemExit("--to must differ from --radius")
+    shared = len(set(first.selected) & set(second.selected))
+    print(f"r={args.radius}: {first.size} objects  ->  zoom-{direction} to "
+          f"r={args.to}: {second.size} objects")
+    print(f"kept from previous view: {shared}  |  Jaccard distance: "
+          f"{jaccard_distance(first.selected, second.selected):.3f}")
+    print(f"zoom cost: {second.node_accesses} node accesses "
+          f"(initial solution: {first.node_accesses})")
+    print(diversifier.verify())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    data = _load_dataset(args.dataset, args.n, args.seed)
+    table = model_comparison(data, args.radius)
+    rows = [
+        [name, row["size"], row["fmin"], row["fsum"], row["coverage"],
+         row["representation_error"]]
+        for name, row in table.items()
+    ]
+    print(format_table(
+        f"Model comparison — {data.name} (r={args.radius})",
+        ["method", "k", "fMin", "fSum", "coverage", "repr.err"],
+        rows,
+        float_fmt="{:.3f}",
+    ))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    exp = experiment_suite()[args.dataset]
+    records = sweep(exp, TABLE3_ALGORITHMS)
+    rows = [
+        [name] + [rec.size for rec in records[name]] for name in TABLE3_ALGORITHMS
+    ]
+    print(format_table(
+        f"Table 3: solution size — {exp.name} (n={exp.dataset.n})",
+        ["algorithm"] + [f"r={r:g}" for r in exp.radii],
+        rows,
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "select": _cmd_select,
+    "zoom": _cmd_zoom,
+    "compare": _cmd_compare,
+    "table3": _cmd_table3,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: DisC diversity heuristics, zooming,
+verification and theoretical bounds."""
+
+from repro.core.basic import basic_disc
+from repro.core.bounds import (
+    GOLDEN_RATIO,
+    harmonic_number,
+    lemma4_independent_annulus,
+    lemma5_zoom_in_bound,
+    lemma6_zoom_out_removed_bound,
+    lemma7_maxmin_factor,
+    max_independent_neighbors,
+    theorem1_ratio,
+    theorem2_ratio,
+)
+from repro.core.coloring import Color, Coloring
+from repro.core.greedy import fast_c, greedy_c, greedy_cover, greedy_disc
+from repro.core.result import DiscResult, closest_black_distances
+from repro.core.verify import (
+    VerificationReport,
+    coverage_violations,
+    dissimilarity_violations,
+    is_maximal_independent,
+    verify_disc,
+)
+from repro.core.zoom import local_zoom, recompute_closest_black, zoom_in, zoom_out
+
+__all__ = [
+    "basic_disc",
+    "greedy_disc",
+    "greedy_c",
+    "fast_c",
+    "greedy_cover",
+    "zoom_in",
+    "zoom_out",
+    "local_zoom",
+    "recompute_closest_black",
+    "Color",
+    "Coloring",
+    "DiscResult",
+    "closest_black_distances",
+    "verify_disc",
+    "VerificationReport",
+    "coverage_violations",
+    "dissimilarity_violations",
+    "is_maximal_independent",
+    "max_independent_neighbors",
+    "theorem1_ratio",
+    "theorem2_ratio",
+    "harmonic_number",
+    "lemma4_independent_annulus",
+    "lemma5_zoom_in_bound",
+    "lemma6_zoom_out_removed_bound",
+    "lemma7_maxmin_factor",
+    "GOLDEN_RATIO",
+]

@@ -1,0 +1,86 @@
+"""Basic-DisC (Section 2.3): the baseline DisC heuristic.
+
+Scan the objects in index order; every still-white object is selected
+(colored black) and its whole neighborhood is colored grey.  The output
+is a maximal independent set of ``G_{P,r}`` and therefore — by the
+paper's Lemma 1 — an r-DisC diverse subset.
+
+On an M-tree index the scan follows the left-to-right leaf chain, so
+consecutive selections are spatially local and their range queries cheap;
+``prune=True`` additionally skips fully-grey subtrees during the queries
+(the paper's ``Basic-DisC (Pruned)``), whose progress can be pictured as
+coloring the tree grey in post-order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core._common import (
+    ClosestBlackTracker,
+    attach_fresh_coloring,
+    consume_stats,
+    query_neighbors,
+)
+from repro.core.result import DiscResult
+from repro.index.base import NeighborIndex
+
+__all__ = ["basic_disc"]
+
+
+def basic_disc(
+    index: NeighborIndex,
+    radius: float,
+    *,
+    prune: bool = False,
+    track_closest_black: bool = False,
+) -> DiscResult:
+    """Compute an r-DisC diverse subset with the Basic-DisC heuristic.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`~repro.index.base.NeighborIndex`; determines the
+        "arbitrary" selection order (leaf order on an M-tree).
+    radius:
+        The DisC radius r.
+    prune:
+        Use the grey-subtree pruning rule during range queries
+        (effective only on indexes that support it).
+    track_closest_black:
+        Maintain the per-object closest-black distances needed by
+        zooming (Section 5.2).  With ``prune`` these are upper bounds;
+        zoom algorithms re-run the exact post-processing pass.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    before = index.stats.snapshot()
+    coloring = attach_fresh_coloring(index)
+    tracker: Optional[ClosestBlackTracker] = (
+        ClosestBlackTracker(index, exact=not prune) if track_closest_black else None
+    )
+    selected = []
+    try:
+        for object_id in index.ids():
+            if not coloring.is_white(object_id):
+                continue
+            coloring.set_black(object_id)
+            selected.append(object_id)
+            neighbors = query_neighbors(index, object_id, radius, prune=prune)
+            for neighbor in neighbors:
+                if coloring.is_white(neighbor):
+                    coloring.set_grey(neighbor)
+            if tracker is not None:
+                tracker.record_black(object_id, neighbors)
+    finally:
+        index.detach_coloring()
+    name = "Basic-DisC (Pruned)" if prune else "Basic-DisC"
+    return DiscResult(
+        selected=selected,
+        radius=radius,
+        algorithm=name,
+        stats=consume_stats(index, before),
+        coloring=coloring,
+        closest_black=tracker.distances if tracker is not None else None,
+        meta={"prune": prune, "closest_black_exact": tracker.exact if tracker else None},
+    )

@@ -1,0 +1,135 @@
+"""The white/grey/black(/red) coloring state machine of Section 2.3.
+
+The paper describes every heuristic in terms of object colors:
+
+* **white** — neither selected nor covered yet,
+* **grey** — covered by some selected object,
+* **black** — selected into the diverse subset ``S``,
+* **red** — transient color used by zooming-out (Algorithm 3): objects
+  that were black for the old radius and await re-examination.
+
+:class:`Coloring` holds the color of every object and per-color counts,
+and notifies registered listeners on every transition.  The M-tree index
+subscribes to maintain its per-leaf white counters, which drive the
+grey-subtree pruning rule of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable, Iterator, List
+
+import numpy as np
+
+__all__ = ["Color", "Coloring"]
+
+
+class Color(IntEnum):
+    """Object colors in the order the paper introduces them."""
+
+    WHITE = 0
+    GREY = 1
+    BLACK = 2
+    RED = 3
+
+
+#: listener(object_id, old_color, new_color)
+Listener = Callable[[int, Color, Color], None]
+
+
+class Coloring:
+    """Colors for ``n`` objects with O(1) per-color counts.
+
+    All objects start white.  Transitions are unrestricted (zooming
+    recolors greys white and blacks red), but every change flows through
+    :meth:`set_color` so listeners always observe a consistent stream.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self._codes = np.zeros(n, dtype=np.int8)
+        self._counts = [n, 0, 0, 0]
+        self._listeners: List[Listener] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._codes.shape[0]
+
+    def color_of(self, object_id: int) -> Color:
+        return Color(int(self._codes[object_id]))
+
+    def set_color(self, object_id: int, color: Color) -> None:
+        old = Color(int(self._codes[object_id]))
+        if old == color:
+            return
+        self._codes[object_id] = int(color)
+        self._counts[int(old)] -= 1
+        self._counts[int(color)] += 1
+        for listener in self._listeners:
+            listener(object_id, old, color)
+
+    # Convenience transitions -------------------------------------------------
+    def set_white(self, object_id: int) -> None:
+        self.set_color(object_id, Color.WHITE)
+
+    def set_grey(self, object_id: int) -> None:
+        self.set_color(object_id, Color.GREY)
+
+    def set_black(self, object_id: int) -> None:
+        self.set_color(object_id, Color.BLACK)
+
+    def set_red(self, object_id: int) -> None:
+        self.set_color(object_id, Color.RED)
+
+    # Queries ------------------------------------------------------------------
+    def is_white(self, object_id: int) -> bool:
+        return self._codes[object_id] == int(Color.WHITE)
+
+    def is_grey(self, object_id: int) -> bool:
+        return self._codes[object_id] == int(Color.GREY)
+
+    def is_black(self, object_id: int) -> bool:
+        return self._codes[object_id] == int(Color.BLACK)
+
+    def is_red(self, object_id: int) -> bool:
+        return self._codes[object_id] == int(Color.RED)
+
+    def count(self, color: Color) -> int:
+        return self._counts[int(color)]
+
+    @property
+    def white_count(self) -> int:
+        return self._counts[int(Color.WHITE)]
+
+    def any_white(self) -> bool:
+        return self._counts[int(Color.WHITE)] > 0
+
+    def any_red(self) -> bool:
+        return self._counts[int(Color.RED)] > 0
+
+    def ids_of(self, color: Color) -> Iterator[int]:
+        """All object ids currently holding ``color`` (ascending)."""
+        return (int(i) for i in np.nonzero(self._codes == int(color))[0])
+
+    def blacks(self) -> List[int]:
+        """Selected objects, ascending by id."""
+        return list(self.ids_of(Color.BLACK))
+
+    def codes(self) -> np.ndarray:
+        """A copy of the raw color codes (for snapshots / assertions)."""
+        return self._codes.copy()
+
+    # Listener management --------------------------------------------------------
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
+    def __repr__(self) -> str:
+        return (
+            f"Coloring(n={self.n}, white={self._counts[0]}, grey={self._counts[1]}, "
+            f"black={self._counts[2]}, red={self._counts[3]})"
+        )

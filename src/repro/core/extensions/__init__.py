@@ -1,0 +1,29 @@
+"""Section 8 extensions: the paper's future-work directions, implemented.
+
+* :func:`weighted_disc` — relevance as per-object weights; greedily
+  maximise the selected weight while staying r-DisC diverse.
+* :func:`multiradius_disc` — relevance as per-object radii; relevant
+  objects demand closer representatives.
+* :class:`StreamingDisC` — the online version of the problem:
+  incrementally maintained DisC subsets over arriving objects.
+
+These have no paper numbers to compare against (the paper only sketches
+them); they are tested for their stated invariants.
+"""
+
+from repro.core.extensions.multiradius import (
+    multiradius_disc,
+    radii_from_relevance,
+    verify_multiradius,
+)
+from repro.core.extensions.streaming import StreamingDisC
+from repro.core.extensions.weighted import total_weight, weighted_disc
+
+__all__ = [
+    "weighted_disc",
+    "total_weight",
+    "multiradius_disc",
+    "radii_from_relevance",
+    "verify_multiradius",
+    "StreamingDisC",
+]

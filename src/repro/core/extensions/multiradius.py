@@ -1,0 +1,161 @@
+"""Multiple radii per object (paper Section 8, future work #2).
+
+The paper's second route for integrating relevance: "allowing multiple
+radii per object, so that relevant objects get a smaller radius than the
+radius of less relevant ones" — relevant regions then receive more
+representatives.
+
+Formalisation used here (a standard generalisation of independent
+domination to heterogeneous balls):
+
+* **coverage** — every object ``p_i`` must have a selected object within
+  ``r_i`` (its *own* radius: a relevant object tolerates only nearby
+  representatives);
+* **dissimilarity** — for any two selected ``p_i, p_j``:
+  ``dist(p_i, p_j) > min(r_i, r_j)`` (neither lies inside the other's
+  tolerance, mirroring how the uniform-radius condition arises from
+  mutual coverage).
+
+With all radii equal this reduces exactly to Definition 1.  A greedy
+heuristic selects, among the still-uncovered objects, the one covering
+the most uncovered objects.  The relevance → radius mapping helper
+``radii_from_relevance`` implements the paper's "more relevant, smaller
+radius" monotone assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core._common import LazyMaxHeap, consume_stats
+from repro.core.coloring import Coloring
+from repro.core.result import DiscResult
+from repro.index.base import NeighborIndex
+
+__all__ = ["multiradius_disc", "radii_from_relevance", "verify_multiradius"]
+
+
+def radii_from_relevance(
+    relevance: np.ndarray, r_min: float, r_max: float
+) -> np.ndarray:
+    """Monotone map: highest relevance -> ``r_min``, lowest -> ``r_max``.
+
+    Linear interpolation over min-max-normalised relevance; constant
+    relevance maps everything to the midpoint.
+    """
+    relevance = np.asarray(relevance, dtype=float)
+    if r_min <= 0 or r_max <= 0:
+        raise ValueError("radii must be positive")
+    if r_min > r_max:
+        raise ValueError(f"r_min must not exceed r_max ({r_min} > {r_max})")
+    span = relevance.max() - relevance.min()
+    if span == 0:
+        return np.full(relevance.shape, (r_min + r_max) / 2.0)
+    normalised = (relevance - relevance.min()) / span
+    return r_max - normalised * (r_max - r_min)
+
+
+def _covers(index: NeighborIndex, selected_id: int, radii: np.ndarray) -> List[int]:
+    """Objects whose own ball contains ``selected_id``.
+
+    Object i is covered by s iff dist(i, s) <= r_i, so we query at the
+    maximum radius and filter per object.
+    """
+    candidates = index.range_query(selected_id, float(radii.max()), include_self=True)
+    ids = np.asarray(candidates, dtype=int)
+    d = index.metric.to_point(index.points[ids], index.points[selected_id])
+    index.stats.distance_computations += len(ids)
+    return [int(i) for i, dist in zip(ids, d) if dist <= radii[i]]
+
+
+def multiradius_disc(
+    index: NeighborIndex,
+    radii: np.ndarray,
+) -> DiscResult:
+    """Greedy heterogeneous-radius DisC diversification.
+
+    Returns a subset satisfying the multi-radius coverage and
+    dissimilarity conditions in the module docstring.
+    """
+    radii = np.asarray(radii, dtype=float)
+    if radii.shape != (index.n,):
+        raise ValueError(f"radii must have shape ({index.n},), got {radii.shape}")
+    if np.any(radii <= 0):
+        raise ValueError("all radii must be positive")
+
+    before = index.stats.snapshot()
+    coloring = Coloring(index.n)
+
+    # Initial gain: how many objects each candidate would cover.
+    cover_lists = {i: _covers(index, i, radii) for i in range(index.n)}
+    counts = np.array([len(cover_lists[i]) for i in range(index.n)], dtype=np.int64)
+
+    heap = LazyMaxHeap()
+    for object_id in range(index.n):
+        heap.push(object_id, int(counts[object_id]))
+
+    selected: List[int] = []
+    while coloring.any_white():
+        pick = heap.pop_valid(lambda i: int(counts[i]), coloring.is_white)
+        if pick is None:
+            raise RuntimeError("multi-radius greedy lost track of white objects")
+        coloring.set_black(pick)
+        selected.append(pick)
+        # Grey everything the pick covers.  This also enforces the
+        # heterogeneous dissimilarity condition automatically: a white j
+        # with dist(j, pick) <= min(r_j, r_pick) has dist <= r_j, so it
+        # is covered here and can never be selected later.
+        newly_grey = [
+            other for other in cover_lists[pick] if coloring.is_white(other)
+        ]
+        for grey_id in newly_grey:
+            coloring.set_grey(grey_id)
+        # counts[c] counts the whites c would cover; each object that
+        # left white (the pick itself plus the newly greys) decrements
+        # every still-white candidate covering it, i.e. every object
+        # within the departed object's *own* radius.
+        for grey_id in [pick] + newly_grey:
+            coverers = index.range_query(
+                grey_id, float(radii[grey_id]), include_self=True
+            )
+            for coverer in coverers:
+                if coloring.is_white(coverer):
+                    counts[coverer] -= 1
+                    heap.push(coverer, int(counts[coverer]))
+
+    return DiscResult(
+        selected=selected,
+        radius=float(radii.mean()),
+        algorithm="MultiRadius-DisC",
+        stats=consume_stats(index, before),
+        coloring=coloring,
+        meta={"radii": radii, "multi_radius": True},
+    )
+
+
+def verify_multiradius(points, metric, selected, radii) -> dict:
+    """Check the heterogeneous coverage and dissimilarity conditions.
+
+    Returns ``{"uncovered": [...], "too_close": [...]}`` (empty = valid).
+    """
+    from repro.distance import get_metric
+
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    radii = np.asarray(radii, dtype=float)
+    ids = list(selected)
+
+    closest = np.full(points.shape[0], np.inf)
+    for sel in ids:
+        np.minimum(closest, metric.to_point(points, points[sel]), out=closest)
+    uncovered = [int(i) for i in np.nonzero(closest > radii)[0]]
+
+    too_close = []
+    for a in range(len(ids)):
+        for b in range(a + 1, len(ids)):
+            i, j = ids[a], ids[b]
+            if metric.distance(points[i], points[j]) <= min(radii[i], radii[j]):
+                too_close.append((i, j))
+    return {"uncovered": uncovered, "too_close": too_close}

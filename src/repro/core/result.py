@@ -1,0 +1,89 @@
+"""Result objects returned by every DisC heuristic.
+
+A :class:`DiscResult` records the selected subset in selection order, the
+radius, the cost counters consumed, and — when the caller asks for it —
+the per-object distance to the closest selected (black) object.  That
+last array is exactly the leaf-node extension of Section 5.2: zooming-in
+needs it to decide which grey objects stay covered under the smaller
+radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.coloring import Coloring
+from repro.index.base import IndexStats
+
+__all__ = ["DiscResult", "closest_black_distances"]
+
+
+@dataclass
+class DiscResult:
+    """Output of a DisC heuristic (or zooming operation).
+
+    Attributes
+    ----------
+    selected:
+        Object ids in the order the algorithm selected them (black
+        objects).
+    radius:
+        The radius the subset is diverse for.
+    algorithm:
+        Human-readable heuristic name ("Basic-DisC", "Greedy-DisC", ...).
+    stats:
+        Index cost counters consumed by this run (difference snapshot).
+    coloring:
+        Final coloring; useful for zooming and debugging.  May be None
+        when the caller requested a detached result.
+    closest_black:
+        ``closest_black[i]`` = distance from object i to its closest
+        black object (0 for blacks themselves).  Section 5.2's leaf-node
+        extension; filled when ``track_closest_black`` was requested or
+        by :func:`closest_black_distances`.
+    """
+
+    selected: List[int]
+    radius: float
+    algorithm: str
+    stats: IndexStats = field(default_factory=IndexStats)
+    coloring: Optional[Coloring] = None
+    closest_black: Optional[np.ndarray] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """|S| — the paper's Table 3 metric."""
+        return len(self.selected)
+
+    @property
+    def node_accesses(self) -> int:
+        """M-tree node accesses — the paper's Figures 7-12/15 metric."""
+        return self.stats.node_accesses
+
+    def selected_set(self) -> set:
+        return set(self.selected)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscResult(algorithm={self.algorithm!r}, r={self.radius}, "
+            f"size={self.size}, node_accesses={self.node_accesses})"
+        )
+
+
+def closest_black_distances(index, selected: List[int]) -> np.ndarray:
+    """Distance from every object to its closest object in ``selected``.
+
+    Implemented with one range-query-free vectorised pass (metric
+    ``to_point`` per selected object); used as the post-processing step
+    the paper requires after a pruned construction, where grey objects
+    may have missed closest-black updates.
+    """
+    distances = np.full(index.n, np.inf)
+    for black in selected:
+        d = index.metric.to_point(index.points, index.points[black])
+        np.minimum(distances, d, out=distances)
+    return distances

@@ -1,0 +1,139 @@
+"""Verification of DisC properties (Definition 1, Lemma 1).
+
+These checkers are the ground truth the test suite holds every heuristic
+to: *coverage* (every object has a selected object within r), and
+*dissimilarity* (selected objects are pairwise farther than r).  By
+Lemma 1 the two together are equivalent to the selected set being a
+maximal independent set of ``G_{P,r}``, so a separate maximality check
+is provided for emphasis and for testing coverage-only (r-C) subsets.
+
+All checks are NumPy-vectorised and exact (no index involved, so index
+bugs cannot hide result bugs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.distance import Metric, get_metric
+
+__all__ = [
+    "VerificationReport",
+    "coverage_violations",
+    "dissimilarity_violations",
+    "is_maximal_independent",
+    "verify_disc",
+]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_disc`.
+
+    ``uncovered`` lists object ids with no selected object within r;
+    ``too_close`` lists selected pairs at distance <= r.
+    """
+
+    radius: float
+    n: int
+    selected: List[int]
+    uncovered: List[int] = field(default_factory=list)
+    too_close: List[tuple] = field(default_factory=list)
+
+    @property
+    def is_covering(self) -> bool:
+        return not self.uncovered
+
+    @property
+    def is_independent(self) -> bool:
+        return not self.too_close
+
+    @property
+    def is_disc_diverse(self) -> bool:
+        """Both Definition 1 conditions hold."""
+        return self.is_covering and self.is_independent
+
+    def __str__(self) -> str:
+        status = "OK" if self.is_disc_diverse else "VIOLATED"
+        return (
+            f"DisC verification [{status}] r={self.radius} |S|={len(self.selected)} "
+            f"uncovered={len(self.uncovered)} too_close={len(self.too_close)}"
+        )
+
+
+def _selected_matrix(points: np.ndarray, selected: Sequence[int]) -> np.ndarray:
+    ids = np.asarray(list(selected), dtype=int)
+    if ids.size and (ids.min() < 0 or ids.max() >= points.shape[0]):
+        raise IndexError("selected ids out of range")
+    return points[ids]
+
+
+def coverage_violations(
+    points: np.ndarray, metric, selected: Sequence[int], radius: float
+) -> List[int]:
+    """Object ids not within ``radius`` of any selected object.
+
+    An empty selection leaves everything uncovered (unless there are no
+    objects at all).
+    """
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    if not list(selected):
+        return list(range(points.shape[0]))
+    closest = np.full(points.shape[0], np.inf)
+    for sel in selected:
+        d = metric.to_point(points, points[sel])
+        np.minimum(closest, d, out=closest)
+    return [int(i) for i in np.nonzero(closest > radius)[0]]
+
+
+def dissimilarity_violations(
+    points: np.ndarray, metric, selected: Sequence[int], radius: float
+) -> List[tuple]:
+    """Selected pairs (i, j), i < j, with ``dist <= radius``."""
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    ids = list(selected)
+    if len(ids) != len(set(ids)):
+        raise ValueError("selected contains duplicate ids")
+    if len(ids) < 2:
+        return []
+    matrix = metric.pairwise(_selected_matrix(points, ids))
+    violations = []
+    for a in range(len(ids)):
+        for b in range(a + 1, len(ids)):
+            if matrix[a, b] <= radius:
+                violations.append((ids[a], ids[b]))
+    return violations
+
+
+def is_maximal_independent(
+    points: np.ndarray, metric, selected: Sequence[int], radius: float
+) -> bool:
+    """Whether ``selected`` is a *maximal* independent set of G_{P,r}.
+
+    By Lemma 1 this is equivalent to (independent and dominating); we
+    check it directly: independent, and no outside object could be added
+    without breaking independence (i.e. every outside object has a
+    selected neighbor — which is exactly coverage).
+    """
+    return not dissimilarity_violations(
+        points, metric, selected, radius
+    ) and not coverage_violations(points, metric, selected, radius)
+
+
+def verify_disc(
+    points: np.ndarray, metric, selected: Sequence[int], radius: float
+) -> VerificationReport:
+    """Full Definition 1 verification; see :class:`VerificationReport`."""
+    points = np.asarray(points)
+    return VerificationReport(
+        radius=radius,
+        n=points.shape[0],
+        selected=list(selected),
+        uncovered=coverage_violations(points, metric, selected, radius),
+        too_close=dissimilarity_violations(points, metric, selected, radius),
+    )

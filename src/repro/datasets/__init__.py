@@ -1,0 +1,23 @@
+"""Dataset generators for the paper's evaluation (Section 6).
+
+Synthetic "Uniform" and "Clustered" match the paper's generators; "Cities"
+and "Cameras" are documented substitutes for the offline real datasets
+(see DESIGN.md, "Substitutions").
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.cameras import CAMERAS_N, PAPER_FIGURE2_ROWS, cameras_dataset
+from repro.datasets.cities import CITIES_N, cities_dataset
+from repro.datasets.synthetic import clustered_dataset, sample_ball, uniform_dataset
+
+__all__ = [
+    "Dataset",
+    "uniform_dataset",
+    "clustered_dataset",
+    "cities_dataset",
+    "cameras_dataset",
+    "sample_ball",
+    "CITIES_N",
+    "CAMERAS_N",
+    "PAPER_FIGURE2_ROWS",
+]

@@ -1,0 +1,93 @@
+"""Dataset container shared by all generators.
+
+A :class:`Dataset` bundles the point matrix with the metric the paper
+pairs it with, plus human-readable metadata.  All DisC algorithms consume
+``(points, metric)``; keeping them together prevents the classic mistake
+of diversifying a categorical dataset with a numeric metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.distance import Metric, get_metric
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A named point collection with its companion distance metric.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in experiment output ("Uniform", "Clustered",
+        "Cities", "Cameras", ...).
+    points:
+        ``(n, d)`` array.  Float coordinates for numeric data, integer
+        category codes for categorical data.
+    metric:
+        The distance metric the paper evaluates this dataset with.
+    attributes:
+        Optional column names (categorical datasets).
+    categories:
+        Optional decode tables: ``categories[attr][code] -> label``.
+    meta:
+        Free-form provenance information (seed, generator parameters).
+    """
+
+    name: str
+    points: np.ndarray
+    metric: Metric
+    attributes: Optional[List[str]] = None
+    categories: Optional[Dict[str, List[str]]] = None
+    meta: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points)
+        if self.points.ndim != 2:
+            raise ValueError(
+                f"points must be a 2-d array, got shape {self.points.shape}"
+            )
+        self.metric = get_metric(self.metric)
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions / attributes."""
+        return self.points.shape[1]
+
+    def subset(self, ids) -> np.ndarray:
+        """Rows of ``points`` for the given object ids."""
+        return self.points[np.asarray(list(ids), dtype=int)]
+
+    def decode(self, object_id: int) -> Dict[str, str]:
+        """Human-readable record for a categorical object.
+
+        Only meaningful when ``attributes`` and ``categories`` are set
+        (the Cameras dataset); raises ``ValueError`` otherwise.
+        """
+        if not self.attributes or not self.categories:
+            raise ValueError(f"dataset {self.name!r} has no categorical decode tables")
+        row = self.points[object_id]
+        return {
+            attr: self.categories[attr][int(code)]
+            for attr, code in zip(self.attributes, row)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n={self.n}, dim={self.dim}, "
+            f"metric={self.metric.name})"
+        )

@@ -1,0 +1,31 @@
+"""Distance metrics (Euclidean, Manhattan, Chebyshev, Minkowski, Hamming)."""
+
+from repro.distance.metrics import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    HAMMING,
+    MANHATTAN,
+    ChebyshevMetric,
+    EuclideanMetric,
+    HammingMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    available_metrics,
+    get_metric,
+)
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "HammingMetric",
+    "EUCLIDEAN",
+    "MANHATTAN",
+    "CHEBYSHEV",
+    "HAMMING",
+    "get_metric",
+    "available_metrics",
+]

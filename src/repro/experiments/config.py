@@ -1,0 +1,114 @@
+"""Experiment configuration: datasets, radii grids, and scale control.
+
+The paper's evaluation (Section 6, Table 2) uses:
+
+* "Uniform" and "Clustered": 2-d, 10000 objects, radii 0.01 .. 0.07,
+* "Cities": 5922 objects, radii 0.001 .. 0.015,
+* "Cameras": 579 objects, Hamming radii 1 .. 6,
+* M-tree node capacity 50, MinOverlap splits.
+
+Because the reproduction's M-tree is pure Python, the default benchmark
+scale trims the synthetic cardinalities so the whole suite runs in
+minutes; set ``REPRO_SCALE=paper`` to restore the exact paper sizes.
+EXPERIMENTS.md records which scale produced the published numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets import (
+    Dataset,
+    cameras_dataset,
+    cities_dataset,
+    clustered_dataset,
+    uniform_dataset,
+)
+
+__all__ = [
+    "SCALES",
+    "current_scale",
+    "ExperimentDataset",
+    "experiment_suite",
+    "zoom_in_series",
+    "zoom_out_series",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_POLICY",
+]
+
+DEFAULT_CAPACITY = 50
+DEFAULT_POLICY = "min_overlap"
+
+#: Paper radii grids per dataset (Table 3 column heads).
+UNIFORM_RADII = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07]
+CLUSTERED_RADII = UNIFORM_RADII
+CITIES_RADII = [0.001, 0.0025, 0.005, 0.0075, 0.01, 0.0125, 0.015]
+CAMERAS_RADII = [1, 2, 3, 4, 5, 6]
+
+SCALES = {
+    # cardinality per dataset at each scale
+    "small": {"Uniform": 2500, "Clustered": 2500, "Cities": 2000, "Cameras": 579},
+    "paper": {"Uniform": 10000, "Clustered": 10000, "Cities": 5922, "Cameras": 579},
+}
+
+
+def current_scale() -> str:
+    """The active scale name (env ``REPRO_SCALE``, default "small")."""
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    return scale
+
+
+@dataclass
+class ExperimentDataset:
+    """A dataset paired with its paper radii grid."""
+
+    dataset: Dataset
+    radii: List[float]
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+def experiment_suite(scale: str = None, seed: int = 42) -> Dict[str, ExperimentDataset]:
+    """The four evaluation datasets at the requested scale."""
+    scale = scale or current_scale()
+    sizes = SCALES[scale]
+    return {
+        "Uniform": ExperimentDataset(
+            uniform_dataset(n=sizes["Uniform"], dim=2, seed=seed), UNIFORM_RADII
+        ),
+        "Clustered": ExperimentDataset(
+            clustered_dataset(n=sizes["Clustered"], dim=2, seed=seed), CLUSTERED_RADII
+        ),
+        "Cities": ExperimentDataset(
+            cities_dataset(n=sizes["Cities"], seed=seed), CITIES_RADII
+        ),
+        "Cameras": ExperimentDataset(
+            cameras_dataset(n=sizes["Cameras"], seed=seed), CAMERAS_RADII
+        ),
+    }
+
+
+def zoom_in_series() -> Dict[str, Tuple[str, List[float]]]:
+    """Figures 11-13: descending radii; each solution is adapted from the
+    Greedy-DisC solution for the immediately larger radius."""
+    return {
+        "Clustered": ("Clustered", [0.07, 0.06, 0.05, 0.04, 0.03, 0.02]),
+        "Cities": ("Cities", [0.01, 0.0075, 0.005, 0.0025, 0.001]),
+    }
+
+
+def zoom_out_series() -> Dict[str, Tuple[str, List[float]]]:
+    """Figures 14-16: ascending radii; adapted from the Greedy-DisC
+    solution for the immediately smaller radius."""
+    return {
+        "Clustered": ("Clustered", [0.01, 0.02, 0.03, 0.04, 0.05, 0.06]),
+        "Cities": ("Cities", [0.0025, 0.005, 0.0075, 0.01, 0.0125]),
+    }

@@ -1,0 +1,95 @@
+"""Aggregate the ``results/`` directory into one markdown report.
+
+Every benchmark persists its rendered table/series as
+``results/<experiment>.txt``; this module stitches them into a single
+document (grouped by experiment family, in paper order) so a full
+benchmark run can be archived or diffed as one artifact:
+
+>>> from repro.experiments.report import write_report   # doctest: +SKIP
+>>> write_report("results/REPORT.md")                   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.tables import results_dir
+
+__all__ = ["collect_results", "render_report", "write_report"]
+
+#: Display order and headings, matched by filename prefix.
+_SECTIONS: List[Tuple[str, str]] = [
+    ("table3", "Table 3 — solution sizes"),
+    ("fig06", "Figure 6 — model comparison"),
+    ("fig07", "Figure 7 — node accesses (± pruning)"),
+    ("fig08", "Figure 8 — greedy variant costs"),
+    ("fig09", "Figure 9 — cardinality & dimensionality"),
+    ("fig10", "Figure 10 — fat-factor"),
+    ("fig11", "Figure 11 — zoom-in sizes"),
+    ("fig12", "Figure 12 — zoom-in node accesses"),
+    ("fig13", "Figure 13 — zoom-in Jaccard"),
+    ("fig14", "Figure 14 — zoom-out sizes"),
+    ("fig15", "Figure 15 — zoom-out node accesses"),
+    ("fig16", "Figure 16 — zoom-out Jaccard"),
+    ("lemma7", "Lemma 7 — MaxMin quality bound"),
+    ("misc", "Section 6 in-text claims"),
+    ("ablation", "Ablations & Section 8 extensions"),
+]
+
+
+def collect_results(directory: Optional[str] = None) -> Dict[str, str]:
+    """Read every ``*.txt`` under the results directory, keyed by stem."""
+    directory = directory or results_dir()
+    out: Dict[str, str] = {}
+    if not os.path.isdir(directory):
+        return out
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".txt"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            out[name[: -len(".txt")]] = handle.read()
+    return out
+
+
+def render_report(results: Optional[Dict[str, str]] = None) -> str:
+    """Render all collected results as one markdown document."""
+    if results is None:
+        results = collect_results()
+    lines = [
+        "# DisC reproduction — benchmark report",
+        "",
+        "Generated from `results/*.txt` (one block per benchmark output).",
+        "",
+    ]
+    remaining = dict(results)
+    for prefix, heading in _SECTIONS:
+        matching = [stem for stem in sorted(remaining) if stem.startswith(prefix)]
+        if not matching:
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        for stem in matching:
+            lines.append("```")
+            lines.append(remaining.pop(stem).rstrip("\n"))
+            lines.append("```")
+            lines.append("")
+    if remaining:
+        lines.append("## Other outputs")
+        lines.append("")
+        for stem in sorted(remaining):
+            lines.append("```")
+            lines.append(remaining[stem].rstrip("\n"))
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: Optional[str] = None) -> str:
+    """Write the rendered report; returns the path used."""
+    if path is None:
+        path = os.path.join(results_dir(), "REPORT.md")
+    text = render_report()
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,70 @@
+"""Plain-text table/series rendering for experiment output.
+
+The benchmarks regenerate the paper's tables and figure series as
+monospace text: tables render with aligned columns, figure data renders
+as one series per line (x → y pairs), matching what the paper plots.
+Everything is also persisted under ``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "save_text", "results_dir"]
+
+
+def results_dir() -> str:
+    """``results/`` next to the repository root (created on demand)."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        root = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "results")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence], *, float_fmt: str = "{:.0f}"
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    title: str, x_label: str, xs: Sequence, series: Dict[str, Sequence]
+) -> str:
+    """Render figure data: one labelled series per block of lines."""
+    lines = [title, "=" * len(title), f"{x_label}: " + "  ".join(str(x) for x in xs)]
+    width = max(len(name) for name in series)
+    for name, values in series.items():
+        rendered = "  ".join(
+            f"{v:.3f}" if isinstance(v, float) and abs(v) < 100 else f"{v:.0f}"
+            if isinstance(v, float) else str(v)
+            for v in values
+        )
+        lines.append(f"{name.rjust(width)}: {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def save_text(name: str, text: str) -> str:
+    """Persist ``text`` as ``results/<name>.txt``; returns the path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,24 @@
+"""Graph-theoretic view of DisC diversity (Section 2.2) and exact
+solvers for small instances."""
+
+from repro.graph.build import (
+    build_neighborhood_graph,
+    is_dominating_set,
+    is_independent_dominating_set,
+    is_independent_set,
+    max_degree,
+)
+from repro.graph.exact import (
+    minimum_dominating_set,
+    minimum_independent_dominating_set,
+)
+
+__all__ = [
+    "build_neighborhood_graph",
+    "is_independent_set",
+    "is_dominating_set",
+    "is_independent_dominating_set",
+    "max_degree",
+    "minimum_independent_dominating_set",
+    "minimum_dominating_set",
+]

@@ -1,0 +1,71 @@
+"""Graph representation of a point set (Section 2.2).
+
+``G_{P,r}`` joins two objects when their distance is at most r; DisC
+diverse subsets are exactly the independent dominating sets of this
+graph (Observation 1).  networkx graphs let the test suite cross-check
+the geometric algorithms against graph-theoretic ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.distance import get_metric
+
+__all__ = [
+    "build_neighborhood_graph",
+    "is_independent_set",
+    "is_dominating_set",
+    "is_independent_dominating_set",
+    "max_degree",
+]
+
+
+def build_neighborhood_graph(points: np.ndarray, metric, radius: float) -> nx.Graph:
+    """Build ``G_{P,r}``: vertices are row indices, edges join objects at
+    distance <= radius.
+
+    O(n^2) distance evaluations — intended for analysis and tests, not
+    for the algorithms themselves (those use neighbor indexes).
+    """
+    metric = get_metric(metric)
+    points = np.asarray(points)
+    n = points.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    matrix = metric.pairwise(points)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if matrix[i, j] <= radius:
+                graph.add_edge(i, j)
+    return graph
+
+
+def is_independent_set(graph: nx.Graph, nodes: Sequence[int]) -> bool:
+    """No edge joins two members of ``nodes``."""
+    node_set = set(nodes)
+    return not any(
+        neighbor in node_set
+        for node in node_set
+        for neighbor in graph.neighbors(node)
+    )
+
+
+def is_dominating_set(graph: nx.Graph, nodes: Sequence[int]) -> bool:
+    """Every vertex is in ``nodes`` or adjacent to a member."""
+    return nx.is_dominating_set(graph, set(nodes))
+
+
+def is_independent_dominating_set(graph: nx.Graph, nodes: Sequence[int]) -> bool:
+    """Both properties — equivalently, a maximal independent set."""
+    return is_independent_set(graph, nodes) and is_dominating_set(graph, nodes)
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Δ of the graph — the quantity in Theorem 2's bound."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for _, degree in graph.degree())

@@ -1,0 +1,93 @@
+"""Exact solvers for small instances (tests and Observation 3).
+
+Finding a minimum independent dominating set is NP-hard (Observation 1 /
+[Garey & Johnson]); these branch-and-bound solvers are exponential but
+fine for the ≤ 20-vertex instances the test suite uses to sandwich the
+heuristics between the optimum and the Theorem 1 bound.
+
+Both solvers branch on the lowest-numbered undominated vertex v: any
+(independent) dominating set must contain some member of N+[v], so the
+search tree has branching factor ≤ Δ + 1.  Bitmask sets keep the state
+cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+
+__all__ = ["minimum_independent_dominating_set", "minimum_dominating_set"]
+
+_MAX_EXACT_NODES = 40
+
+
+def _closed_neighborhood_masks(graph: nx.Graph) -> List[int]:
+    nodes = sorted(graph.nodes())
+    if nodes != list(range(len(nodes))):
+        raise ValueError("exact solvers expect nodes labelled 0..n-1")
+    masks = []
+    for node in nodes:
+        mask = 1 << node
+        for neighbor in graph.neighbors(node):
+            mask |= 1 << neighbor
+        masks.append(mask)
+    return masks
+
+
+def _solve(
+    graph: nx.Graph, require_independent: bool
+) -> List[int]:
+    n = graph.number_of_nodes()
+    if n == 0:
+        return []
+    if n > _MAX_EXACT_NODES:
+        raise ValueError(
+            f"exact solver limited to {_MAX_EXACT_NODES} nodes, got {n}"
+        )
+    closed = _closed_neighborhood_masks(graph)
+    full = (1 << n) - 1
+    best: List[Optional[List[int]]] = [None]
+
+    def lowest_unset_bit(mask: int) -> int:
+        return (~mask & (mask + 1)).bit_length() - 1
+
+    def recurse(chosen: List[int], dominated: int, blocked: int) -> None:
+        if best[0] is not None and len(chosen) >= len(best[0]):
+            return  # cannot improve
+        if dominated == full:
+            best[0] = list(chosen)
+            return
+        v = lowest_unset_bit(dominated)
+        for u in range(n):
+            if not (closed[v] >> u) & 1:
+                continue
+            if require_independent and (blocked >> u) & 1:
+                continue
+            chosen.append(u)
+            recurse(
+                chosen,
+                dominated | closed[u],
+                blocked | (closed[u] if require_independent else 0),
+            )
+            chosen.pop()
+
+    recurse([], 0, 0)
+    assert best[0] is not None, "a dominating set always exists (take all vertices)"
+    return sorted(best[0])
+
+
+def minimum_independent_dominating_set(graph: nx.Graph) -> List[int]:
+    """A minimum-cardinality independent dominating set (exact).
+
+    This is the optimum |S*| of Definition 2 for the corresponding
+    point set.
+    """
+    return _solve(graph, require_independent=True)
+
+
+def minimum_dominating_set(graph: nx.Graph) -> List[int]:
+    """A minimum-cardinality dominating set (exact; independence not
+    required).  Observation 3: this can be strictly smaller than the
+    minimum *independent* dominating set."""
+    return _solve(graph, require_independent=False)

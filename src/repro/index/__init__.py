@@ -1,0 +1,18 @@
+"""Neighbor indexes: abstract protocol, brute-force oracle, uniform grid.
+
+The M-tree index (the paper's substrate) lives in :mod:`repro.mtree` and
+implements the same :class:`NeighborIndex` protocol.
+"""
+
+from repro.index.base import IndexStats, NeighborIndex
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTreeIndex
+
+__all__ = [
+    "IndexStats",
+    "NeighborIndex",
+    "BruteForceIndex",
+    "GridIndex",
+    "KDTreeIndex",
+]

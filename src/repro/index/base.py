@@ -1,0 +1,180 @@
+"""Neighbor-index abstraction shared by every DisC algorithm.
+
+The paper's heuristics need exactly two primitives from their substrate:
+
+* an *iteration order* over object ids ("select an arbitrary white
+  object" — arbitrary means "next in index order": insertion order for
+  simple indexes, left-to-right leaf order for the M-tree), and
+* *range queries* ``Q(p, r)`` returning the neighborhood ``N_r(p)``.
+
+Keeping the algorithms index-generic lets the brute-force index act as a
+semantic oracle for the M-tree in tests, and lets users plug in their own
+spatial structures (the paper's Section 8 lists "implementations using
+different data structures" as future work).
+
+Cost accounting lives here too: :class:`IndexStats` counts range queries,
+distance computations and — for tree-backed indexes — node accesses,
+which is the cost metric of every figure in the paper's Section 6.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distance import Metric, get_metric
+
+__all__ = ["IndexStats", "NeighborIndex"]
+
+
+@dataclass
+class IndexStats:
+    """Mutable cost counters attached to an index.
+
+    ``node_accesses`` is the paper's headline metric (Figures 7-12, 15);
+    non-tree indexes leave it at zero.  ``build_node_accesses`` separates
+    construction cost so per-query costs stay comparable.
+    """
+
+    range_queries: int = 0
+    distance_computations: int = 0
+    node_accesses: int = 0
+    build_node_accesses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Zero all query-time counters (build counters persist)."""
+        self.range_queries = 0
+        self.distance_computations = 0
+        self.node_accesses = 0
+        self.extra = {}
+
+    def snapshot(self) -> "IndexStats":
+        """An independent copy of the current counters."""
+        return IndexStats(
+            range_queries=self.range_queries,
+            distance_computations=self.distance_computations,
+            node_accesses=self.node_accesses,
+            build_node_accesses=self.build_node_accesses,
+            extra=dict(self.extra),
+        )
+
+    def __sub__(self, other: "IndexStats") -> "IndexStats":
+        return IndexStats(
+            range_queries=self.range_queries - other.range_queries,
+            distance_computations=self.distance_computations
+            - other.distance_computations,
+            node_accesses=self.node_accesses - other.node_accesses,
+            build_node_accesses=self.build_node_accesses - other.build_node_accesses,
+            extra=dict(self.extra),
+        )
+
+
+class NeighborIndex(abc.ABC):
+    """Abstract base for all neighbor indexes.
+
+    Concrete indexes store an immutable ``(n, d)`` point matrix and a
+    metric, expose range queries by object id or by free point, and keep
+    an :class:`IndexStats` counter.
+    """
+
+    def __init__(self, points: np.ndarray, metric) -> None:
+        points = np.asarray(points)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-d, got shape {points.shape}")
+        if points.shape[0] == 0:
+            raise ValueError("cannot index an empty point set")
+        self.points = points
+        self.metric: Metric = get_metric(metric)
+        self.stats = IndexStats()
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed objects."""
+        return self.points.shape[0]
+
+    def ids(self) -> Iterable[int]:
+        """Object ids in the index's natural iteration order.
+
+        This order is what the paper means by "arbitrary" selection in
+        Basic-DisC; the M-tree overrides it with left-to-right leaf
+        order to exploit locality (Section 5.1).
+        """
+        return range(self.n)
+
+    @abc.abstractmethod
+    def range_query_point(self, point: np.ndarray, radius: float) -> List[int]:
+        """Ids of all objects within ``radius`` of the free ``point``."""
+
+    def range_query(
+        self, center_id: int, radius: float, *, include_self: bool = False
+    ) -> List[int]:
+        """The neighborhood ``N_r(center_id)`` (or ``N+_r`` with self).
+
+        Subclasses may override for id-aware optimisations (the M-tree's
+        bottom-up queries start from the leaf containing the object).
+        """
+        result = self.range_query_point(self.points[center_id], radius)
+        if include_self:
+            if center_id not in result:
+                result.append(center_id)
+            return result
+        return [other for other in result if other != center_id]
+
+    # ------------------------------------------------------------------
+    # Bulk helpers used by the greedy heuristics
+    # ------------------------------------------------------------------
+    def neighborhood_sizes(self, radius: float) -> np.ndarray:
+        """``|N_r(p_i)|`` for every object (self excluded).
+
+        Greedy-DisC seeds its priority structure ``L'`` with these; the
+        M-tree computes them during construction (Section 5.1), other
+        indexes on demand.
+        """
+        sizes = np.empty(self.n, dtype=np.int64)
+        for i in range(self.n):
+            sizes[i] = len(self.range_query(i, radius))
+        return sizes
+
+    def distance(self, a: int, b: int) -> float:
+        """Metric distance between two indexed objects."""
+        self.stats.distance_computations += 1
+        return self.metric.distance(self.points[a], self.points[b])
+
+    # ------------------------------------------------------------------
+    # Coloring hooks (no-ops for simple indexes)
+    # ------------------------------------------------------------------
+    @property
+    def supports_pruning(self) -> bool:
+        """Whether the index exploits grey-object pruning (Section 5.1)."""
+        return False
+
+    def attach_coloring(self, coloring) -> None:
+        """Subscribe to color changes; simple indexes ignore them."""
+
+    def detach_coloring(self) -> None:
+        """Drop any coloring subscription."""
+
+    # ------------------------------------------------------------------
+    def validate_ids(self, ids: Sequence[int]) -> None:
+        """Raise ``IndexError`` if any id is out of range (fail fast)."""
+        for object_id in ids:
+            if not 0 <= object_id < self.n:
+                raise IndexError(
+                    f"object id {object_id} out of range [0, {self.n})"
+                )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, dim={self.points.shape[1]}, "
+            f"metric={self.metric.name})"
+        )

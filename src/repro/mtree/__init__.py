@@ -1,0 +1,32 @@
+"""M-tree substrate (paper Section 5): tree, split policies, statistics,
+and the algorithm-facing :class:`MTreeIndex`."""
+
+from repro.mtree.index import MTreeIndex
+from repro.mtree.node import LeafEntry, Node, RoutingEntry
+from repro.mtree.split import (
+    BalancedPolicy,
+    MaxSpreadPolicy,
+    MinOverlapPolicy,
+    RandomPolicy,
+    SplitPolicy,
+    get_split_policy,
+)
+from repro.mtree.stats import TreeProfile, fat_factor, profile_tree
+from repro.mtree.tree import MTree
+
+__all__ = [
+    "MTree",
+    "MTreeIndex",
+    "Node",
+    "LeafEntry",
+    "RoutingEntry",
+    "SplitPolicy",
+    "MinOverlapPolicy",
+    "MaxSpreadPolicy",
+    "BalancedPolicy",
+    "RandomPolicy",
+    "get_split_policy",
+    "fat_factor",
+    "profile_tree",
+    "TreeProfile",
+]

@@ -1,0 +1,149 @@
+"""M-tree nodes and entries (Section 5).
+
+An M-tree partitions a metric space around *pivot* objects: every routing
+entry in an internal node stores a pivot point, a covering radius that
+bounds the distance from the pivot to anything in its subtree, the
+distance from the pivot to its parent pivot (used for triangle-inequality
+pruning), and a child pointer.  Leaf entries store the indexed objects
+and their distance to the leaf's pivot.
+
+Two reproduction-specific extensions from Section 5.1/5.2 live here too:
+
+* leaves form a doubly-linked chain so algorithms can scan all objects in
+  a single left-to-right pass, and
+* every node tracks whether its subtree holds any *white* objects; a
+  subtree with none is **grey** and range queries may skip it (the
+  pruning rule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["LeafEntry", "RoutingEntry", "Node"]
+
+
+class LeafEntry:
+    """An indexed object inside a leaf node."""
+
+    __slots__ = ("object_id", "point", "parent_distance")
+
+    def __init__(self, object_id: int, point: np.ndarray, parent_distance: float = 0.0):
+        self.object_id = object_id
+        self.point = point
+        self.parent_distance = parent_distance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LeafEntry(id={self.object_id}, d_parent={self.parent_distance:.4f})"
+
+
+class RoutingEntry:
+    """A pivot + covering ball + child pointer inside an internal node."""
+
+    __slots__ = ("pivot", "covering_radius", "child", "parent_distance")
+
+    def __init__(
+        self,
+        pivot: np.ndarray,
+        covering_radius: float,
+        child: "Node",
+        parent_distance: float = 0.0,
+    ):
+        self.pivot = pivot
+        self.covering_radius = covering_radius
+        self.child = child
+        self.parent_distance = parent_distance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoutingEntry(r_cov={self.covering_radius:.4f}, "
+            f"d_parent={self.parent_distance:.4f}, child={self.child!r})"
+        )
+
+
+Entry = Union[LeafEntry, RoutingEntry]
+
+
+class Node:
+    """An M-tree node (leaf or internal).
+
+    ``white_count`` (leaves) counts white objects stored here;
+    ``grey`` caches the Section 5.1 pruning flag: a leaf is grey when it
+    holds no white objects, an internal node when all children are grey.
+    """
+
+    __slots__ = (
+        "is_leaf",
+        "entries",
+        "parent_node",
+        "parent_entry",
+        "next_leaf",
+        "prev_leaf",
+        "white_count",
+        "grey",
+        "_pivot_matrix",
+    )
+
+    def __init__(self, is_leaf: bool, entries: Optional[List[Entry]] = None):
+        self.is_leaf = is_leaf
+        self.entries: List[Entry] = entries if entries is not None else []
+        self.parent_node: Optional["Node"] = None
+        self.parent_entry: Optional[RoutingEntry] = None
+        self.next_leaf: Optional["Node"] = None
+        self.prev_leaf: Optional["Node"] = None
+        self.white_count = 0
+        self.grey = False
+        self._pivot_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pivot_point(self) -> Optional[np.ndarray]:
+        """The routing pivot of this node, None for the root."""
+        return self.parent_entry.pivot if self.parent_entry is not None else None
+
+    def entry_points(self) -> np.ndarray:
+        """Stacked entry coordinates (object points or child pivots).
+
+        Cached because range queries evaluate the whole node at once with
+        vectorised metric calls; :meth:`invalidate` drops the cache on
+        every structural change.
+        """
+        if self._pivot_matrix is None:
+            if self.is_leaf:
+                self._pivot_matrix = np.stack([e.point for e in self.entries])
+            else:
+                self._pivot_matrix = np.stack([e.pivot for e in self.entries])
+        return self._pivot_matrix
+
+    def covering_radii(self) -> np.ndarray:
+        """Covering radii of all routing entries (internal nodes only)."""
+        return np.array([e.covering_radius for e in self.entries], dtype=float)
+
+    def invalidate(self) -> None:
+        """Drop cached matrices after entries change."""
+        self._pivot_matrix = None
+
+    def add_entry(self, entry: Entry) -> None:
+        self.entries.append(entry)
+        if not self.is_leaf:
+            entry.child.parent_node = self
+            entry.child.parent_entry = entry
+        self.invalidate()
+
+    def replace_entries(self, entries: List[Entry]) -> None:
+        self.entries = entries
+        if not self.is_leaf:
+            for entry in entries:
+                entry.child.parent_node = self
+                entry.child.parent_entry = entry
+        self.invalidate()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "Leaf" if self.is_leaf else "Internal"
+        return f"{kind}Node(entries={len(self.entries)}, grey={self.grey})"

@@ -1,0 +1,73 @@
+"""M-tree quality statistics: the fat-factor of Traina et al.
+
+Section 6 of the paper quantifies node overlap with the *fat-factor*
+
+    f(T) = (Z - n*h) / n * 1 / (m - h)
+
+where ``Z`` is the total node accesses needed to answer a point query for
+every stored object, ``n`` the object count, ``h`` the tree height and
+``m`` the node count.  An overlap-free tree answers every point query
+along a single root-to-leaf path (Z = n*h, f = 0); the worst tree visits
+every node for every query (f = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mtree.tree import MTree
+
+__all__ = ["fat_factor", "TreeProfile", "profile_tree"]
+
+
+def fat_factor(tree: MTree) -> float:
+    """Traina et al.'s fat-factor in ``[0, 1]``.
+
+    Point queries here bypass the query-stats counters so measuring the
+    tree does not pollute experiment accounting.
+    """
+    n = tree.size
+    if n == 0:
+        return 0.0
+    h = tree.height()
+    m = tree.node_count()
+    if m <= h:
+        return 0.0  # single root-to-leaf path: no overlap is possible
+    total = 0
+    for leaf in tree.leaves():
+        for entry in leaf.entries:
+            total += tree.point_query_accesses(entry.point)
+    return (total - n * h) / n / (m - h)
+
+
+@dataclass
+class TreeProfile:
+    """Summary of a built tree, used in experiment reports."""
+
+    size: int
+    height: int
+    node_count: int
+    leaf_count: int
+    capacity: int
+    policy: str
+    fat_factor: float
+
+    def __str__(self) -> str:
+        return (
+            f"MTree[n={self.size} h={self.height} nodes={self.node_count} "
+            f"leaves={self.leaf_count} c={self.capacity} policy={self.policy} "
+            f"f={self.fat_factor:.3f}]"
+        )
+
+
+def profile_tree(tree: MTree) -> TreeProfile:
+    """Compute a :class:`TreeProfile` (includes the fat-factor)."""
+    return TreeProfile(
+        size=tree.size,
+        height=tree.height(),
+        node_count=tree.node_count(),
+        leaf_count=sum(1 for _ in tree.leaves()),
+        capacity=tree.capacity,
+        policy=tree.policy.name,
+        fat_factor=fat_factor(tree),
+    )

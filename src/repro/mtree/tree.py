@@ -1,0 +1,456 @@
+"""The M-tree: a balanced metric index (Section 5).
+
+Supports dynamic inserts with configurable node-splitting policies,
+top-down and bottom-up range queries with triangle-inequality pruning,
+left-to-right leaf chaining, exact point queries (for the fat-factor),
+and the grey-subtree pruning rule of Section 5.1.
+
+Cost accounting: every node visited by a query increments
+``stats.node_accesses`` — the paper's cost metric; structural accesses
+during insertion go to ``stats.build_node_accesses`` so query costs stay
+separable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.distance import get_metric
+from repro.index.base import IndexStats
+from repro.mtree.node import LeafEntry, Node, RoutingEntry
+from repro.mtree.split import get_split_policy
+
+__all__ = ["MTree"]
+
+
+class MTree:
+    """A dynamic M-tree over points of any dimensionality.
+
+    Parameters
+    ----------
+    metric:
+        Distance metric (must satisfy the triangle inequality — all
+        pruning here depends on it).
+    capacity:
+        Maximum entries per node (the paper's default is 50).
+    split_policy:
+        Name or instance of a :class:`repro.mtree.split.SplitPolicy`.
+    """
+
+    def __init__(self, metric, capacity: int = 50, split_policy="min_overlap"):
+        if capacity < 2:
+            raise ValueError(f"capacity must be at least 2, got {capacity}")
+        self.metric = get_metric(metric)
+        self.capacity = int(capacity)
+        self.policy = get_split_policy(split_policy)
+        self.root = Node(is_leaf=True)
+        self.first_leaf = self.root
+        self.size = 0
+        self.stats = IndexStats()
+        self.leaf_of: Dict[int, Node] = {}
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert(self, object_id: int, point: np.ndarray) -> None:
+        """Insert one object; splits propagate upward as needed."""
+        if self._frozen:
+            raise RuntimeError(
+                "tree is frozen (a coloring is attached); inserts would "
+                "invalidate white counters"
+            )
+        if object_id in self.leaf_of:
+            raise ValueError(f"object id {object_id} already indexed")
+        point = np.asarray(point)
+        leaf = self._choose_leaf(point)
+        pivot = leaf.pivot_point
+        parent_distance = (
+            self.metric.distance(pivot, point) if pivot is not None else 0.0
+        )
+        leaf.entries.append(LeafEntry(object_id, point, parent_distance))
+        leaf.invalidate()
+        self.leaf_of[object_id] = leaf
+        self.size += 1
+        if len(leaf.entries) > self.capacity:
+            self._split(leaf)
+
+    def _choose_leaf(self, point: np.ndarray) -> Node:
+        """Descend to the best leaf, enlarging covering radii en route.
+
+        Prefers a subtree whose ball already contains the point (closest
+        pivot wins); otherwise the one needing the smallest enlargement.
+        """
+        node = self.root
+        while not node.is_leaf:
+            self.stats.build_node_accesses += 1
+            distances = self.metric.to_point(node.entry_points(), point)
+            radii = node.covering_radii()
+            inside = distances <= radii
+            if inside.any():
+                pick = int(np.argmin(np.where(inside, distances, np.inf)))
+            else:
+                pick = int(np.argmin(distances - radii))
+                node.entries[pick].covering_radius = float(distances[pick])
+            node = node.entries[pick].child
+        self.stats.build_node_accesses += 1
+        return node
+
+    def _split(self, node: Node) -> None:
+        entries = node.entries
+        pivot1, pivot2 = self.policy.promote(node, entries, self.metric)
+        group1, group2 = self.policy.partition(entries, pivot1, pivot2, self.metric)
+
+        new_node = Node(node.is_leaf)
+        node.replace_entries(group1)
+        new_node.replace_entries(group2)
+        radius1 = self._refresh_node(node, pivot1)
+        radius2 = self._refresh_node(new_node, pivot2)
+
+        if node.is_leaf:
+            # Maintain the left-to-right leaf chain (Section 5 item (i)).
+            new_node.next_leaf = node.next_leaf
+            new_node.prev_leaf = node
+            if node.next_leaf is not None:
+                node.next_leaf.prev_leaf = new_node
+            node.next_leaf = new_node
+            for entry in new_node.entries:
+                self.leaf_of[entry.object_id] = new_node
+
+        entry1 = RoutingEntry(pivot1, radius1, node)
+        entry2 = RoutingEntry(pivot2, radius2, new_node)
+
+        if node.parent_node is None:
+            new_root = Node(is_leaf=False)
+            new_root.add_entry(entry1)
+            new_root.add_entry(entry2)
+            self.root = new_root
+            return
+
+        parent = node.parent_node
+        parent.entries.remove(node.parent_entry)
+        parent.add_entry(entry1)
+        parent.add_entry(entry2)
+        grandparent_pivot = parent.pivot_point
+        if grandparent_pivot is not None:
+            entry1.parent_distance = self.metric.distance(pivot1, grandparent_pivot)
+            entry2.parent_distance = self.metric.distance(pivot2, grandparent_pivot)
+        parent.invalidate()
+        if len(parent.entries) > self.capacity:
+            self._split(parent)
+
+    def _refresh_node(self, node: Node, pivot: np.ndarray) -> float:
+        """Recompute parent distances for a (re)pivoted node; return its
+        covering radius."""
+        distances = self.metric.to_point(node.entry_points(), pivot)
+        radius = 0.0
+        for entry, d in zip(node.entries, distances):
+            entry.parent_distance = float(d)
+            reach = float(d) if node.is_leaf else float(d) + entry.covering_radius
+            radius = max(radius, reach)
+        return radius
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query_point(
+        self, point: np.ndarray, radius: float, *, prune_grey: bool = False
+    ) -> List[int]:
+        """Top-down range query ``Q(point, radius)``.
+
+        With ``prune_grey`` the traversal skips grey subtrees (Section
+        5.1); results then omit objects inside fully-grey subtrees, which
+        is sound for all coloring updates because those objects are grey
+        already.
+        """
+        out: List[int] = []
+        self._search(self.root, np.asarray(point), float(radius), prune_grey, out)
+        return out
+
+    def _search(
+        self,
+        node: Node,
+        point: np.ndarray,
+        radius: float,
+        prune_grey: bool,
+        out: List[int],
+    ) -> None:
+        if prune_grey and node.grey:
+            return
+        self.stats.node_accesses += 1
+        if not node.entries:
+            return  # empty root of a freshly created tree
+        distances = self.metric.to_point(node.entry_points(), point)
+        self.stats.distance_computations += len(node.entries)
+        if node.is_leaf:
+            for entry, d in zip(node.entries, distances):
+                if d <= radius:
+                    out.append(entry.object_id)
+            return
+        radii = node.covering_radii()
+        for entry, d, r_cov in zip(node.entries, distances, radii):
+            if d <= radius + r_cov:
+                self._search(entry.child, point, radius, prune_grey, out)
+
+    def range_query_bottom_up(
+        self,
+        object_id: int,
+        radius: float,
+        *,
+        prune_grey: bool = False,
+        stop_at_grey: bool = False,
+    ) -> List[int]:
+        """Range query starting from the leaf storing ``object_id``.
+
+        Climbs toward the root, searching sibling subtrees at each level.
+        ``stop_at_grey`` implements Fast-C's shortcut: stop climbing at
+        the first grey internal node, accepting that distant neighbors
+        may be missed (Section 5.1).
+        """
+        if object_id not in self.leaf_of:
+            raise KeyError(f"object id {object_id} is not indexed")
+        point = self._point_of(object_id)
+        leaf = self.leaf_of[object_id]
+        out: List[int] = []
+        self._search(leaf, point, radius, prune_grey, out)
+        node = leaf
+        while node.parent_node is not None:
+            parent = node.parent_node
+            if stop_at_grey and parent.grey:
+                break
+            self.stats.node_accesses += 1
+            distances = self.metric.to_point(parent.entry_points(), point)
+            self.stats.distance_computations += len(parent.entries)
+            radii = parent.covering_radii()
+            for entry, d, r_cov in zip(parent.entries, distances, radii):
+                if entry.child is node:
+                    continue
+                if d <= radius + r_cov:
+                    self._search(entry.child, point, radius, prune_grey, out)
+            node = parent
+        return out
+
+    def _point_of(self, object_id: int) -> np.ndarray:
+        leaf = self.leaf_of[object_id]
+        for entry in leaf.entries:
+            if entry.object_id == object_id:
+                return entry.point
+        raise KeyError(f"object id {object_id} missing from its leaf")  # pragma: no cover
+
+    def knn_query(self, point: np.ndarray, k: int) -> List[int]:
+        """The ``k`` nearest indexed objects to ``point`` (best-first).
+
+        Classic M-tree kNN: a frontier ordered by each subtree's
+        optimistic distance ``max(0, d(q, pivot) - r_cov)``; subtrees
+        whose bound exceeds the current k-th best distance are pruned.
+        Node accesses are charged like range queries.  Ties break on the
+        smaller object id for determinism.
+        """
+        import heapq
+
+        if not 1 <= k <= self.size:
+            raise ValueError(f"k must be in [1, {self.size}], got {k}")
+        point = np.asarray(point)
+        frontier: List[tuple] = [(0.0, 0, self.root)]
+        counter = 1
+        # Max-heap of the best k (negated distance, negated id) so the
+        # worst current candidate is peekable at index 0.
+        best: List[tuple] = []
+
+        def kth_distance() -> float:
+            return -best[0][0] if len(best) == k else np.inf
+
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if bound > kth_distance():
+                break  # every remaining subtree is at least this far
+            self.stats.node_accesses += 1
+            if not node.entries:
+                continue
+            distances = self.metric.to_point(node.entry_points(), point)
+            self.stats.distance_computations += len(node.entries)
+            if node.is_leaf:
+                for entry, d in zip(node.entries, distances):
+                    candidate = (-float(d), -entry.object_id)
+                    if len(best) < k:
+                        heapq.heappush(best, candidate)
+                    elif candidate > best[0]:
+                        heapq.heapreplace(best, candidate)
+                continue
+            radii = node.covering_radii()
+            for entry, d, r_cov in zip(node.entries, distances, radii):
+                child_bound = max(0.0, float(d) - float(r_cov))
+                if child_bound <= kth_distance():
+                    heapq.heappush(frontier, (child_bound, counter, entry.child))
+                    counter += 1
+        ordered = sorted(best, key=lambda item: (-item[0], -item[1]))
+        return [-object_id for _, object_id in ordered]
+
+    def point_query_accesses(self, point: np.ndarray) -> int:
+        """Node accesses needed to answer an exact point query.
+
+        Every subtree whose covering ball contains the point must be
+        visited (balls overlap), which is precisely what the fat-factor
+        of Traina et al. measures.
+        """
+        accesses = 0
+        stack = [self.root]
+        point = np.asarray(point)
+        while stack:
+            node = stack.pop()
+            accesses += 1
+            if not node.entries:
+                continue
+            distances = self.metric.to_point(node.entry_points(), point)
+            if node.is_leaf:
+                continue
+            radii = node.covering_radii()
+            for entry, d, r_cov in zip(node.entries, distances, radii):
+                if d <= r_cov:
+                    stack.append(entry.child)
+        return accesses
+
+    # ------------------------------------------------------------------
+    # Traversal / introspection
+    # ------------------------------------------------------------------
+    def leaves(self) -> Iterator[Node]:
+        """Leaves in chain order (left to right)."""
+        leaf: Optional[Node] = self.first_leaf
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next_leaf
+
+    def objects_in_leaf_order(self) -> Iterator[int]:
+        """Object ids in a single left-to-right leaf scan (Section 5)."""
+        for leaf in self.leaves():
+            for entry in leaf.entries:
+                yield entry.object_id
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes, preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def height(self) -> int:
+        """Levels from root to leaf inclusive (1 for a lone root leaf)."""
+        node = self.root
+        levels = 1
+        while not node.is_leaf:
+            node = node.entries[0].child
+            levels += 1
+        return levels
+
+    def freeze(self) -> None:
+        """Disallow further inserts (called when a coloring attaches)."""
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Grey-flag maintenance (Section 5.1 pruning rule)
+    # ------------------------------------------------------------------
+    def mark_grey_upward(self, leaf: Node) -> None:
+        """Leaf lost its last white object: grey it and propagate."""
+        if leaf.grey:
+            return
+        leaf.grey = True
+        node = leaf.parent_node
+        while node is not None and not node.grey:
+            if all(entry.child.grey for entry in node.entries):
+                node.grey = True
+                node = node.parent_node
+            else:
+                break
+
+    def clear_grey_upward(self, leaf: Node) -> None:
+        """Leaf regained a white object (zoom-in): clear grey flags."""
+        node: Optional[Node] = leaf
+        while node is not None and node.grey:
+            node.grey = False
+            node = node.parent_node
+
+    def reset_grey(self) -> None:
+        for node in self.nodes():
+            node.grey = False
+
+    # ------------------------------------------------------------------
+    # Structural validation (used heavily by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any structural violation.
+
+        The load-bearing M-tree invariant is that every routing entry's
+        covering radius bounds the distance from its pivot to every
+        *object* stored in its subtree — that is all the range-query
+        pruning relies on.  (Child balls need not nest inside parent
+        balls; radii are upper bounds that can overshoot after splits.)
+        """
+        seen: List[int] = []
+        self._check_node(self.root)
+        for leaf in self.leaves():
+            assert leaf.is_leaf, "leaf chain contains an internal node"
+            seen.extend(entry.object_id for entry in leaf.entries)
+        assert len(seen) == self.size, (
+            f"leaf chain holds {len(seen)} objects, tree size is {self.size}"
+        )
+        assert len(set(seen)) == len(seen), "duplicate object ids in leaves"
+        for object_id, leaf in self.leaf_of.items():
+            assert any(e.object_id == object_id for e in leaf.entries), (
+                f"leaf_of map stale for object {object_id}"
+            )
+
+    def _subtree_points(self, node: Node) -> List[np.ndarray]:
+        if node.is_leaf:
+            return [entry.point for entry in node.entries]
+        points: List[np.ndarray] = []
+        for entry in node.entries:
+            points.extend(self._subtree_points(entry.child))
+        return points
+
+    def _check_node(self, node: Node) -> None:
+        assert node.entries or node is self.root, "non-root node is empty"
+        if node is not self.root:
+            assert len(node.entries) <= self.capacity, "node over capacity"
+        if node.is_leaf:
+            pivot = node.pivot_point
+            if pivot is not None:
+                r_cov = node.parent_entry.covering_radius
+                for entry in node.entries:
+                    d = self.metric.distance(pivot, entry.point)
+                    assert d <= r_cov + 1e-9, (
+                        f"object {entry.object_id} outside covering ball "
+                        f"({d} > {r_cov})"
+                    )
+                    assert abs(entry.parent_distance - d) <= 1e-9, (
+                        f"stale parent distance for object {entry.object_id}"
+                    )
+            return
+        for entry in node.entries:
+            assert entry.child.parent_node is node, "broken parent pointer"
+            assert entry.child.parent_entry is entry, "broken parent entry"
+            for point in self._subtree_points(entry.child):
+                d = self.metric.distance(entry.pivot, point)
+                assert d <= entry.covering_radius + 1e-9, (
+                    f"object at distance {d} escapes covering radius "
+                    f"{entry.covering_radius}"
+                )
+            self._check_node(entry.child)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"MTree(size={self.size}, capacity={self.capacity}, "
+            f"policy={self.policy.name}, height={self.height()})"
+        )

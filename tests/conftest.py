@@ -1,0 +1,62 @@
+"""Shared fixtures for the DisC reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
+from repro.index import BruteForceIndex, GridIndex
+from repro.mtree import MTreeIndex
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_uniform(rng):
+    """60 uniform points in the unit square."""
+    return rng.random((60, 2))
+
+
+@pytest.fixture
+def medium_uniform(rng):
+    """300 uniform points in the unit square."""
+    return rng.random((300, 2))
+
+
+@pytest.fixture
+def small_clustered(rng):
+    """Three visually distinct clusters plus two outliers (35 points)."""
+    blobs = [
+        rng.normal(loc=(0.2, 0.2), scale=0.03, size=(12, 2)),
+        rng.normal(loc=(0.8, 0.3), scale=0.04, size=(11, 2)),
+        rng.normal(loc=(0.5, 0.8), scale=0.03, size=(10, 2)),
+    ]
+    outliers = np.array([[0.05, 0.95], [0.95, 0.95]])
+    return np.clip(np.vstack(blobs + [outliers]), 0.0, 1.0)
+
+
+@pytest.fixture
+def categorical_points(rng):
+    """40 rows x 5 categorical attributes with small vocabularies."""
+    return rng.integers(0, 4, size=(40, 5))
+
+
+INDEX_FACTORIES = {
+    "brute": lambda pts, metric: BruteForceIndex(pts, metric),
+    "grid": lambda pts, metric: GridIndex(pts, metric, cell_size=0.08),
+    "mtree": lambda pts, metric: MTreeIndex(pts, metric, capacity=6),
+}
+
+
+@pytest.fixture(params=sorted(INDEX_FACTORIES))
+def index_factory(request):
+    """Parametrises a test over all index engines (grid skips Hamming)."""
+    return request.param, INDEX_FACTORIES[request.param]
+
+
+def make_index(kind, points, metric=EUCLIDEAN):
+    return INDEX_FACTORIES[kind](points, metric)

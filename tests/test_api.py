@@ -1,0 +1,103 @@
+"""Tests for the high-level API (repro.api)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BruteForceIndex,
+    DiscDiversifier,
+    GridIndex,
+    MTreeIndex,
+    build_index,
+    disc_select,
+    uniform_dataset,
+)
+from repro.core import verify_disc
+from repro.distance import EUCLIDEAN
+
+
+@pytest.fixture
+def dataset():
+    return uniform_dataset(n=200, seed=5)
+
+
+class TestBuildIndex:
+    def test_engines(self, dataset):
+        assert isinstance(build_index(dataset), MTreeIndex)
+        assert isinstance(build_index(dataset, engine="mtree"), MTreeIndex)
+        assert isinstance(build_index(dataset, engine="brute"), BruteForceIndex)
+        assert isinstance(build_index(dataset, engine="grid"), GridIndex)
+
+    def test_engine_options_forwarded(self, dataset):
+        index = build_index(dataset, engine="mtree", capacity=10)
+        assert index.tree.capacity == 10
+
+    def test_raw_points_need_metric(self, dataset):
+        with pytest.raises(ValueError, match="metric"):
+            build_index(dataset.points)
+        index = build_index(dataset.points, "euclidean", engine="brute")
+        assert index.metric is EUCLIDEAN
+
+    def test_unknown_engine(self, dataset):
+        with pytest.raises(ValueError, match="engine"):
+            build_index(dataset, engine="btree")
+
+
+class TestDiscSelect:
+    @pytest.mark.parametrize("method", ["basic", "greedy", "greedy-c", "fast-c"])
+    def test_methods_run_and_cover(self, dataset, method):
+        result = disc_select(dataset, 0.15, method=method)
+        report = verify_disc(dataset.points, dataset.metric, result.selected, 0.15)
+        assert report.is_covering
+
+    def test_unknown_method(self, dataset):
+        with pytest.raises(ValueError, match="method"):
+            disc_select(dataset, 0.1, method="quantum")
+
+    def test_method_options_forwarded(self, dataset):
+        result = disc_select(dataset, 0.15, method="greedy", lazy=True)
+        assert "Lazy" in result.algorithm
+
+
+class TestDiversifier:
+    def test_select_and_verify(self, dataset):
+        diversifier = DiscDiversifier(dataset)
+        result = diversifier.select(0.2)
+        assert diversifier.verify().is_disc_diverse
+        assert diversifier.last_result is result
+
+    def test_zoom_flow(self, dataset):
+        diversifier = DiscDiversifier(dataset)
+        coarse = diversifier.select(0.2)
+        fine = diversifier.zoom_in(0.1)
+        assert set(coarse.selected) <= set(fine.selected)
+        assert diversifier.verify().is_disc_diverse
+        back_out = diversifier.zoom_out(0.3)
+        assert back_out.size < fine.size
+        assert diversifier.verify().is_disc_diverse
+
+    def test_local_zoom_flow(self, dataset):
+        diversifier = DiscDiversifier(dataset)
+        result = diversifier.select(0.2)
+        local = diversifier.local_zoom(result.selected[0], 0.08)
+        assert local.meta["center"] == result.selected[0]
+
+    def test_zoom_before_select_fails(self, dataset):
+        diversifier = DiscDiversifier(dataset)
+        with pytest.raises(RuntimeError, match="select"):
+            diversifier.zoom_in(0.05)
+
+    def test_compare_methods_shapes(self, dataset):
+        diversifier = DiscDiversifier(dataset)
+        table = diversifier.compare_methods(0.25)
+        assert set(table) == {"DisC", "r-C", "MaxMin", "MaxSum", "k-medoids"}
+        disc_row = table["DisC"]
+        # DisC covers everything by construction.
+        assert disc_row["coverage"] == pytest.approx(1.0)
+        sizes = {row["size"] for name, row in table.items() if name != "r-C"}
+        assert len(sizes) == 1  # matched k
+
+    def test_raw_points_constructor(self, dataset):
+        diversifier = DiscDiversifier(dataset.points, "euclidean", engine="brute")
+        result = diversifier.select(0.3, method="basic")
+        assert result.size >= 1

@@ -1,0 +1,164 @@
+"""Tests for MaxMin, MaxSum, k-medoids and the quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    coverage_ratio,
+    fmin,
+    fsum,
+    jaccard_distance,
+    kmedoids_objective,
+    kmedoids_select,
+    maxmin_select,
+    maxmin_value,
+    maxsum_select,
+    maxsum_value,
+    representation_error,
+    solution_summary,
+)
+from repro.distance import EUCLIDEAN, HAMMING
+
+
+class TestMaxMin:
+    def test_selects_k_distinct(self, medium_uniform):
+        selected = maxmin_select(medium_uniform, EUCLIDEAN, 10)
+        assert len(selected) == 10
+        assert len(set(selected)) == 10
+
+    def test_corners_of_square(self):
+        square = np.array([[0, 0], [1, 0], [0, 1], [1, 1], [0.5, 0.5]], dtype=float)
+        selected = maxmin_select(square, EUCLIDEAN, 4, exact_init=True)
+        assert set(selected) == {0, 1, 2, 3}
+
+    def test_beats_random_on_fmin(self, medium_uniform, rng):
+        greedy_val = maxmin_value(
+            medium_uniform, EUCLIDEAN, maxmin_select(medium_uniform, EUCLIDEAN, 12)
+        )
+        random_val = maxmin_value(
+            medium_uniform, EUCLIDEAN,
+            list(rng.choice(len(medium_uniform), size=12, replace=False)),
+        )
+        assert greedy_val > random_val
+
+    def test_k_equals_n(self, small_uniform):
+        assert maxmin_select(small_uniform, EUCLIDEAN, len(small_uniform)) == list(
+            range(len(small_uniform))
+        )
+
+    def test_k_validation(self, small_uniform):
+        with pytest.raises(ValueError):
+            maxmin_select(small_uniform, EUCLIDEAN, 0)
+        with pytest.raises(ValueError):
+            maxmin_select(small_uniform, EUCLIDEAN, len(small_uniform) + 1)
+
+    def test_value_of_single_selection(self, small_uniform):
+        assert maxmin_value(small_uniform, EUCLIDEAN, [3]) == float("inf")
+
+    def test_seeded_start_is_deterministic(self, medium_uniform):
+        a = maxmin_select(medium_uniform, EUCLIDEAN, 5, seed=9)
+        b = maxmin_select(medium_uniform, EUCLIDEAN, 5, seed=9)
+        assert a == b
+
+
+class TestMaxSum:
+    def test_selects_k_distinct(self, medium_uniform):
+        selected = maxsum_select(medium_uniform, EUCLIDEAN, 10)
+        assert len(set(selected)) == 10
+
+    def test_prefers_outskirts(self):
+        """MaxSum's signature behaviour (Figure 6b): with one far-away
+        cluster and one centre point, the centre is never picked."""
+        points = np.vstack(
+            [
+                np.array([[0.5, 0.5]]),
+                np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+            ]
+        )
+        selected = maxsum_select(points, EUCLIDEAN, 4, exact_init=True)
+        assert 0 not in selected
+
+    def test_value_monotone_in_k(self, medium_uniform):
+        v3 = maxsum_value(
+            medium_uniform, EUCLIDEAN, maxsum_select(medium_uniform, EUCLIDEAN, 3)
+        )
+        v6 = maxsum_value(
+            medium_uniform, EUCLIDEAN, maxsum_select(medium_uniform, EUCLIDEAN, 6)
+        )
+        assert v6 > v3
+
+    def test_value_of_single(self, small_uniform):
+        assert maxsum_value(small_uniform, EUCLIDEAN, [0]) == 0.0
+
+
+class TestKMedoids:
+    def test_selects_k_distinct(self, medium_uniform):
+        selected = kmedoids_select(medium_uniform, EUCLIDEAN, 8, seed=1)
+        assert len(set(selected)) == 8
+
+    def test_finds_cluster_centres(self, small_clustered):
+        """With k = 3 on three blobs, each medoid should sit in a
+        different blob (blob memberships are index ranges)."""
+        selected = kmedoids_select(small_clustered, EUCLIDEAN, 3, seed=0)
+        blocks = {0: range(0, 12), 1: range(12, 23), 2: range(23, 33)}
+        hit_blocks = {
+            b for m in selected for b, r in blocks.items() if m in r
+        }
+        assert len(hit_blocks) == 3
+
+    def test_objective_beats_random(self, medium_uniform, rng):
+        medoid_cost = kmedoids_objective(
+            medium_uniform, EUCLIDEAN, kmedoids_select(medium_uniform, EUCLIDEAN, 10, seed=2)
+        )
+        random_cost = kmedoids_objective(
+            medium_uniform, EUCLIDEAN,
+            list(rng.choice(len(medium_uniform), size=10, replace=False)),
+        )
+        assert medoid_cost <= random_cost
+
+    def test_deterministic_by_seed(self, medium_uniform):
+        assert kmedoids_select(medium_uniform, EUCLIDEAN, 5, seed=3) == kmedoids_select(
+            medium_uniform, EUCLIDEAN, 5, seed=3
+        )
+
+    def test_objective_validation(self, small_uniform):
+        with pytest.raises(ValueError):
+            kmedoids_objective(small_uniform, EUCLIDEAN, [])
+
+    def test_hamming_medoids(self, categorical_points):
+        selected = kmedoids_select(categorical_points, HAMMING, 4, seed=0)
+        assert len(set(selected)) == 4
+
+
+class TestQualityMetrics:
+    def test_fmin_fsum_consistency(self, small_uniform):
+        ids = [0, 5, 9]
+        assert fmin(small_uniform, EUCLIDEAN, ids) <= fsum(
+            small_uniform, EUCLIDEAN, ids
+        )
+
+    def test_coverage_ratio_full_selection(self, small_uniform):
+        assert coverage_ratio(
+            small_uniform, EUCLIDEAN, range(len(small_uniform)), 0.0
+        ) == 1.0
+
+    def test_coverage_ratio_empty(self, small_uniform):
+        assert coverage_ratio(small_uniform, EUCLIDEAN, [], 0.5) == 0.0
+
+    def test_representation_error_zero_for_full(self, small_uniform):
+        assert representation_error(
+            small_uniform, EUCLIDEAN, range(len(small_uniform))
+        ) == pytest.approx(0.0)
+
+    def test_jaccard_distance_values(self):
+        assert jaccard_distance([1, 2], [1, 2]) == 0.0
+        assert jaccard_distance([1, 2], [3, 4]) == 1.0
+        assert jaccard_distance([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+        assert jaccard_distance([], []) == 0.0
+
+    def test_solution_summary_keys(self, small_uniform):
+        summary = solution_summary(small_uniform, EUCLIDEAN, [0, 10, 20], 0.3)
+        assert set(summary) == {
+            "size", "fmin", "fsum", "coverage", "representation_error",
+        }
+        assert summary["size"] == 3

@@ -1,0 +1,113 @@
+"""Tests for Basic-DisC across all index engines (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import basic_disc, verify_disc
+from repro.distance import EUCLIDEAN, HAMMING
+from repro.index import BruteForceIndex
+from repro.mtree import MTreeIndex
+
+RADII = [0.05, 0.15, 0.4]
+
+
+class TestDiscInvariants:
+    @pytest.mark.parametrize("radius", RADII)
+    def test_output_is_disc_diverse(self, medium_uniform, index_factory, radius):
+        _, factory = index_factory
+        index = factory(medium_uniform, EUCLIDEAN)
+        result = basic_disc(index, radius)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, radius)
+        assert report.is_disc_diverse, str(report)
+
+    def test_clustered_points(self, small_clustered):
+        index = BruteForceIndex(small_clustered, EUCLIDEAN)
+        result = basic_disc(index, 0.1)
+        report = verify_disc(small_clustered, EUCLIDEAN, result.selected, 0.1)
+        assert report.is_disc_diverse
+
+    def test_hamming_disc(self, categorical_points):
+        index = BruteForceIndex(categorical_points, HAMMING)
+        result = basic_disc(index, 2)
+        report = verify_disc(categorical_points, HAMMING, result.selected, 2)
+        assert report.is_disc_diverse
+
+    def test_pruned_output_also_diverse(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        result = basic_disc(index, 0.1, prune=True)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, 0.1)
+        assert report.is_disc_diverse
+
+    def test_pruned_and_unpruned_agree(self, medium_uniform):
+        """Pruning only skips already-grey objects, so the selections are
+        identical for the same traversal order."""
+        a = basic_disc(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1)
+        b = basic_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1, prune=True
+        )
+        assert a.selected == b.selected
+
+    def test_pruning_saves_accesses(self, medium_uniform):
+        plain = basic_disc(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.05)
+        pruned = basic_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.05, prune=True
+        )
+        assert pruned.node_accesses < plain.node_accesses
+
+
+class TestEdgeCases:
+    def test_zero_radius_selects_representatives_of_duplicates(self):
+        points = np.array([[0.1, 0.1], [0.1, 0.1], [0.5, 0.5]])
+        index = BruteForceIndex(points, EUCLIDEAN)
+        result = basic_disc(index, 0.0)
+        # Exactly one of the duplicate pair plus the singleton.
+        assert result.size == 2
+
+    def test_huge_radius_selects_single_object(self, small_uniform):
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        result = basic_disc(index, 10.0)
+        assert result.size == 1
+
+    def test_negative_radius_rejected(self, small_uniform):
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        with pytest.raises(ValueError, match="radius"):
+            basic_disc(index, -0.1)
+
+    def test_single_point(self):
+        index = BruteForceIndex(np.array([[0.5, 0.5]]), EUCLIDEAN)
+        result = basic_disc(index, 0.1)
+        assert result.selected == [0]
+
+
+class TestResultMetadata:
+    def test_result_fields(self, small_uniform):
+        index = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        result = basic_disc(index, 0.2)
+        assert result.algorithm == "Basic-DisC"
+        assert result.radius == 0.2
+        assert result.size == len(result.selected)
+        assert result.node_accesses > 0
+        assert result.coloring is not None
+        assert sorted(result.coloring.blacks()) == sorted(result.selected)
+
+    def test_closest_black_tracking(self, small_uniform):
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        result = basic_disc(index, 0.2, track_closest_black=True)
+        assert result.closest_black is not None
+        # Every object is covered, so every distance is at most r.
+        assert np.all(result.closest_black <= 0.2 + 1e-9)
+        for black in result.selected:
+            assert result.closest_black[black] == 0.0
+
+    def test_selection_order_follows_index_order(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        result = basic_disc(index, 0.1)
+        order = {oid: pos for pos, oid in enumerate(index.ids())}
+        positions = [order[s] for s in result.selected]
+        assert positions == sorted(positions)
+
+    def test_detaches_coloring_on_exit(self, small_uniform):
+        index = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        basic_disc(index, 0.2)
+        assert index._coloring is None
+        assert not index.tree._frozen

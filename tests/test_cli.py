@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+
+class TestInfo:
+    def test_lists_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "datasets:" in out
+        assert "Gr-G-DisC" in out
+
+
+class TestSelect:
+    def test_human_output(self, capsys):
+        assert main([
+            "select", "--dataset", "uniform", "--n", "200",
+            "--radius", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "diverse objects" in out
+        assert "OK" in out
+
+    def test_json_output(self, capsys):
+        assert main([
+            "select", "--dataset", "clustered", "--n", "200",
+            "--radius", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["covering"] is True
+        assert payload["independent"] is True
+        assert payload["size"] == len(payload["selected"])
+
+    def test_plot_output(self, capsys):
+        assert main([
+            "select", "--dataset", "uniform", "--n", "150",
+            "--radius", "0.3", "--plot",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "@" in out  # selected markers on the ASCII map
+
+    def test_methods(self, capsys):
+        for method in ("basic", "greedy-c", "fast-c"):
+            assert main([
+                "select", "--dataset", "uniform", "--n", "150",
+                "--radius", "0.25", "--method", method,
+            ]) == 0
+
+
+class TestZoom:
+    def test_zoom_in(self, capsys):
+        assert main([
+            "zoom", "--dataset", "uniform", "--n", "200",
+            "--radius", "0.2", "--to", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "zoom-in" in out
+        assert "Jaccard" in out
+
+    def test_zoom_out(self, capsys):
+        assert main([
+            "zoom", "--dataset", "uniform", "--n", "200",
+            "--radius", "0.1", "--to", "0.3",
+        ]) == 0
+        assert "zoom-out" in capsys.readouterr().out
+
+    def test_equal_radii_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["zoom", "--dataset", "uniform", "--n", "100",
+                  "--radius", "0.2", "--to", "0.2"])
+
+
+class TestCompareAndTable3:
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "--dataset", "clustered", "--n", "250",
+            "--radius", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DisC" in out and "k-medoids" in out
+
+    def test_table3_runs_on_cameras(self, capsys):
+        # Cameras is the cheapest full sub-table.
+        assert main(["table3", "--dataset", "Cameras"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "B-DisC" in out

@@ -1,0 +1,98 @@
+"""Unit tests for the coloring state machine (Section 2.3 colors)."""
+
+import pytest
+
+from repro.core.coloring import Color, Coloring
+
+
+class TestTransitions:
+    def test_all_start_white(self):
+        coloring = Coloring(5)
+        assert coloring.white_count == 5
+        assert all(coloring.is_white(i) for i in range(5))
+
+    def test_black_transition(self):
+        coloring = Coloring(3)
+        coloring.set_black(1)
+        assert coloring.is_black(1)
+        assert coloring.count(Color.BLACK) == 1
+        assert coloring.white_count == 2
+
+    def test_grey_then_back_to_white(self):
+        coloring = Coloring(3)
+        coloring.set_grey(0)
+        assert coloring.is_grey(0)
+        coloring.set_white(0)
+        assert coloring.is_white(0)
+        assert coloring.white_count == 3
+
+    def test_red_for_zoom_out(self):
+        coloring = Coloring(4)
+        coloring.set_red(2)
+        assert coloring.is_red(2)
+        assert coloring.any_red()
+        coloring.set_black(2)
+        assert not coloring.any_red()
+
+    def test_noop_transition_keeps_counts(self):
+        coloring = Coloring(2)
+        coloring.set_grey(0)
+        coloring.set_grey(0)
+        assert coloring.count(Color.GREY) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Coloring(0)
+
+
+class TestQueries:
+    def test_ids_of(self):
+        coloring = Coloring(6)
+        coloring.set_black(1)
+        coloring.set_black(4)
+        coloring.set_grey(2)
+        assert list(coloring.ids_of(Color.BLACK)) == [1, 4]
+        assert coloring.blacks() == [1, 4]
+        assert list(coloring.ids_of(Color.GREY)) == [2]
+
+    def test_any_white_tracks_exhaustion(self):
+        coloring = Coloring(2)
+        assert coloring.any_white()
+        coloring.set_grey(0)
+        coloring.set_black(1)
+        assert not coloring.any_white()
+
+    def test_codes_returns_copy(self):
+        coloring = Coloring(3)
+        codes = coloring.codes()
+        codes[0] = 99
+        assert coloring.is_white(0)
+
+
+class TestListeners:
+    def test_listener_sees_transitions(self):
+        coloring = Coloring(3)
+        events = []
+        coloring.add_listener(lambda i, old, new: events.append((i, old, new)))
+        coloring.set_grey(1)
+        coloring.set_black(1)
+        assert events == [
+            (1, Color.WHITE, Color.GREY),
+            (1, Color.GREY, Color.BLACK),
+        ]
+
+    def test_listener_not_called_on_noop(self):
+        coloring = Coloring(2)
+        events = []
+        coloring.add_listener(lambda *args: events.append(args))
+        coloring.set_white(0)
+        assert events == []
+
+    def test_remove_listener(self):
+        coloring = Coloring(2)
+        events = []
+        listener = lambda *args: events.append(args)
+        coloring.add_listener(listener)
+        coloring.remove_listener(listener)
+        coloring.set_grey(0)
+        assert events == []

@@ -1,0 +1,81 @@
+"""Cross-engine integration: every index engine must drive the
+heuristics to the same answers.
+
+Greedy-DisC's decisions depend only on neighborhood *contents* (counts +
+membership), never on index internals, and the priority structure breaks
+ties deterministically by object id — so brute force, grid, KD-tree and
+M-tree must produce *identical* selections.  Basic-DisC depends on the
+iteration order, which the M-tree intentionally changes (leaf order), so
+there only validity is shared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import basic_disc, greedy_c, greedy_disc, verify_disc, zoom_in
+from repro.distance import EUCLIDEAN
+from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
+from repro.mtree import MTreeIndex
+
+RADII = [0.06, 0.15, 0.35]
+
+
+def all_engines(points):
+    return {
+        "brute": BruteForceIndex(points, EUCLIDEAN),
+        "grid": GridIndex(points, EUCLIDEAN, cell_size=0.07),
+        "kdtree": KDTreeIndex(points, EUCLIDEAN),
+        "mtree": MTreeIndex(points, EUCLIDEAN, capacity=8),
+    }
+
+
+class TestGreedyIdenticalAcrossEngines:
+    @pytest.mark.parametrize("radius", RADII)
+    def test_greedy_disc(self, medium_uniform, radius):
+        selections = {
+            name: greedy_disc(index, radius).selected
+            for name, index in all_engines(medium_uniform).items()
+        }
+        reference = selections.pop("brute")
+        for name, selected in selections.items():
+            assert selected == reference, name
+
+    def test_greedy_c(self, medium_uniform):
+        selections = {
+            name: greedy_c(index, 0.15).selected
+            for name, index in all_engines(medium_uniform).items()
+        }
+        reference = selections.pop("brute")
+        for name, selected in selections.items():
+            assert selected == reference, name
+
+
+class TestBasicValidEverywhere:
+    @pytest.mark.parametrize("radius", RADII)
+    def test_basic_disc_valid(self, medium_uniform, radius):
+        for name, index in all_engines(medium_uniform).items():
+            result = basic_disc(index, radius)
+            report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, radius)
+            assert report.is_disc_diverse, (name, str(report))
+
+
+class TestZoomAcrossEngines:
+    def test_zoom_in_identical_for_order_free_engines(self, medium_uniform):
+        """Greedy zoom-in decisions are order-free, so simple engines
+        (which share ascending-id iteration) must agree exactly."""
+        outcomes = {}
+        for name in ("brute", "kdtree", "grid"):
+            index = all_engines(medium_uniform)[name]
+            coarse = greedy_disc(index, 0.3, track_closest_black=True)
+            fine = zoom_in(index, coarse, 0.15, greedy=True)
+            outcomes[name] = fine.selected
+        reference = outcomes.pop("brute")
+        for name, selected in outcomes.items():
+            assert selected == reference, name
+
+    def test_zoom_valid_on_mtree(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=8)
+        coarse = greedy_disc(index, 0.3, track_closest_black=True)
+        fine = zoom_in(index, coarse, 0.15, greedy=True)
+        report = verify_disc(medium_uniform, EUCLIDEAN, fine.selected, 0.15)
+        assert report.is_disc_diverse

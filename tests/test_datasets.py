@@ -1,0 +1,152 @@
+"""Unit tests for the dataset generators (paper Section 6 workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CAMERAS_N,
+    CITIES_N,
+    PAPER_FIGURE2_ROWS,
+    Dataset,
+    cameras_dataset,
+    cities_dataset,
+    clustered_dataset,
+    uniform_dataset,
+)
+from repro.distance import EUCLIDEAN, HAMMING
+
+
+class TestDatasetContainer:
+    def test_basic_properties(self):
+        data = uniform_dataset(n=50, dim=3, seed=0)
+        assert data.n == len(data) == 50
+        assert data.dim == 3
+        assert data.metric is EUCLIDEAN
+
+    def test_rejects_non_2d_points(self):
+        with pytest.raises(ValueError, match="2-d"):
+            Dataset(name="bad", points=np.zeros(5), metric="euclidean")
+
+    def test_subset_returns_rows(self):
+        data = uniform_dataset(n=20, seed=0)
+        rows = data.subset([3, 7])
+        assert rows.shape == (2, 2)
+        assert np.array_equal(rows[0], data.points[3])
+
+    def test_decode_requires_categorical(self):
+        data = uniform_dataset(n=10, seed=0)
+        with pytest.raises(ValueError, match="decode"):
+            data.decode(0)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        data = uniform_dataset(n=500, dim=4, seed=1)
+        assert data.points.shape == (500, 4)
+        assert data.points.min() >= 0.0 and data.points.max() <= 1.0
+
+    def test_deterministic_by_seed(self):
+        a = uniform_dataset(n=100, seed=7).points
+        b = uniform_dataset(n=100, seed=7).points
+        assert np.array_equal(a, b)
+        c = uniform_dataset(n=100, seed=8).points
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_bad_cardinality(self, bad):
+        with pytest.raises(ValueError):
+            uniform_dataset(n=bad)
+
+
+class TestClustered:
+    def test_shape_and_range(self):
+        data = clustered_dataset(n=800, dim=2, seed=2)
+        assert data.points.shape == (800, 2)
+        assert data.points.min() >= 0.0 and data.points.max() <= 1.0
+
+    def test_higher_dimensions(self):
+        data = clustered_dataset(n=300, dim=6, seed=2)
+        assert data.points.shape == (300, 6)
+
+    def test_is_actually_clustered(self):
+        """Mean nearest-neighbor distance must be far below uniform's."""
+        clustered = clustered_dataset(n=400, seed=3, noise_fraction=0.0).points
+        uniform = uniform_dataset(n=400, seed=3).points
+
+        def mean_nn(points):
+            d = EUCLIDEAN.pairwise(points)
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nn(clustered) < 0.5 * mean_nn(uniform)
+
+    def test_noise_fraction_bounds(self):
+        with pytest.raises(ValueError, match="noise_fraction"):
+            clustered_dataset(n=100, noise_fraction=1.5)
+
+    def test_deterministic_by_seed(self):
+        a = clustered_dataset(n=200, seed=5).points
+        b = clustered_dataset(n=200, seed=5).points
+        assert np.array_equal(a, b)
+
+
+class TestCities:
+    def test_exact_paper_cardinality(self):
+        data = cities_dataset()
+        assert data.n == CITIES_N == 5922
+        assert data.dim == 2
+
+    def test_normalised_to_unit_square(self):
+        data = cities_dataset(n=1000, seed=1)
+        assert data.points.min() >= 0.0 and data.points.max() <= 1.0
+
+    def test_multi_density(self):
+        """The geography must contain both very dense and sparse areas."""
+        points = cities_dataset(n=2000, seed=1).points
+        d = EUCLIDEAN.pairwise(points)
+        np.fill_diagonal(d, np.inf)
+        nn = d.min(axis=1)
+        assert np.percentile(nn, 10) < 0.25 * np.percentile(nn, 90)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            cities_dataset(n=500, seed=3).points, cities_dataset(n=500, seed=3).points
+        )
+
+
+class TestCameras:
+    def test_exact_paper_cardinality_and_arity(self):
+        data = cameras_dataset()
+        assert data.n == CAMERAS_N == 579
+        assert data.dim == 7
+        assert data.metric is HAMMING
+
+    def test_codes_are_decodable(self):
+        data = cameras_dataset(n=100, seed=2)
+        record = data.decode(0)
+        assert set(record) == set(data.attributes)
+        for attr, label in record.items():
+            assert label in data.categories[attr]
+
+    def test_figure2_rows_present(self):
+        data = cameras_dataset(n=100, seed=2)
+        decoded = {tuple(data.decode(i)[a] for a in data.attributes) for i in range(data.n)}
+        for row in PAPER_FIGURE2_ROWS:
+            assert row in decoded
+
+    def test_near_duplicates_exist(self):
+        """Some distinct rows must differ in only 1-2 attributes —
+        that is what makes Hamming radius 1 meaningful."""
+        data = cameras_dataset(seed=4)
+        d = HAMMING.pairwise(data.points[:200])
+        np.fill_diagonal(d, np.inf)
+        assert (d <= 2).any()
+
+    def test_distance_range_supports_paper_radii(self):
+        data = cameras_dataset(seed=4)
+        d = HAMMING.pairwise(data.points[:200])
+        assert d.max() <= 7
+
+    def test_minimum_cardinality_guard(self):
+        with pytest.raises(ValueError, match="at least"):
+            cameras_dataset(n=3)

@@ -1,0 +1,193 @@
+"""Tests for the experiment harness (configuration, runners, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_dataset, uniform_dataset
+from repro.experiments import (
+    ALGORITHMS,
+    ExperimentDataset,
+    bottom_up_comparison,
+    capacity_comparison,
+    clear_cache,
+    current_scale,
+    experiment_suite,
+    fast_c_comparison,
+    fat_factor_sweep,
+    format_series,
+    format_table,
+    lemma7_experiment,
+    model_comparison,
+    radius_for_target_size,
+    run_algorithm,
+    sweep,
+    zoom_in_experiment,
+    zoom_out_experiment,
+    zoom_in_series,
+    zoom_out_series,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    data = uniform_dataset(n=150, seed=9)
+    return ExperimentDataset(data, [0.1, 0.2])
+
+
+class TestConfig:
+    def test_default_scale_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() == "small"
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale() == "paper"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_suite_contents(self):
+        suite = experiment_suite("small", seed=1)
+        assert set(suite) == {"Uniform", "Clustered", "Cities", "Cameras"}
+        assert suite["Cameras"].dataset.n == 579
+        assert len(suite["Uniform"].radii) == 7
+
+    def test_zoom_series_directions(self):
+        for _, radii in zoom_in_series().values():
+            assert all(a > b for a, b in zip(radii, radii[1:]))
+        for _, radii in zoom_out_series().values():
+            assert all(a < b for a, b in zip(radii, radii[1:]))
+
+
+class TestRunner:
+    def test_run_algorithm_record(self, tiny):
+        record = run_algorithm("B-DisC", tiny.dataset, 0.2)
+        assert record.algorithm == "B-DisC"
+        assert record.size > 0
+        assert record.node_accesses > 0
+        assert record.seconds >= 0
+
+    def test_unknown_algorithm(self, tiny):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_algorithm("Magic", tiny.dataset, 0.2)
+
+    def test_cache_returns_same_record(self, tiny):
+        a = run_algorithm("B-DisC", tiny.dataset, 0.2)
+        b = run_algorithm("B-DisC", tiny.dataset, 0.2)
+        assert a is b
+        c = run_algorithm("B-DisC", tiny.dataset, 0.2, use_cache=False)
+        assert c is not a
+
+    def test_sweep_shapes(self, tiny):
+        records = sweep(tiny, ["B-DisC", "Gr-G-DisC"])
+        assert set(records) == {"B-DisC", "Gr-G-DisC"}
+        assert [r.radius for r in records["B-DisC"]] == tiny.radii
+
+    def test_all_registered_algorithms_run(self, tiny):
+        for name in ALGORITHMS:
+            record = run_algorithm(name, tiny.dataset, 0.25)
+            assert record.size >= 1, name
+
+
+class TestZoomExperiments:
+    def test_zoom_in_rows(self, tiny):
+        rows = zoom_in_experiment(tiny, [0.25, 0.15, 0.1])
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row["sizes"]) == {"Greedy-DisC", "Zoom-In", "Greedy-Zoom-In"}
+            for value in row["jaccard"].values():
+                assert 0.0 <= value <= 1.0
+
+    def test_zoom_in_requires_descending(self, tiny):
+        with pytest.raises(ValueError, match="descending"):
+            zoom_in_experiment(tiny, [0.1, 0.2])
+
+    def test_zoom_out_rows(self, tiny):
+        rows = zoom_out_experiment(tiny, [0.1, 0.2])
+        assert len(rows) == 1
+        assert "Greedy-Zoom-Out (c)" in rows[0]["sizes"]
+
+    def test_zoom_out_requires_ascending(self, tiny):
+        with pytest.raises(ValueError, match="ascending"):
+            zoom_out_experiment(tiny, [0.2, 0.1])
+
+
+class TestAnalysisExperiments:
+    def test_fat_factor_sweep(self):
+        data = uniform_dataset(n=200, seed=3)
+        rows = fat_factor_sweep(data, [0.2], policies=("min_overlap", "random"), capacity=6)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["fat_factor"] <= 1.0
+            assert len(row["node_accesses"]) == 1
+        # Tree shape must not change which objects are diverse (paper,
+        # Section 6: "different tree characteristics do not have an
+        # impact on which objects are selected as diverse").
+        sizes = {tuple(row["sizes"]) for row in rows}
+        assert len(sizes) == 1
+
+    def test_lemma7_rows_respect_bound(self):
+        data = clustered_dataset(n=250, seed=4)
+        rows = lemma7_experiment(data, [0.1, 0.2])
+        assert rows
+        for row in rows:
+            assert row["ratio"] <= row["bound"] + 1e-9
+
+    def test_fast_c_comparison_fields(self):
+        data = uniform_dataset(n=200, seed=5)
+        rows = fast_c_comparison(data, [0.15])
+        assert set(rows[0]) >= {
+            "greedy_c_size", "fast_c_size", "greedy_c_accesses", "fast_c_accesses",
+        }
+
+    def test_capacity_comparison_monotone(self):
+        data = uniform_dataset(n=300, seed=6)
+        rows = capacity_comparison(data, 0.1, capacities=(10, 40))
+        assert rows[0]["node_accesses"] > rows[1]["node_accesses"]
+
+    def test_bottom_up_comparison(self):
+        data = uniform_dataset(n=250, seed=7)
+        row = bottom_up_comparison(data, 0.1, sample=50)
+        assert row["top_down_accesses"] > 0
+        assert row["bottom_up_accesses"] > 0
+
+    def test_model_comparison_matched_k(self):
+        data = clustered_dataset(n=250, seed=8)
+        table = model_comparison(data, 0.2)
+        ks = {row["size"] for name, row in table.items() if "r-C" not in name}
+        assert len(ks) == 1
+        assert table["DisC (GMIS)"]["coverage"] == pytest.approx(1.0)
+
+    def test_radius_for_target_size(self):
+        data = clustered_dataset(n=250, seed=8)
+        radius = radius_for_target_size(data, 12, low=0.02, high=0.8, tolerance=2)
+        size = run_algorithm("Gr-G-DisC (Pruned)", data, radius).size
+        assert abs(size - 12) <= 3
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.0], [333, 4.5]], float_fmt="{:.1f}")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text and "4.5" in text
+
+    def test_format_series(self):
+        text = format_series("S", "r", [0.1, 0.2], {"alg": [1, 2], "other": [3, 4]})
+        assert "alg" in text and "other" in text
+        assert text.startswith("S\n")
+
+    def test_save_text(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.experiments import save_text
+
+        path = save_text("unit", "hello")
+        assert (tmp_path / "unit.txt").read_text() == "hello"
+        assert path.endswith("unit.txt")

@@ -1,0 +1,250 @@
+"""Tests for the Section 8 extensions: weighted, multi-radius, streaming."""
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_disc, verify_disc
+from repro.core.extensions import (
+    StreamingDisC,
+    multiradius_disc,
+    radii_from_relevance,
+    total_weight,
+    verify_multiradius,
+    weighted_disc,
+)
+from repro.distance import EUCLIDEAN
+from repro.index import BruteForceIndex
+from repro.mtree import MTreeIndex
+
+
+class TestWeightedDisc:
+    def test_output_is_disc_diverse(self, medium_uniform, rng):
+        weights = rng.random(len(medium_uniform))
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        result = weighted_disc(index, 0.12, weights, alpha=0.5)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, 0.12)
+        assert report.is_disc_diverse, str(report)
+
+    def test_alpha_one_prefers_heavy_objects(self, medium_uniform, rng):
+        """With alpha=1 the heaviest object is always selected first."""
+        weights = rng.random(len(medium_uniform))
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        result = weighted_disc(index, 0.15, weights, alpha=1.0)
+        assert result.selected[0] == int(np.argmax(weights))
+
+    def test_alpha_zero_matches_greedy_disc(self, medium_uniform):
+        """alpha=0 is pure coverage greed — identical to Greedy-DisC."""
+        weights = np.ones(len(medium_uniform))
+        weighted = weighted_disc(
+            BruteForceIndex(medium_uniform, EUCLIDEAN), 0.12, weights, alpha=0.0
+        )
+        plain = greedy_disc(BruteForceIndex(medium_uniform, EUCLIDEAN), 0.12)
+        assert weighted.selected == plain.selected
+
+    def test_weight_objective_improves_with_alpha(self, medium_uniform, rng):
+        """More relevance focus (higher alpha) should not reduce the
+        total selected weight on average."""
+        weights = rng.random(len(medium_uniform)) ** 3  # skewed
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        low = weighted_disc(index, 0.15, weights, alpha=0.0)
+        high = weighted_disc(index, 0.15, weights, alpha=1.0)
+        per_object_low = low.meta["total_weight"] / low.size
+        per_object_high = high.meta["total_weight"] / high.size
+        assert per_object_high >= per_object_low
+
+    def test_total_weight_helper(self):
+        assert total_weight([0.5, 1.0, 2.0], [0, 2]) == pytest.approx(2.5)
+
+    def test_validation(self, small_uniform):
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        with pytest.raises(ValueError, match="shape"):
+            weighted_disc(index, 0.1, np.ones(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_disc(index, 0.1, -np.ones(len(small_uniform)))
+        with pytest.raises(ValueError, match="alpha"):
+            weighted_disc(index, 0.1, np.ones(len(small_uniform)), alpha=2.0)
+
+    def test_works_on_mtree(self, medium_uniform, rng):
+        weights = rng.random(len(medium_uniform))
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        result = weighted_disc(index, 0.12, weights, prune=True)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, 0.12)
+        assert report.is_disc_diverse
+
+
+class TestMultiRadius:
+    def test_reduces_to_uniform_radius(self, medium_uniform):
+        """Constant radii must reproduce standard DisC validity."""
+        radii = np.full(len(medium_uniform), 0.12)
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        result = multiradius_disc(index, radii)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, 0.12)
+        assert report.is_disc_diverse, str(report)
+
+    def test_heterogeneous_radii_valid(self, medium_uniform, rng):
+        radii = rng.uniform(0.05, 0.25, size=len(medium_uniform))
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        result = multiradius_disc(index, radii)
+        outcome = verify_multiradius(
+            medium_uniform, EUCLIDEAN, result.selected, radii
+        )
+        assert outcome["uncovered"] == []
+        assert outcome["too_close"] == []
+
+    def test_relevant_regions_get_more_representatives(self, rng):
+        """Half the plane is 'relevant' (small radii): it must receive
+        more representatives per object than the irrelevant half."""
+        points = rng.random((400, 2))
+        relevant = points[:, 0] < 0.5
+        radii = np.where(relevant, 0.05, 0.2)
+        index = BruteForceIndex(points, EUCLIDEAN)
+        result = multiradius_disc(index, radii)
+        selected = np.array(result.selected)
+        left = np.sum(points[selected][:, 0] < 0.5)
+        right = len(selected) - left
+        assert left > right
+
+    def test_radii_from_relevance_mapping(self):
+        relevance = np.array([0.0, 0.5, 1.0])
+        radii = radii_from_relevance(relevance, 0.05, 0.25)
+        assert radii[0] == pytest.approx(0.25)   # least relevant -> largest
+        assert radii[2] == pytest.approx(0.05)   # most relevant -> smallest
+        assert radii[1] == pytest.approx(0.15)
+
+    def test_constant_relevance_maps_to_midpoint(self):
+        radii = radii_from_relevance(np.ones(4), 0.1, 0.3)
+        assert np.allclose(radii, 0.2)
+
+    def test_validation(self, small_uniform):
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        with pytest.raises(ValueError, match="shape"):
+            multiradius_disc(index, np.ones(3))
+        with pytest.raises(ValueError, match="positive"):
+            multiradius_disc(index, np.zeros(len(small_uniform)))
+        with pytest.raises(ValueError, match="positive"):
+            radii_from_relevance(np.ones(3), 0.0, 0.1)
+        with pytest.raises(ValueError, match="exceed"):
+            radii_from_relevance(np.ones(3), 0.3, 0.1)
+
+
+class TestStreamingDisC:
+    def test_invariants_after_every_arrival(self, medium_uniform):
+        stream = StreamingDisC(radius=0.15)
+        for i, point in enumerate(medium_uniform):
+            stream.add(point)
+            if i % 60 == 0:  # spot-check along the stream
+                seen = medium_uniform[: i + 1]
+                report = verify_disc(seen, EUCLIDEAN, stream.selected_ids, 0.15)
+                assert report.is_disc_diverse, (i, str(report))
+        report = verify_disc(medium_uniform, EUCLIDEAN, stream.selected_ids, 0.15)
+        assert report.is_disc_diverse
+
+    def test_first_object_always_selected(self):
+        stream = StreamingDisC(radius=0.5)
+        assert stream.add([0.5, 0.5]) is True
+        assert stream.selected_ids == [0]
+
+    def test_duplicate_never_selected(self):
+        stream = StreamingDisC(radius=0.1)
+        stream.add([0.5, 0.5])
+        assert stream.add([0.5, 0.5]) is False
+        assert stream.size == 1
+
+    def test_extend_counts_selections(self, small_uniform):
+        stream = StreamingDisC(radius=0.2)
+        added = stream.extend(small_uniform)
+        assert added == stream.size
+        assert stream.n_seen == len(small_uniform)
+
+    def test_result_snapshot(self, small_uniform):
+        stream = StreamingDisC(radius=0.2)
+        stream.extend(small_uniform)
+        result = stream.result()
+        assert result.algorithm == "Streaming-DisC"
+        assert np.all(result.closest_black <= 0.2 + 1e-12)
+
+    def test_rebuild_not_larger(self, medium_uniform):
+        """Offline greedy consolidation can only shrink (or tie) the
+        online solution on typical data."""
+        stream = StreamingDisC(radius=0.15)
+        stream.extend(medium_uniform)
+        rebuilt = stream.rebuild()
+        assert rebuilt.size <= stream.size
+        report = verify_disc(medium_uniform, EUCLIDEAN, rebuilt.selected, 0.15)
+        assert report.is_disc_diverse
+
+    def test_rebuild_requires_data(self):
+        with pytest.raises(RuntimeError, match="no objects"):
+            StreamingDisC(radius=0.1).rebuild()
+
+    def test_streaming_matches_basic_disc_order(self, medium_uniform):
+        """Online arrival order == Basic-DisC's scan order on a brute
+        index, so the two must select the identical subset."""
+        from repro.core import basic_disc
+
+        stream = StreamingDisC(radius=0.15)
+        stream.extend(medium_uniform)
+        offline = basic_disc(BruteForceIndex(medium_uniform, EUCLIDEAN), 0.15)
+        assert stream.selected_ids == offline.selected
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError, match="radius"):
+            StreamingDisC(radius=-1)
+
+
+class TestStreamingRemoval:
+    def _alive_report(self, stream, points, radius):
+        alive = stream.alive_ids()
+        position = {arrival: local for local, arrival in enumerate(alive)}
+        local_selected = [position[b] for b in stream.selected_ids]
+        return verify_disc(points[alive], EUCLIDEAN, local_selected, radius)
+
+    def test_removing_grey_needs_no_repair(self, medium_uniform):
+        stream = StreamingDisC(radius=0.15)
+        stream.extend(medium_uniform)
+        grey = next(
+            i for i in range(stream.n_seen) if i not in set(stream.selected_ids)
+        )
+        assert stream.remove(grey) is False
+        assert self._alive_report(stream, medium_uniform, 0.15).is_disc_diverse
+
+    def test_removing_black_repairs_coverage(self, medium_uniform):
+        stream = StreamingDisC(radius=0.15)
+        stream.extend(medium_uniform)
+        black = stream.selected_ids[0]
+        assert stream.remove(black) is True
+        assert black not in stream.selected_ids
+        assert self._alive_report(stream, medium_uniform, 0.15).is_disc_diverse
+
+    def test_interleaved_add_remove_invariants(self, rng):
+        points = rng.random((120, 2))
+        stream = StreamingDisC(radius=0.2)
+        removed = set()
+        for i, point in enumerate(points):
+            stream.add(point)
+            if i % 7 == 3 and i > 10:
+                victim = int(rng.integers(i))
+                if victim not in removed:
+                    stream.remove(victim)
+                    removed.add(victim)
+        report = self._alive_report(stream, points, 0.2)
+        assert report.is_disc_diverse, str(report)
+        assert stream.n_alive == 120 - len(removed)
+
+    def test_double_remove_rejected(self, small_uniform):
+        stream = StreamingDisC(radius=0.2)
+        stream.extend(small_uniform)
+        stream.remove(0)
+        with pytest.raises(ValueError, match="already removed"):
+            stream.remove(0)
+        with pytest.raises(IndexError):
+            stream.remove(999)
+
+    def test_rebuild_uses_alive_only(self, medium_uniform):
+        stream = StreamingDisC(radius=0.15)
+        stream.extend(medium_uniform)
+        victim = stream.selected_ids[0]
+        stream.remove(victim)
+        rebuilt = stream.rebuild()
+        assert victim not in rebuilt.selected
+        assert set(rebuilt.selected) <= set(stream.alive_ids())

@@ -1,0 +1,124 @@
+"""Tests for the graph view (Section 2.2) and exact solvers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import basic_disc, greedy_disc
+from repro.core.bounds import max_independent_neighbors
+from repro.distance import EUCLIDEAN
+from repro.graph import (
+    build_neighborhood_graph,
+    is_dominating_set,
+    is_independent_dominating_set,
+    is_independent_set,
+    max_degree,
+    minimum_dominating_set,
+    minimum_independent_dominating_set,
+)
+from repro.index import BruteForceIndex
+
+
+def path_points(n, spacing):
+    """n collinear points with the given spacing."""
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+class TestGraphConstruction:
+    def test_edges_match_distances(self, small_uniform):
+        graph = build_neighborhood_graph(small_uniform, EUCLIDEAN, 0.2)
+        for i, j in graph.edges():
+            assert EUCLIDEAN.distance(small_uniform[i], small_uniform[j]) <= 0.2
+        # Spot-check some non-edges.
+        non_edges = list(nx.non_edges(graph))[:20]
+        for i, j in non_edges:
+            assert EUCLIDEAN.distance(small_uniform[i], small_uniform[j]) > 0.2
+
+    def test_path_graph_shape(self):
+        graph = build_neighborhood_graph(path_points(5, 1.0), EUCLIDEAN, 1.0)
+        assert sorted(graph.edges()) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert max_degree(graph) == 2
+
+    def test_empty_graph_max_degree(self):
+        assert max_degree(nx.Graph()) == 0
+
+
+class TestPredicates:
+    def test_independent_and_dominating(self):
+        graph = build_neighborhood_graph(path_points(5, 1.0), EUCLIDEAN, 1.0)
+        assert is_independent_set(graph, [0, 2, 4])
+        assert is_dominating_set(graph, [0, 2, 4])
+        assert is_independent_dominating_set(graph, [0, 2, 4])
+        assert not is_independent_set(graph, [0, 1])
+        assert not is_dominating_set(graph, [0])
+
+
+class TestExactSolvers:
+    def test_path_graph_minimum_ids(self):
+        graph = build_neighborhood_graph(path_points(6, 1.0), EUCLIDEAN, 1.0)
+        solution = minimum_independent_dominating_set(graph)
+        assert is_independent_dominating_set(graph, solution)
+        assert len(solution) == 2  # {1, 4}
+
+    def test_observation3_gap(self):
+        """Figure 4: a graph whose minimum dominating set (2) is smaller
+        than its minimum independent dominating set (3)."""
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (1, 4), (3, 4), (4, 5)])
+        dominating = minimum_dominating_set(graph)
+        independent_dominating = minimum_independent_dominating_set(graph)
+        assert is_dominating_set(graph, dominating)
+        assert is_independent_dominating_set(graph, independent_dominating)
+        assert len(dominating) == 2
+        assert len(independent_dominating) == 3
+
+    def test_complete_graph(self):
+        graph = nx.complete_graph(6)
+        assert len(minimum_independent_dominating_set(graph)) == 1
+
+    def test_empty_graph(self):
+        assert minimum_independent_dominating_set(nx.Graph()) == []
+
+    def test_isolated_vertices_all_selected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        assert minimum_independent_dominating_set(graph) == [0, 1, 2, 3]
+
+    def test_node_label_validation(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError, match="labelled"):
+            minimum_independent_dominating_set(graph)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="limited"):
+            minimum_independent_dominating_set(nx.path_graph(60))
+
+
+class TestHeuristicsAgainstOptimum:
+    """Sandwich the heuristics: optimum <= heuristic <= B * optimum."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem1_on_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((12, 2))
+        radius = 0.35
+        graph = build_neighborhood_graph(points, EUCLIDEAN, radius)
+        optimum = len(minimum_independent_dominating_set(graph))
+        bound = max_independent_neighbors(EUCLIDEAN, 2)
+        for algorithm in (basic_disc, greedy_disc):
+            result = algorithm(BruteForceIndex(points, EUCLIDEAN), radius)
+            assert optimum <= result.size <= bound * optimum
+            assert is_independent_dominating_set(graph, result.selected)
+
+    def test_greedy_often_matches_optimum_on_small_instances(self):
+        matches = 0
+        for seed in range(8):
+            rng = np.random.default_rng(100 + seed)
+            points = rng.random((10, 2))
+            graph = build_neighborhood_graph(points, EUCLIDEAN, 0.4)
+            optimum = len(minimum_independent_dominating_set(graph))
+            result = greedy_disc(BruteForceIndex(points, EUCLIDEAN), 0.4)
+            if result.size == optimum:
+                matches += 1
+        assert matches >= 4

@@ -1,0 +1,86 @@
+"""Tests for Greedy-C and Fast-C (coverage-only heuristics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import fast_c, greedy_c, greedy_disc, verify_disc
+from repro.core.verify import coverage_violations
+from repro.distance import EUCLIDEAN, HAMMING
+from repro.index import BruteForceIndex
+from repro.mtree import MTreeIndex
+
+
+class TestGreedyC:
+    @pytest.mark.parametrize("radius", [0.05, 0.15, 0.4])
+    def test_output_covers_everything(self, medium_uniform, radius):
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        result = greedy_c(index, radius)
+        assert coverage_violations(medium_uniform, EUCLIDEAN, result.selected, radius) == []
+
+    def test_independence_not_required(self, small_clustered):
+        """Greedy-C may legitimately pick dependent objects; we only
+        assert it never *must* be independent — i.e. the verifier's
+        coverage check passes regardless of the independence check."""
+        index = BruteForceIndex(small_clustered, EUCLIDEAN)
+        result = greedy_c(index, 0.15)
+        report = verify_disc(small_clustered, EUCLIDEAN, result.selected, 0.15)
+        assert report.is_covering
+
+    def test_on_observation3_configuration(self):
+        """Figure 4's star construction: a hub covering two wings.  An
+        independent dominating set needs 3 objects; a covering set can
+        do it with 2 by keeping a dependent pair.  Greedy-C must find a
+        solution no larger than Greedy-DisC's."""
+        points = np.array(
+            [[0.0, 0.0], [0.3, 0.0], [0.6, 0.0], [0.9, 0.0], [1.2, 0.0], [1.5, 0.0]]
+        )
+        index_c = BruteForceIndex(points, EUCLIDEAN)
+        index_d = BruteForceIndex(points, EUCLIDEAN)
+        c = greedy_c(index_c, 0.35)
+        d = greedy_disc(index_d, 0.35)
+        assert c.size <= d.size
+
+    def test_hamming(self, categorical_points):
+        result = greedy_c(BruteForceIndex(categorical_points, HAMMING), 2)
+        assert coverage_violations(categorical_points, HAMMING, result.selected, 2) == []
+
+    def test_size_close_to_greedy_disc(self, medium_uniform):
+        """Section 6: raising the independence requirement does not lead
+        to much smaller subsets."""
+        disc = greedy_disc(BruteForceIndex(medium_uniform, EUCLIDEAN), 0.1)
+        cover = greedy_c(BruteForceIndex(medium_uniform, EUCLIDEAN), 0.1)
+        assert cover.size <= disc.size * 1.2
+
+    def test_metadata(self, small_uniform):
+        result = greedy_c(BruteForceIndex(small_uniform, EUCLIDEAN), 0.2)
+        assert result.algorithm == "Greedy-C"
+        assert result.meta["covering_only"] is True
+
+
+class TestFastC:
+    def test_covers_everything_on_mtree(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=10)
+        result = fast_c(index, 0.1)
+        assert coverage_violations(medium_uniform, EUCLIDEAN, result.selected, 0.1) == []
+
+    def test_degrades_to_greedy_c_without_tree(self, medium_uniform):
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        fast = fast_c(index, 0.1)
+        plain = greedy_c(BruteForceIndex(medium_uniform, EUCLIDEAN), 0.1)
+        assert fast.selected == plain.selected
+        assert fast.meta["bottom_up"] is False
+
+    def test_not_smaller_than_greedy_c(self, medium_uniform):
+        """Truncated queries can only miss coverage opportunities, so
+        Fast-C's solution is at least as large."""
+        fast = fast_c(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=10), 0.1)
+        plain = greedy_c(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=10), 0.1)
+        assert fast.size >= plain.size
+
+    def test_cheaper_per_query_on_large_capacity_tree(self, rng):
+        """With paper-like capacity the truncated queries save accesses
+        (Section 6 reports ~30% on 10k points)."""
+        points = rng.random((600, 2))
+        fast = fast_c(MTreeIndex(points, EUCLIDEAN, capacity=50), 0.08)
+        plain = greedy_c(MTreeIndex(points, EUCLIDEAN, capacity=50), 0.08)
+        assert fast.node_accesses < plain.node_accesses

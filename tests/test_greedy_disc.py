@@ -1,0 +1,153 @@
+"""Tests for Greedy-DisC and its M-tree variants (Sections 2.3, 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import basic_disc, greedy_disc, verify_disc
+from repro.distance import EUCLIDEAN, HAMMING
+from repro.index import BruteForceIndex
+from repro.mtree import MTreeIndex
+
+
+RADII = [0.05, 0.15, 0.4]
+
+
+class TestDiscInvariants:
+    @pytest.mark.parametrize("radius", RADII)
+    def test_output_is_disc_diverse(self, medium_uniform, index_factory, radius):
+        _, factory = index_factory
+        index = factory(medium_uniform, EUCLIDEAN)
+        result = greedy_disc(index, radius)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, radius)
+        assert report.is_disc_diverse, str(report)
+
+    @pytest.mark.parametrize("update_variant", ["grey", "white"])
+    @pytest.mark.parametrize("lazy", [False, True])
+    @pytest.mark.parametrize("prune", [False, True])
+    def test_all_variants_produce_valid_subsets(
+        self, medium_uniform, update_variant, lazy, prune
+    ):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        result = greedy_disc(
+            index, 0.12, update_variant=update_variant, lazy=lazy, prune=prune
+        )
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, 0.12)
+        assert report.is_disc_diverse, (update_variant, lazy, prune, str(report))
+
+    def test_hamming_greedy(self, categorical_points):
+        index = BruteForceIndex(categorical_points, HAMMING)
+        result = greedy_disc(index, 2)
+        report = verify_disc(categorical_points, HAMMING, result.selected, 2)
+        assert report.is_disc_diverse
+
+
+class TestGreedyQuality:
+    def test_not_larger_than_basic_on_average(self, rng):
+        """The greedy rule's whole point: smaller subsets than Basic-DisC
+        (Table 3).  Checked over several seeds to avoid flakiness."""
+        wins = 0
+        for seed in range(5):
+            points = np.random.default_rng(seed).random((250, 2))
+            basic = basic_disc(BruteForceIndex(points, EUCLIDEAN), 0.1)
+            greedy = greedy_disc(BruteForceIndex(points, EUCLIDEAN), 0.1)
+            if greedy.size <= basic.size:
+                wins += 1
+        assert wins >= 4
+
+    def test_grey_and_white_variants_select_identically(self, medium_uniform):
+        """Both maintain exact counts, so with deterministic tie-breaking
+        they make the same greedy decisions."""
+        grey = greedy_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1,
+            update_variant="grey",
+        )
+        white = greedy_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1,
+            update_variant="white",
+        )
+        assert grey.selected == white.selected
+
+    def test_first_pick_has_max_neighborhood(self, medium_uniform):
+        index = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        sizes = index.neighborhood_sizes(0.15)
+        result = greedy_disc(index, 0.15)
+        assert sizes[result.selected[0]] == sizes.max()
+
+    def test_lazy_variants_stay_close_to_exact(self, medium_uniform):
+        """Lazy updates leave stale-high counts; the solutions drift from
+        exact greedy but only slightly (Table 3 shows drifts of a few
+        percent, occasionally in greedy's favour)."""
+        exact = greedy_disc(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.08)
+        lazy = greedy_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.08, lazy=True
+        )
+        assert exact.size * 0.85 <= lazy.size <= exact.size * 1.3 + 2
+
+    def test_pruning_does_not_change_selection(self, medium_uniform):
+        plain = greedy_disc(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1)
+        pruned = greedy_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1, prune=True
+        )
+        assert plain.selected == pruned.selected
+        assert pruned.node_accesses <= plain.node_accesses
+
+
+class TestCostAccounting:
+    def test_precomputed_counts_charged_to_run(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6, build_radius=0.1)
+        result = greedy_disc(index, 0.1)
+        assert result.stats.extra.get("precompute_cost", 0) > 0
+        assert result.node_accesses >= result.stats.extra["precompute_cost"]
+
+    def test_build_time_counting_cheaper(self, medium_uniform):
+        """Paper: computing neighborhood sizes while building the tree
+        reduces node accesses (up to 45%)."""
+        with_build = greedy_disc(
+            MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6, build_radius=0.1), 0.1
+        )
+        post_hoc = greedy_disc(MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6), 0.1)
+        assert with_build.selected == post_hoc.selected
+        assert with_build.node_accesses < post_hoc.node_accesses
+
+    def test_stats_are_deltas(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        first = greedy_disc(index, 0.2)
+        second = greedy_disc(index, 0.2)
+        # Same work both times: the second run's counters must not
+        # include the first run's.
+        assert second.node_accesses <= first.node_accesses
+
+
+class TestEdgeCases:
+    def test_huge_radius(self, small_uniform):
+        result = greedy_disc(BruteForceIndex(small_uniform, EUCLIDEAN), 5.0)
+        assert result.size == 1
+
+    def test_invalid_variant(self, small_uniform):
+        with pytest.raises(ValueError, match="update_variant"):
+            greedy_disc(BruteForceIndex(small_uniform, EUCLIDEAN), 0.1,
+                        update_variant="purple")
+
+    def test_negative_radius(self, small_uniform):
+        with pytest.raises(ValueError, match="radius"):
+            greedy_disc(BruteForceIndex(small_uniform, EUCLIDEAN), -1)
+
+    def test_algorithm_names(self, small_uniform):
+        cases = {
+            (): "Grey-Greedy-DisC",
+            ("white",): "White-Greedy-DisC",
+        }
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        assert greedy_disc(index, 0.3).algorithm == "Grey-Greedy-DisC"
+        assert (
+            greedy_disc(index, 0.3, update_variant="white").algorithm
+            == "White-Greedy-DisC"
+        )
+        assert (
+            greedy_disc(index, 0.3, lazy=True).algorithm == "Lazy-Grey-Greedy-DisC"
+        )
+        mt = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        assert (
+            greedy_disc(mt, 0.3, prune=True).algorithm
+            == "Grey-Greedy-DisC (Pruned)"
+        )

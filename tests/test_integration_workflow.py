@@ -1,0 +1,104 @@
+"""End-to-end workflow tests mirroring the README and the paper's
+interactive usage story (Section 3): overview -> zoom-in -> local zoom ->
+zoom-out, with validity after every step."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscDiversifier,
+    cameras_dataset,
+    clustered_dataset,
+    disc_select,
+    uniform_dataset,
+    verify_disc,
+)
+from repro.baselines import jaccard_distance
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_holds(self):
+        """The exact contract the README promises."""
+        data = uniform_dataset(n=500, seed=1)
+        diversifier = DiscDiversifier(data)
+        result = diversifier.select(radius=0.1)
+        finer = diversifier.zoom_in(0.05)
+        assert set(result.selected) <= set(finer.selected)
+
+    def test_one_shot_hamming_form(self):
+        data = cameras_dataset(n=150, seed=2)
+        result = disc_select(data.points, radius=2, metric="hamming")
+        report = verify_disc(data.points, "hamming", result.selected, 2)
+        assert report.is_disc_diverse
+
+
+class TestInteractiveSession:
+    """A full user session: every intermediate state must be valid and
+    each zoom must preserve continuity with the previous view."""
+
+    def test_session(self):
+        data = clustered_dataset(n=800, dim=2, seed=9)
+        diversifier = DiscDiversifier(data)
+
+        overview = diversifier.select(radius=0.15)
+        assert diversifier.verify().is_disc_diverse
+
+        detail = diversifier.zoom_in(0.08)
+        assert diversifier.verify().is_disc_diverse
+        assert set(overview.selected) <= set(detail.selected)
+
+        refined = diversifier.zoom_in(0.04)
+        assert diversifier.verify().is_disc_diverse
+        assert set(detail.selected) <= set(refined.selected)
+
+        # Back out two steps; continuity beats a fresh computation.
+        coarse = diversifier.zoom_out(0.15)
+        assert diversifier.verify().is_disc_diverse
+        fresh = DiscDiversifier(data).select(0.15)
+        assert jaccard_distance(refined.selected, coarse.selected) <= (
+            jaccard_distance(refined.selected, fresh.selected) + 1e-9
+        )
+
+    def test_local_session(self):
+        data = clustered_dataset(n=600, dim=2, seed=4)
+        diversifier = DiscDiversifier(data)
+        overview = diversifier.select(radius=0.2)
+        focus = overview.selected[0]
+        local = diversifier.local_zoom(focus, 0.05)
+        # Outside the focus area nothing moved.
+        outside_before = [
+            b for b in overview.selected if b in set(local.meta["outside"])
+        ]
+        assert outside_before == local.meta["outside"]
+
+    def test_mixed_methods_share_index(self):
+        data = clustered_dataset(n=500, dim=2, seed=5)
+        diversifier = DiscDiversifier(data)
+        greedy = diversifier.select(0.15, method="greedy")
+        basic = diversifier.select(0.15, method="basic")
+        cover = diversifier.select(0.15, method="greedy-c")
+        assert greedy.size <= basic.size
+        assert cover.size <= basic.size
+        for result in (greedy, basic):
+            assert verify_disc(
+                data.points, data.metric, result.selected, 0.15
+            ).is_disc_diverse
+
+
+class TestNumericalEdges:
+    def test_all_identical_points(self):
+        points = np.full((40, 2), 0.5)
+        result = disc_select(points, 0.1, metric="euclidean", engine="brute")
+        assert result.size == 1
+
+    def test_two_far_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = disc_select(points, 0.1, metric="euclidean", engine="brute")
+        assert sorted(result.selected) == [0, 1]
+
+    def test_collinear_chain(self):
+        points = np.column_stack([np.linspace(0, 1, 11), np.zeros(11)])
+        result = disc_select(points, 0.1001, metric="euclidean", engine="brute")
+        report = verify_disc(points, "euclidean", result.selected, 0.1001)
+        assert report.is_disc_diverse
+        assert result.size >= 4

@@ -1,0 +1,59 @@
+"""Tests for the scipy-backed KD-tree index engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import basic_disc, greedy_disc, verify_disc
+from repro.distance import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    HAMMING,
+    MANHATTAN,
+    MinkowskiMetric,
+)
+from repro.index import BruteForceIndex, KDTreeIndex
+
+
+class TestQueries:
+    @pytest.mark.parametrize(
+        "metric",
+        [EUCLIDEAN, MANHATTAN, CHEBYSHEV, MinkowskiMetric(3)],
+        ids=lambda m: m.name,
+    )
+    def test_matches_brute_force(self, medium_uniform, metric):
+        kdtree = KDTreeIndex(medium_uniform, metric)
+        brute = BruteForceIndex(medium_uniform, metric)
+        for center in (0, 99, 250):
+            for radius in (0.05, 0.2, 0.6):
+                assert sorted(kdtree.range_query(center, radius)) == sorted(
+                    brute.range_query(center, radius)
+                )
+
+    def test_neighborhood_sizes_match(self, medium_uniform):
+        kdtree = KDTreeIndex(medium_uniform, EUCLIDEAN)
+        brute = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        assert np.array_equal(
+            kdtree.neighborhood_sizes(0.1), brute.neighborhood_sizes(0.1)
+        )
+
+    def test_rejects_hamming(self, categorical_points):
+        with pytest.raises(TypeError, match="Minkowski"):
+            KDTreeIndex(categorical_points, HAMMING)
+
+    def test_stats_counted(self, small_uniform):
+        index = KDTreeIndex(small_uniform, EUCLIDEAN)
+        index.range_query(0, 0.2)
+        assert index.stats.range_queries == 1
+
+
+class TestAlgorithmsOnKDTree:
+    def test_basic_disc(self, medium_uniform):
+        result = basic_disc(KDTreeIndex(medium_uniform, EUCLIDEAN), 0.12)
+        report = verify_disc(medium_uniform, EUCLIDEAN, result.selected, 0.12)
+        assert report.is_disc_diverse
+
+    def test_greedy_disc_matches_brute(self, medium_uniform):
+        """Same iteration order + same neighborhoods -> identical runs."""
+        kd = greedy_disc(KDTreeIndex(medium_uniform, EUCLIDEAN), 0.12)
+        bf = greedy_disc(BruteForceIndex(medium_uniform, EUCLIDEAN), 0.12)
+        assert kd.selected == bf.selected

@@ -1,0 +1,65 @@
+"""Tests for M-tree k-nearest-neighbor queries."""
+
+import numpy as np
+import pytest
+
+from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
+from repro.mtree import MTreeIndex
+
+
+def oracle_knn(points, metric, point, k):
+    d = metric.to_point(points, np.asarray(point))
+    order = np.lexsort((np.arange(len(points)), d))
+    return [int(i) for i in order[:k]]
+
+
+class TestKnnQuery:
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MANHATTAN], ids=lambda m: m.name)
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_oracle(self, medium_uniform, metric, k):
+        index = MTreeIndex(medium_uniform, metric, capacity=6)
+        for target in (medium_uniform[17], np.array([0.5, 0.5]), np.array([2.0, 2.0])):
+            got = index.knn_query(target, k)
+            expected = oracle_knn(medium_uniform, metric, target, k)
+            got_d = sorted(metric.to_point(medium_uniform[got], target))
+            exp_d = sorted(metric.to_point(medium_uniform[expected], target))
+            assert np.allclose(got_d, exp_d), (metric.name, k)
+
+    def test_deterministic_tie_break_on_duplicates(self):
+        points = np.array([[0.5, 0.5]] * 6 + [[0.9, 0.9]])
+        index = MTreeIndex(points, EUCLIDEAN, capacity=3)
+        got = index.knn_query(np.array([0.5, 0.5]), 3)
+        assert got == [0, 1, 2]
+
+    def test_k_equals_n(self, small_uniform):
+        index = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        got = index.knn_query(np.array([0.1, 0.1]), len(small_uniform))
+        assert sorted(got) == list(range(len(small_uniform)))
+
+    def test_k_validation(self, small_uniform):
+        index = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        with pytest.raises(ValueError, match="k must be"):
+            index.knn_query(np.array([0.1, 0.1]), 0)
+        with pytest.raises(ValueError, match="k must be"):
+            index.knn_query(np.array([0.1, 0.1]), len(small_uniform) + 1)
+
+    def test_counts_node_accesses(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        before = index.stats.node_accesses
+        index.knn_query(np.array([0.5, 0.5]), 3)
+        assert index.stats.node_accesses > before
+
+    def test_pruning_beats_full_scan(self, medium_uniform):
+        """Best-first kNN must not touch every node for small k."""
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        total_nodes = index.tree.node_count()
+        index.stats.reset()
+        index.knn_query(np.array([0.5, 0.5]), 1)
+        assert index.stats.node_accesses < total_nodes
+
+    def test_hamming_knn(self, categorical_points):
+        index = MTreeIndex(categorical_points, HAMMING, capacity=4)
+        got = index.knn_query(categorical_points[0], 5)
+        d_got = HAMMING.to_point(categorical_points[got], categorical_points[0])
+        d_all = np.sort(HAMMING.to_point(categorical_points, categorical_points[0]))
+        assert np.allclose(np.sort(d_got), d_all[:5])

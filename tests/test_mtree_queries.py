@@ -1,0 +1,175 @@
+"""M-tree range-query correctness against the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import Coloring
+from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
+from repro.index import BruteForceIndex
+from repro.mtree import MTreeIndex
+
+
+@pytest.fixture(params=["min_overlap", "max_spread", "balanced", "random"])
+def policy(request):
+    return request.param
+
+
+class TestTopDownQueries:
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MANHATTAN], ids=lambda m: m.name)
+    def test_matches_oracle(self, medium_uniform, metric, policy):
+        mtree = MTreeIndex(medium_uniform, metric, capacity=6, split_policy=policy)
+        brute = BruteForceIndex(medium_uniform, metric)
+        for center in (0, 42, 150, 299):
+            for radius in (0.01, 0.08, 0.3):
+                assert sorted(mtree.range_query(center, radius)) == sorted(
+                    brute.range_query(center, radius)
+                )
+
+    def test_hamming_queries(self, categorical_points):
+        mtree = MTreeIndex(categorical_points, HAMMING, capacity=4)
+        brute = BruteForceIndex(categorical_points, HAMMING)
+        for center in range(0, 40, 5):
+            for radius in (1, 2, 3):
+                assert sorted(mtree.range_query(center, radius)) == sorted(
+                    brute.range_query(center, radius)
+                )
+
+    def test_free_point_query(self, medium_uniform):
+        mtree = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        q = np.array([0.5, 0.5])
+        d = EUCLIDEAN.to_point(medium_uniform, q)
+        expected = sorted(np.nonzero(d <= 0.2)[0])
+        assert sorted(mtree.range_query_point(q, 0.2)) == expected
+
+    def test_zero_radius_returns_duplicates_only(self):
+        points = np.vstack([[0.3, 0.3], [0.3, 0.3], [0.6, 0.6]])
+        mtree = MTreeIndex(points, EUCLIDEAN, capacity=3)
+        assert sorted(mtree.range_query(0, 0.0)) == [1]
+
+    def test_node_accesses_counted(self, medium_uniform):
+        mtree = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        before = mtree.stats.node_accesses
+        mtree.range_query(0, 0.1)
+        assert mtree.stats.node_accesses > before
+
+    def test_small_radius_cheaper_than_large(self, medium_uniform):
+        mtree = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        mtree.stats.reset()
+        mtree.range_query(0, 0.02)
+        small = mtree.stats.node_accesses
+        mtree.stats.reset()
+        mtree.range_query(0, 0.9)
+        large = mtree.stats.node_accesses
+        assert small < large
+
+
+class TestBottomUpQueries:
+    def test_matches_top_down(self, medium_uniform, policy):
+        mtree = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6, split_policy=policy)
+        for center in (0, 99, 250):
+            for radius in (0.05, 0.15):
+                top = sorted(mtree.range_query(center, radius))
+                bottom = sorted(mtree.range_query(center, radius, bottom_up=True))
+                assert top == bottom
+
+    def test_unknown_object_raises(self, small_uniform):
+        mtree = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        with pytest.raises(KeyError):
+            mtree.tree.range_query_bottom_up(999, 0.1)
+
+
+class TestGreyPruning:
+    def test_pruned_query_skips_only_grey_objects(self, medium_uniform):
+        """A pruned query may omit objects in grey subtrees, but every
+        white object in range must still be returned."""
+        mtree = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=5)
+        brute = BruteForceIndex(medium_uniform, EUCLIDEAN)
+        coloring = Coloring(len(medium_uniform))
+        rng = np.random.default_rng(0)
+        for i in rng.choice(len(medium_uniform), size=150, replace=False):
+            coloring.set_grey(int(i))
+        mtree.attach_coloring(coloring)
+        for center in (0, 10, 200):
+            full = set(brute.range_query(center, 0.2))
+            pruned = set(mtree.range_query(center, 0.2, prune=True))
+            assert pruned <= full
+            whites_in_range = {i for i in full if coloring.is_white(i)}
+            assert whites_in_range <= pruned
+        mtree.detach_coloring()
+
+    def test_pruning_reduces_accesses(self, medium_uniform):
+        mtree = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=5)
+        coloring = Coloring(len(medium_uniform))
+        # Grey out everything: every subtree becomes skippable.
+        for i in range(len(medium_uniform)):
+            coloring.set_grey(i)
+        mtree.attach_coloring(coloring)
+        mtree.stats.reset()
+        mtree.range_query(0, 0.3, prune=True)
+        pruned = mtree.stats.node_accesses
+        mtree.stats.reset()
+        mtree.range_query(0, 0.3, prune=False)
+        unpruned = mtree.stats.node_accesses
+        assert pruned < unpruned
+        mtree.detach_coloring()
+
+    def test_grey_flags_propagate_and_clear(self, small_uniform):
+        mtree = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        coloring = Coloring(len(small_uniform))
+        mtree.attach_coloring(coloring)
+        for i in range(len(small_uniform)):
+            coloring.set_grey(i)
+        assert mtree.tree.root.grey
+        coloring.set_white(7)
+        assert not mtree.tree.root.grey
+        assert not mtree.tree.leaf_of[7].grey
+        mtree.detach_coloring()
+
+    def test_detach_resets_grey(self, small_uniform):
+        mtree = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        coloring = Coloring(len(small_uniform))
+        mtree.attach_coloring(coloring)
+        for i in range(len(small_uniform)):
+            coloring.set_grey(i)
+        mtree.detach_coloring()
+        assert not any(node.grey for node in mtree.tree.nodes())
+
+    def test_coloring_size_mismatch(self, small_uniform):
+        mtree = MTreeIndex(small_uniform, EUCLIDEAN, capacity=5)
+        with pytest.raises(ValueError, match="coloring"):
+            mtree.attach_coloring(Coloring(3))
+
+
+class TestBuildTimeNeighborhoods:
+    def test_build_sizes_match_post_hoc(self, medium_uniform):
+        radius = 0.1
+        with_build = MTreeIndex(
+            medium_uniform, EUCLIDEAN, capacity=6, build_radius=radius
+        )
+        without = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        assert np.array_equal(
+            with_build.neighborhood_sizes(radius), without.neighborhood_sizes(radius)
+        )
+
+    def test_precompute_cost_charged_once(self, medium_uniform):
+        radius = 0.1
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6, build_radius=radius)
+        assert index.stats.node_accesses == 0
+        index.neighborhood_sizes(radius)
+        first = index.stats.node_accesses
+        assert first > 0
+        index.neighborhood_sizes(radius)
+        assert index.stats.node_accesses == first
+
+    def test_other_radius_falls_back_to_queries(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6, build_radius=0.1)
+        sizes = index.neighborhood_sizes(0.05)
+        oracle = BruteForceIndex(medium_uniform, EUCLIDEAN).neighborhood_sizes(0.05)
+        assert np.array_equal(sizes, oracle)
+
+    def test_leaf_order_ids(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=6)
+        ids = list(index.ids())
+        assert sorted(ids) == list(range(len(medium_uniform)))
+        # Leaf order is a locality order, not ascending id order.
+        assert ids != list(range(len(medium_uniform)))

@@ -1,0 +1,63 @@
+"""Tests for M-tree statistics: fat-factor and tree profiling."""
+
+import numpy as np
+import pytest
+
+from repro.distance import EUCLIDEAN
+from repro.mtree import MTree, MTreeIndex, fat_factor, profile_tree
+
+
+def build(points, capacity=5, policy="min_overlap"):
+    tree = MTree(EUCLIDEAN, capacity=capacity, split_policy=policy)
+    for i, p in enumerate(points):
+        tree.insert(i, p)
+    return tree
+
+
+class TestFatFactor:
+    def test_bounds(self, medium_uniform):
+        for policy in ("min_overlap", "random"):
+            factor = fat_factor(build(medium_uniform, policy=policy))
+            assert 0.0 <= factor <= 1.0
+
+    def test_single_leaf_tree_is_zero(self, rng):
+        tree = build(rng.random((4, 2)), capacity=5)
+        assert fat_factor(tree) == 0.0
+
+    def test_empty_tree_is_zero(self):
+        assert fat_factor(MTree(EUCLIDEAN, capacity=4)) == 0.0
+
+    def test_min_overlap_beats_random(self, rng):
+        """The paper's MinOverlap policy should produce notably less
+        overlap than random promotion (Section 6, Figure 10 setup)."""
+        points = rng.random((500, 2))
+        good = fat_factor(build(points, policy="min_overlap"))
+        bad = fat_factor(build(points, policy="random"))
+        assert good < bad
+
+    def test_does_not_touch_query_stats(self, medium_uniform):
+        index = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=5)
+        before = index.stats.node_accesses
+        fat_factor(index.tree)
+        assert index.stats.node_accesses == before
+
+
+class TestPointQueryAccesses:
+    def test_at_least_height(self, medium_uniform):
+        tree = build(medium_uniform)
+        h = tree.height()
+        for entry_point in (medium_uniform[0], medium_uniform[170]):
+            assert tree.point_query_accesses(entry_point) >= h
+
+
+class TestProfile:
+    def test_profile_fields(self, medium_uniform):
+        tree = build(medium_uniform, capacity=7)
+        profile = profile_tree(tree)
+        assert profile.size == 300
+        assert profile.capacity == 7
+        assert profile.policy == "min_overlap"
+        assert profile.node_count >= profile.leaf_count
+        assert profile.height >= 2
+        assert 0.0 <= profile.fat_factor <= 1.0
+        assert "MTree[" in str(profile)

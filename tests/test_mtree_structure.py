@@ -1,0 +1,152 @@
+"""Structural tests for the M-tree: inserts, splits, chains, policies."""
+
+import numpy as np
+import pytest
+
+from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
+from repro.mtree import (
+    BalancedPolicy,
+    MaxSpreadPolicy,
+    MinOverlapPolicy,
+    MTree,
+    RandomPolicy,
+    get_split_policy,
+)
+
+
+def build_tree(points, metric=EUCLIDEAN, capacity=5, policy="min_overlap"):
+    tree = MTree(metric, capacity=capacity, split_policy=policy)
+    for i, p in enumerate(points):
+        tree.insert(i, p)
+    return tree
+
+
+class TestInsertAndGrow:
+    def test_single_leaf_until_capacity(self, rng):
+        points = rng.random((5, 2))
+        tree = build_tree(points, capacity=5)
+        assert tree.height() == 1
+        assert tree.root.is_leaf
+        assert len(tree) == 5
+
+    def test_root_split_grows_height(self, rng):
+        points = rng.random((6, 2))
+        tree = build_tree(points, capacity=5)
+        assert tree.height() == 2
+        assert not tree.root.is_leaf
+
+    def test_large_build_invariants(self, rng):
+        points = rng.random((400, 2))
+        tree = build_tree(points, capacity=6)
+        tree.check_invariants()
+        assert tree.height() >= 3
+
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MANHATTAN], ids=lambda m: m.name)
+    def test_invariants_across_metrics(self, rng, metric):
+        points = rng.random((150, 3))
+        tree = build_tree(points, metric=metric, capacity=4)
+        tree.check_invariants()
+
+    def test_hamming_tree(self, categorical_points):
+        tree = build_tree(categorical_points, metric=HAMMING, capacity=4)
+        tree.check_invariants()
+
+    def test_duplicate_points_allowed(self):
+        points = np.array([[0.5, 0.5]] * 10)
+        tree = build_tree(points, capacity=3)
+        tree.check_invariants()
+        assert len(tree) == 10
+
+    def test_duplicate_id_rejected(self, rng):
+        tree = MTree(EUCLIDEAN, capacity=4)
+        tree.insert(0, rng.random(2))
+        with pytest.raises(ValueError, match="already indexed"):
+            tree.insert(0, rng.random(2))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MTree(EUCLIDEAN, capacity=1)
+
+    def test_frozen_tree_rejects_insert(self, rng):
+        tree = build_tree(rng.random((10, 2)), capacity=4)
+        tree.freeze()
+        with pytest.raises(RuntimeError, match="frozen"):
+            tree.insert(99, rng.random(2))
+        tree.unfreeze()
+        tree.insert(99, rng.random(2))
+
+
+class TestLeafChain:
+    def test_chain_covers_all_objects(self, rng):
+        points = rng.random((120, 2))
+        tree = build_tree(points, capacity=4)
+        ids = list(tree.objects_in_leaf_order())
+        assert sorted(ids) == list(range(120))
+
+    def test_chain_is_doubly_linked(self, rng):
+        tree = build_tree(rng.random((80, 2)), capacity=4)
+        leaves = list(tree.leaves())
+        assert leaves[0].prev_leaf is None
+        assert leaves[-1].next_leaf is None
+        for left, right in zip(leaves, leaves[1:]):
+            assert left.next_leaf is right
+            assert right.prev_leaf is left
+
+    def test_leaf_of_map_consistent(self, rng):
+        points = rng.random((100, 2))
+        tree = build_tree(points, capacity=4)
+        for object_id, leaf in tree.leaf_of.items():
+            assert any(e.object_id == object_id for e in leaf.entries)
+
+
+class TestSplitPolicies:
+    @pytest.mark.parametrize(
+        "policy", ["min_overlap", "max_spread", "balanced", "random"]
+    )
+    def test_all_policies_build_valid_trees(self, rng, policy):
+        points = rng.random((150, 2))
+        tree = build_tree(points, capacity=5, policy=policy)
+        tree.check_invariants()
+        assert sorted(tree.objects_in_leaf_order()) == list(range(150))
+
+    def test_policy_resolution(self):
+        assert isinstance(get_split_policy("min_overlap"), MinOverlapPolicy)
+        assert isinstance(get_split_policy("MinOverlap"), MinOverlapPolicy)
+        assert isinstance(get_split_policy("max_spread"), MaxSpreadPolicy)
+        assert isinstance(get_split_policy("balanced"), BalancedPolicy)
+        assert isinstance(get_split_policy("random", seed=1), RandomPolicy)
+        policy = MinOverlapPolicy()
+        assert get_split_policy(policy) is policy
+        with pytest.raises(ValueError, match="unknown split policy"):
+            get_split_policy("bogus")
+
+    def test_partition_never_leaves_side_empty(self):
+        # All-duplicate entries are the degenerate case for partitioning.
+        points = np.array([[0.2, 0.2]] * 7)
+        tree = build_tree(points, capacity=3)
+        tree.check_invariants()
+
+    def test_balanced_partition_sizes(self, rng):
+        from repro.mtree.node import LeafEntry, Node
+
+        policy = BalancedPolicy()
+        points = rng.random((9, 2))
+        entries = [LeafEntry(i, p) for i, p in enumerate(points)]
+        node = Node(is_leaf=True, entries=entries)
+        p1, p2 = policy.promote(node, entries, EUCLIDEAN)
+        g1, g2 = policy.partition(entries, p1, p2, EUCLIDEAN)
+        assert abs(len(g1) - len(g2)) <= 1
+        assert len(g1) + len(g2) == 9
+
+
+class TestTraversal:
+    def test_node_count_and_height(self, rng):
+        tree = build_tree(rng.random((60, 2)), capacity=4)
+        nodes = list(tree.nodes())
+        assert len(nodes) == tree.node_count()
+        leaves = [n for n in nodes if n.is_leaf]
+        assert len(leaves) == sum(1 for _ in tree.leaves())
+
+    def test_repr_smoke(self, rng):
+        tree = build_tree(rng.random((30, 2)), capacity=4)
+        assert "MTree" in repr(tree)

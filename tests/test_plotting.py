@@ -1,0 +1,48 @@
+"""Tests for the ASCII scatter renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_dimensions(self, small_uniform):
+        text = ascii_scatter(small_uniform, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_title_prepended(self, small_uniform):
+        text = ascii_scatter(small_uniform, title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_selected_marked(self, small_uniform):
+        text = ascii_scatter(small_uniform, selected=[0, 1, 2])
+        assert "@" in text
+
+    def test_no_selection_no_marker(self, small_uniform):
+        assert "@" not in ascii_scatter(small_uniform)
+
+    def test_points_rendered(self, small_uniform):
+        assert "." in ascii_scatter(small_uniform)
+
+    def test_orientation_y_up(self):
+        """A point with max y must appear near the top of the plot."""
+        points = np.array([[0.5, 0.0], [0.5, 1.0]])
+        text = ascii_scatter(points, selected=[1], width=11, height=5)
+        lines = text.splitlines()
+        assert "@" in lines[1]  # first row inside the top border
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter(np.array([[0.3, 0.7]]))
+        assert "." in text or "o" in text
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="(n, 2)"):
+            ascii_scatter(np.zeros((5, 3)))
+
+    def test_dense_cells_use_o(self):
+        points = np.vstack([np.full((50, 2), 0.5), np.array([[0.0, 0.0]])])
+        text = ascii_scatter(points, width=10, height=5)
+        assert "o" in text

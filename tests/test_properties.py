@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These generate arbitrary point clouds and radii and assert the paper's
+definitional properties hold for every heuristic on every input — the
+strongest guard against tie-breaking/bookkeeping regressions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    basic_disc,
+    fast_c,
+    greedy_c,
+    greedy_disc,
+    verify_disc,
+    zoom_in,
+    zoom_out,
+)
+from repro.core.verify import coverage_violations
+from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
+from repro.index import BruteForceIndex
+from repro.mtree import MTreeIndex
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def point_clouds(draw, min_points=2, max_points=40, dims=(1, 2, 3)):
+    n = draw(st.integers(min_points, max_points))
+    d = draw(st.sampled_from(dims))
+    flat = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False, width=32),
+            min_size=n * d,
+            max_size=n * d,
+        )
+    )
+    return np.array(flat, dtype=float).reshape(n, d)
+
+
+radii = st.floats(0.01, 1.5, allow_nan=False)
+
+
+class TestDiscInvariantsHold:
+    @given(points=point_clouds(), radius=radii)
+    @settings(**COMMON)
+    def test_basic_disc_brute(self, points, radius):
+        result = basic_disc(BruteForceIndex(points, EUCLIDEAN), radius)
+        assert verify_disc(points, EUCLIDEAN, result.selected, radius).is_disc_diverse
+
+    @given(points=point_clouds(), radius=radii)
+    @settings(**COMMON)
+    def test_greedy_disc_brute(self, points, radius):
+        result = greedy_disc(BruteForceIndex(points, EUCLIDEAN), radius)
+        assert verify_disc(points, EUCLIDEAN, result.selected, radius).is_disc_diverse
+
+    @given(points=point_clouds(), radius=radii)
+    @settings(**COMMON)
+    def test_greedy_disc_mtree_pruned(self, points, radius):
+        index = MTreeIndex(points, EUCLIDEAN, capacity=4)
+        result = greedy_disc(index, radius, prune=True)
+        assert verify_disc(points, EUCLIDEAN, result.selected, radius).is_disc_diverse
+
+    @given(points=point_clouds(dims=(2,)), radius=radii)
+    @settings(**COMMON)
+    def test_manhattan_basic(self, points, radius):
+        result = basic_disc(BruteForceIndex(points, MANHATTAN), radius)
+        assert verify_disc(points, MANHATTAN, result.selected, radius).is_disc_diverse
+
+    @given(points=point_clouds(), radius=radii)
+    @settings(**COMMON)
+    def test_greedy_c_covers(self, points, radius):
+        result = greedy_c(BruteForceIndex(points, EUCLIDEAN), radius)
+        assert coverage_violations(points, EUCLIDEAN, result.selected, radius) == []
+
+    @given(points=point_clouds(), radius=radii)
+    @settings(**COMMON)
+    def test_fast_c_covers_on_mtree(self, points, radius):
+        result = fast_c(MTreeIndex(points, EUCLIDEAN, capacity=4), radius)
+        assert coverage_violations(points, EUCLIDEAN, result.selected, radius) == []
+
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(0, 3), min_size=4, max_size=4),
+            min_size=2,
+            max_size=25,
+        ),
+        radius=st.integers(1, 3),
+    )
+    @settings(**COMMON)
+    def test_hamming_disc(self, rows, radius):
+        points = np.array(rows)
+        result = greedy_disc(BruteForceIndex(points, HAMMING), radius)
+        assert verify_disc(points, HAMMING, result.selected, radius).is_disc_diverse
+
+
+class TestIndexAgreement:
+    @given(points=point_clouds(min_points=5), radius=radii)
+    @settings(**COMMON)
+    def test_mtree_query_matches_brute(self, points, radius):
+        mtree = MTreeIndex(points, EUCLIDEAN, capacity=4)
+        brute = BruteForceIndex(points, EUCLIDEAN)
+        center = len(points) // 2
+        assert sorted(mtree.range_query(center, radius)) == sorted(
+            brute.range_query(center, radius)
+        )
+
+    @given(points=point_clouds(min_points=5), radius=radii)
+    @settings(**COMMON)
+    def test_mtree_bottom_up_matches_top_down(self, points, radius):
+        mtree = MTreeIndex(points, EUCLIDEAN, capacity=4)
+        center = 0
+        assert sorted(mtree.range_query(center, radius)) == sorted(
+            mtree.range_query(center, radius, bottom_up=True)
+        )
+
+    @given(points=point_clouds(min_points=5))
+    @settings(**COMMON)
+    def test_mtree_structural_invariants(self, points):
+        index = MTreeIndex(points, EUCLIDEAN, capacity=4)
+        index.tree.check_invariants()
+
+
+class TestZoomProperties:
+    @given(
+        points=point_clouds(min_points=6),
+        r_pair=st.tuples(st.floats(0.05, 0.4), st.floats(0.45, 1.2)),
+    )
+    @settings(**COMMON)
+    def test_zoom_in_superset_and_valid(self, points, r_pair):
+        r_small, r_large = r_pair
+        index = BruteForceIndex(points, EUCLIDEAN)
+        coarse = greedy_disc(index, r_large, track_closest_black=True)
+        fine = zoom_in(index, coarse, r_small, greedy=True)
+        assert set(coarse.selected) <= set(fine.selected)
+        assert verify_disc(points, EUCLIDEAN, fine.selected, r_small).is_disc_diverse
+
+    @given(
+        points=point_clouds(min_points=6),
+        r_pair=st.tuples(st.floats(0.05, 0.4), st.floats(0.45, 1.2)),
+        variant=st.sampled_from([None, "a", "b", "c"]),
+    )
+    @settings(**COMMON)
+    def test_zoom_out_valid(self, points, r_pair, variant):
+        r_small, r_large = r_pair
+        index = BruteForceIndex(points, EUCLIDEAN)
+        fine = greedy_disc(index, r_small, track_closest_black=True)
+        coarse = zoom_out(index, fine, r_large, greedy_variant=variant)
+        assert verify_disc(points, EUCLIDEAN, coarse.selected, r_large).is_disc_diverse
+
+
+class TestSizeMonotonicity:
+    @given(points=point_clouds(min_points=8))
+    @settings(**COMMON)
+    def test_larger_radius_never_larger_solution(self, points):
+        """Greedy solutions shrink (weakly) as the radius grows — the
+        zooming premise of Section 3."""
+        index = BruteForceIndex(points, EUCLIDEAN)
+        small = greedy_disc(index, 0.1).size
+        large = greedy_disc(index, 0.5).size
+        assert large <= small

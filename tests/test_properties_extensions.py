@@ -1,0 +1,91 @@
+"""Property-based tests for the Section 8 extensions."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.extensions import (
+    StreamingDisC,
+    multiradius_disc,
+    verify_multiradius,
+    weighted_disc,
+)
+from repro.core.verify import verify_disc
+from repro.distance import EUCLIDEAN
+from repro.index import BruteForceIndex
+
+COMMON = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def clouds(draw, max_points=30):
+    n = draw(st.integers(2, max_points))
+    flat = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False, width=32),
+            min_size=n * 2,
+            max_size=n * 2,
+        )
+    )
+    return np.array(flat, dtype=float).reshape(n, 2)
+
+
+class TestWeightedProperties:
+    @given(
+        points=clouds(),
+        radius=st.floats(0.05, 1.0),
+        alpha=st.floats(0.0, 1.0),
+        seed=st.integers(0, 10),
+    )
+    @settings(**COMMON)
+    def test_always_disc_diverse(self, points, radius, alpha, seed):
+        weights = np.random.default_rng(seed).random(len(points))
+        index = BruteForceIndex(points, EUCLIDEAN)
+        result = weighted_disc(index, radius, weights, alpha=alpha)
+        assert verify_disc(points, EUCLIDEAN, result.selected, radius).is_disc_diverse
+
+    @given(points=clouds(), radius=st.floats(0.05, 1.0))
+    @settings(**COMMON)
+    def test_total_weight_recorded(self, points, radius):
+        weights = np.ones(len(points))
+        index = BruteForceIndex(points, EUCLIDEAN)
+        result = weighted_disc(index, radius, weights)
+        assert result.meta["total_weight"] == result.size
+
+
+class TestMultiRadiusProperties:
+    @given(points=clouds(), seed=st.integers(0, 10))
+    @settings(**COMMON)
+    def test_heterogeneous_validity(self, points, seed):
+        radii = np.random.default_rng(seed).uniform(0.05, 0.5, size=len(points))
+        index = BruteForceIndex(points, EUCLIDEAN)
+        result = multiradius_disc(index, radii)
+        outcome = verify_multiradius(points, EUCLIDEAN, result.selected, radii)
+        assert outcome["uncovered"] == []
+        assert outcome["too_close"] == []
+
+
+class TestStreamingProperties:
+    @given(points=clouds(), radius=st.floats(0.05, 1.0))
+    @settings(**COMMON)
+    def test_final_state_disc_diverse(self, points, radius):
+        stream = StreamingDisC(radius=radius)
+        stream.extend(points)
+        assert verify_disc(
+            points, EUCLIDEAN, stream.selected_ids, radius
+        ).is_disc_diverse
+
+    @given(points=clouds(), radius=st.floats(0.05, 1.0))
+    @settings(**COMMON)
+    def test_selection_monotone(self, points, radius):
+        """Online selections are never retracted."""
+        stream = StreamingDisC(radius=radius)
+        previous: list = []
+        for point in points:
+            stream.add(point)
+            assert stream.selected_ids[: len(previous)] == previous
+            previous = stream.selected_ids

@@ -1,0 +1,61 @@
+"""Tests for the benchmark report aggregator."""
+
+import os
+
+import pytest
+
+from repro.experiments.report import collect_results, render_report, write_report
+
+
+@pytest.fixture
+def results_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    (tmp_path / "table3a_uniform.txt").write_text("TABLE3A CONTENT\n")
+    (tmp_path / "fig07a_uniform.txt").write_text("FIG7A CONTENT\n")
+    (tmp_path / "custom_thing.txt").write_text("CUSTOM CONTENT\n")
+    (tmp_path / "ignore.json").write_text("{}")
+    return tmp_path
+
+
+class TestCollect:
+    def test_collects_txt_only(self, results_env):
+        results = collect_results()
+        assert set(results) == {"table3a_uniform", "fig07a_uniform", "custom_thing"}
+        assert results["table3a_uniform"] == "TABLE3A CONTENT\n"
+
+    def test_missing_directory_is_empty(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nope"))
+        assert collect_results() == {}
+
+
+class TestRender:
+    def test_sections_in_paper_order(self, results_env):
+        text = render_report()
+        table_pos = text.index("Table 3 — solution sizes")
+        fig_pos = text.index("Figure 7 — node accesses")
+        other_pos = text.index("Other outputs")
+        assert table_pos < fig_pos < other_pos
+        assert "TABLE3A CONTENT" in text
+        assert "CUSTOM CONTENT" in text
+
+    def test_render_with_explicit_results(self):
+        text = render_report({"lemma7_x": "LEMMA CONTENT"})
+        assert "Lemma 7" in text
+        assert "LEMMA CONTENT" in text
+
+    def test_empty_results(self):
+        text = render_report({})
+        assert text.startswith("# DisC reproduction")
+
+
+class TestWrite:
+    def test_writes_default_path(self, results_env):
+        path = write_report()
+        assert os.path.exists(path)
+        assert path.endswith("REPORT.md")
+        with open(path) as handle:
+            assert "TABLE3A CONTENT" in handle.read()
+
+    def test_writes_custom_path(self, results_env, tmp_path):
+        path = write_report(str(tmp_path / "custom.md"))
+        assert os.path.exists(path)

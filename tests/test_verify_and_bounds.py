@@ -1,0 +1,165 @@
+"""Tests for the invariant verifier and the theoretical-bounds module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    GOLDEN_RATIO,
+    harmonic_number,
+    lemma4_independent_annulus,
+    lemma5_zoom_in_bound,
+    lemma6_zoom_out_removed_bound,
+    lemma7_maxmin_factor,
+    max_independent_neighbors,
+    theorem1_ratio,
+    theorem2_ratio,
+)
+from repro.core.verify import (
+    coverage_violations,
+    dissimilarity_violations,
+    is_maximal_independent,
+    verify_disc,
+)
+from repro.distance import CHEBYSHEV, EUCLIDEAN, HAMMING, MANHATTAN
+
+
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+
+
+class TestVerifier:
+    def test_valid_disc_subset(self):
+        # Opposite corners cover the square at r = 1.1 and are > 1.1 apart.
+        report = verify_disc(SQUARE, EUCLIDEAN, [0, 3], 1.1)
+        assert report.is_disc_diverse
+        assert "OK" in str(report)
+
+    def test_uncovered_object_detected(self):
+        report = verify_disc(SQUARE, EUCLIDEAN, [0], 1.0)
+        assert not report.is_covering
+        assert 3 in report.uncovered
+
+    def test_dependent_pair_detected(self):
+        report = verify_disc(SQUARE, EUCLIDEAN, [0, 1, 2, 3], 1.0)
+        assert not report.is_independent
+        assert (0, 1) in report.too_close
+
+    def test_empty_selection(self):
+        assert coverage_violations(SQUARE, EUCLIDEAN, [], 1.0) == [0, 1, 2, 3]
+        assert dissimilarity_violations(SQUARE, EUCLIDEAN, [], 1.0) == []
+
+    def test_duplicate_selection_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            dissimilarity_violations(SQUARE, EUCLIDEAN, [0, 0], 1.0)
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(IndexError):
+            dissimilarity_violations(SQUARE, EUCLIDEAN, [0, 9], 1.0)
+
+    def test_maximal_independent_equivalence(self):
+        assert is_maximal_independent(SQUARE, EUCLIDEAN, [0, 3], 1.1)
+        # Independent but not maximal (corner 3 uncovered at small r).
+        assert not is_maximal_independent(SQUARE, EUCLIDEAN, [0], 1.0)
+
+    def test_hamming_verification(self, categorical_points):
+        # Selecting everything is covering but likely not independent.
+        all_ids = list(range(len(categorical_points)))
+        report = verify_disc(categorical_points, HAMMING, all_ids, 1)
+        assert report.is_covering
+
+
+class TestIndependentNeighborConstants:
+    def test_paper_values(self):
+        assert max_independent_neighbors(EUCLIDEAN, 2) == 5  # Lemma 2
+        assert max_independent_neighbors(MANHATTAN, 2) == 7  # Lemma 3
+        assert max_independent_neighbors(EUCLIDEAN, 3) == 24
+        assert max_independent_neighbors(EUCLIDEAN, 1) == 2
+
+    def test_unknown_combinations_return_none(self):
+        assert max_independent_neighbors(EUCLIDEAN, 7) is None
+        assert max_independent_neighbors(CHEBYSHEV, 2) is None
+        assert max_independent_neighbors(HAMMING, 2) is None
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            max_independent_neighbors(EUCLIDEAN, 0)
+
+    def test_lemma2_is_geometrically_tight_enough(self, rng):
+        """Empirical check: no 2-d point admits more than 5 pairwise-
+        independent Euclidean neighbors (greedy packing attempt)."""
+        radius = 1.0
+        for _ in range(50):
+            # Random neighbors of the origin within the unit disk.
+            angles = rng.uniform(0, 2 * math.pi, size=40)
+            radii = rng.uniform(0.55, 1.0, size=40)
+            candidates = np.column_stack(
+                [radii * np.cos(angles), radii * np.sin(angles)]
+            )
+            chosen: list = []
+            for candidate in candidates:
+                if all(
+                    np.linalg.norm(candidate - other) > radius for other in chosen
+                ):
+                    chosen.append(candidate)
+            assert len(chosen) <= 5
+
+    def test_theorem1_ratio_alias(self):
+        assert theorem1_ratio(EUCLIDEAN, 2) == 5
+
+
+class TestHarmonicAndTheorem2:
+    def test_harmonic_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1 / 3)
+
+    def test_harmonic_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+    def test_theorem2_close_to_log(self):
+        assert theorem2_ratio(100) == pytest.approx(math.log(100), rel=0.15)
+
+    def test_theorem2_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_ratio(-1)
+
+
+class TestLemma4:
+    def test_euclidean_formula(self):
+        assert lemma4_independent_annulus(EUCLIDEAN, 1.0, 2.0) == 9 * math.ceil(
+            math.log(2.0, GOLDEN_RATIO)
+        )
+
+    def test_manhattan_formula(self):
+        # gamma = ceil((3-1)/1) = 2 -> 4 * (3 + 5) = 32
+        assert lemma4_independent_annulus(MANHATTAN, 1.0, 3.0) == 32
+
+    def test_monotone_in_ratio(self):
+        small = lemma4_independent_annulus(EUCLIDEAN, 1.0, 1.5)
+        large = lemma4_independent_annulus(EUCLIDEAN, 1.0, 8.0)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma4_independent_annulus(EUCLIDEAN, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            lemma4_independent_annulus(EUCLIDEAN, 2.0, 1.0)
+
+    def test_unsupported_metric_returns_none(self):
+        assert lemma4_independent_annulus(CHEBYSHEV, 1.0, 2.0) is None
+
+
+class TestZoomBounds:
+    def test_lemma5_bound(self):
+        bound = lemma5_zoom_in_bound(EUCLIDEAN, 0.1, 0.2, 10)
+        assert bound == 10 * lemma4_independent_annulus(EUCLIDEAN, 0.1, 0.2)
+
+    def test_lemma6_bound(self):
+        assert lemma6_zoom_out_removed_bound(
+            EUCLIDEAN, 0.1, 0.2
+        ) == lemma4_independent_annulus(EUCLIDEAN, 0.1, 0.2)
+
+    def test_lemma7_factor(self):
+        assert lemma7_maxmin_factor() == 3.0
