@@ -40,6 +40,7 @@ from repro.core import (
 from repro.datasets import Dataset
 from repro.distance import get_metric
 from repro.index import BruteForceIndex, GridIndex, KDTreeIndex, NeighborIndex
+from repro.index.base import validate_accelerate
 from repro.mtree import MTreeIndex
 
 __all__ = ["build_index", "disc_select", "DiscDiversifier"]
@@ -77,20 +78,49 @@ def build_index(
     (e.g. ``capacity=...``, ``split_policy=...``, ``build_radius=...``
     for the M-tree; ``cell_size=...`` for the grid; ``leafsize=...`` for
     the KD-tree).
+
+    Performance & engines
+    ---------------------
+    ``accelerate`` (in ``engine_options``) gates the CSR neighborhood
+    engine of :mod:`repro.graph.csr`: ``"auto"`` (default) lets every
+    simple engine (brute, grid, kdtree) materialise the fixed-radius
+    adjacency once as int32 CSR arrays and run Greedy-DisC / Greedy-C /
+    zooming as vectorised array ops — identical selections, ~10-100x
+    faster at paper scale (see ``results/BENCH_perf.json``).
+    ``False`` forces the legacy per-query path (the parity baseline);
+    ``True`` insists on the engine and is rejected for the M-tree,
+    whose per-query node-access accounting is the paper's cost metric
+    and must stay exact.  Batched neighborhoods for many centers are
+    available on every index via
+    ``index.range_query_batch(ids, radius)``.
     """
     points, resolved_metric = _resolve(data, metric)
     engine = engine.lower()
+    accelerate = validate_accelerate(engine_options.pop("accelerate", "auto"))
     if engine in ("auto", "mtree"):
-        return MTreeIndex(points, resolved_metric, **engine_options)
-    if engine == "brute":
-        return BruteForceIndex(points, resolved_metric, **engine_options)
-    if engine == "grid":
-        return GridIndex(points, resolved_metric, **engine_options)
-    if engine == "kdtree":
-        return KDTreeIndex(points, resolved_metric, **engine_options)
-    raise ValueError(
-        f"unknown engine {engine!r}; expected auto, brute, grid, kdtree or mtree"
-    )
+        if accelerate is True:
+            raise ValueError(
+                "the M-tree has no CSR engine (its per-query node-access "
+                "accounting is the paper's cost metric); pick a simple "
+                'engine for accelerate=True or use accelerate="auto"'
+            )
+        index = MTreeIndex(points, resolved_metric, **engine_options)
+    elif engine == "brute":
+        # Pass through the constructor so a ctor-time ``cache_radius``
+        # precompute already lands on the requested path.
+        index = BruteForceIndex(
+            points, resolved_metric, accelerate=accelerate, **engine_options
+        )
+    elif engine == "grid":
+        index = GridIndex(points, resolved_metric, **engine_options)
+    elif engine == "kdtree":
+        index = KDTreeIndex(points, resolved_metric, **engine_options)
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected auto, brute, grid, kdtree or mtree"
+        )
+    index.accelerate = accelerate
+    return index
 
 
 def disc_select(

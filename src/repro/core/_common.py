@@ -19,6 +19,8 @@ from repro.index.base import IndexStats, NeighborIndex
 __all__ = [
     "attach_fresh_coloring",
     "query_neighbors",
+    "csr_fast_path",
+    "scan_cover",
     "LazyMaxHeap",
     "ClosestBlackTracker",
     "consume_stats",
@@ -55,6 +57,76 @@ def query_neighbors(
             stop_at_grey=stop_at_grey,
         )
     return index.range_query(object_id, radius)
+
+
+def csr_fast_path(
+    index: NeighborIndex,
+    radius: float,
+    coloring: Coloring,
+    *,
+    prune: bool = False,
+    build: bool = True,
+):
+    """The CSR adjacency when the vectorised fast path is applicable.
+
+    Tree-specific query options (pruning) and coloring listeners (the
+    M-tree's per-leaf white counters) both require the per-query
+    protocol, so either disables the fast path; indexes without a CSR
+    engine return None anyway.  Selection semantics are identical on
+    both paths — this is purely an execution-strategy switch.
+    """
+    if prune or coloring.has_listeners():
+        return None
+    return index.csr_neighborhood(radius, build=build)
+
+
+def scan_cover(
+    index: NeighborIndex,
+    radius: float,
+    coloring: Coloring,
+    *,
+    prune: bool = False,
+    tracker: Optional["ClosestBlackTracker"] = None,
+    selected: Optional[List[int]] = None,
+    csr=None,
+) -> List[int]:
+    """Index-order white scan: blacken every still-white object and grey
+    its neighborhood.
+
+    This is the shared engine of Basic-DisC and the arbitrary zoom-in
+    pass.  With a CSR adjacency the neighbor greying is one masked
+    assignment per selection; otherwise one range query per pick, as
+    the paper describes.  Picks and final colors are identical on both
+    paths (the scan order is the index's, never the adjacency's).
+    """
+    if selected is None:
+        selected = []
+    if csr is not None:
+        codes = coloring.codes_view()
+        white_code = int(Color.WHITE)
+        for object_id in index.ids():
+            if codes[object_id] != white_code:
+                continue
+            coloring.set_black(object_id)
+            selected.append(object_id)
+            neighbors = csr.neighbors(object_id)
+            coloring.set_grey_many(neighbors[codes[neighbors] == white_code])
+            index.stats.range_queries += 1
+            if tracker is not None:
+                tracker.record_black(object_id, neighbors)
+    else:
+        for object_id in index.ids():
+            if not coloring.is_white(object_id):
+                continue
+            coloring.set_black(object_id)
+            selected.append(object_id)
+            neighbors = query_neighbors(index, object_id, radius, prune=prune)
+            for neighbor in neighbors:
+                if coloring.is_white(neighbor):
+                    coloring.set_grey(neighbor)
+            if tracker is not None:
+                tracker.record_black(object_id, neighbors)
+    return selected
 
 
 def consume_stats(index: NeighborIndex, before: IndexStats) -> IndexStats:
@@ -119,11 +191,11 @@ class ClosestBlackTracker:
         self.distances = np.full(index.n, np.inf)
         self.exact = exact
 
-    def record_black(self, black_id: int, neighbor_ids: List[int]) -> None:
+    def record_black(self, black_id: int, neighbor_ids) -> None:
         """Object ``black_id`` just turned black; its neighbors may now
-        have a closer black."""
+        have a closer black.  ``neighbor_ids`` may be a list or array."""
         self.distances[black_id] = 0.0
-        if not neighbor_ids:
+        if len(neighbor_ids) == 0:
             return
         points = self._index.points
         metric = self._index.metric

@@ -20,7 +20,8 @@ from repro.core._common import (
     ClosestBlackTracker,
     attach_fresh_coloring,
     consume_stats,
-    query_neighbors,
+    csr_fast_path,
+    scan_cover,
 )
 from repro.core.result import DiscResult
 from repro.index.base import NeighborIndex
@@ -60,18 +61,15 @@ def basic_disc(
         ClosestBlackTracker(index, exact=not prune) if track_closest_black else None
     )
     selected = []
+    # The scan covers the whole dataset, so materialising the full
+    # adjacency is always amortised (unlike zooming, which only builds
+    # on demand).
+    csr = csr_fast_path(index, radius, coloring, prune=prune)
     try:
-        for object_id in index.ids():
-            if not coloring.is_white(object_id):
-                continue
-            coloring.set_black(object_id)
-            selected.append(object_id)
-            neighbors = query_neighbors(index, object_id, radius, prune=prune)
-            for neighbor in neighbors:
-                if coloring.is_white(neighbor):
-                    coloring.set_grey(neighbor)
-            if tracker is not None:
-                tracker.record_black(object_id, neighbors)
+        scan_cover(
+            index, radius, coloring,
+            prune=prune, tracker=tracker, selected=selected, csr=csr,
+        )
     finally:
         index.detach_coloring()
     name = "Basic-DisC (Pruned)" if prune else "Basic-DisC"

@@ -83,6 +83,40 @@ class Coloring:
     def set_red(self, object_id: int) -> None:
         self.set_color(object_id, Color.RED)
 
+    # Batch transitions --------------------------------------------------------
+    def set_many(self, ids, color: Color) -> None:
+        """Recolor many objects at once.
+
+        With listeners attached this degrades to per-object
+        :meth:`set_color` calls so every subscriber still sees the full
+        transition stream; without listeners (simple indexes) it is a
+        single vectorised assignment plus a histogram update.  ``ids``
+        must not contain duplicates (neighbor lists never do).
+        """
+        ids = np.asarray(ids, dtype=np.intp)
+        if ids.size == 0:
+            return
+        if self._listeners:
+            for object_id in ids:
+                self.set_color(int(object_id), color)
+            return
+        old = self._codes[ids]
+        changed = old != int(color)
+        if not changed.all():
+            ids = ids[changed]
+            old = old[changed]
+            if ids.size == 0:
+                return
+        self._codes[ids] = int(color)
+        histogram = np.bincount(old, minlength=4)
+        for code in range(4):
+            self._counts[code] -= int(histogram[code])
+        self._counts[int(color)] += ids.size
+
+    def set_grey_many(self, ids) -> None:
+        """Vectorised :meth:`set_grey` (the hot transition in covering)."""
+        self.set_many(ids, Color.GREY)
+
     # Queries ------------------------------------------------------------------
     def is_white(self, object_id: int) -> bool:
         return self._codes[object_id] == int(Color.WHITE)
@@ -121,7 +155,24 @@ class Coloring:
         """A copy of the raw color codes (for snapshots / assertions)."""
         return self._codes.copy()
 
+    def codes_view(self) -> np.ndarray:
+        """The live ``int8`` color-code array (read-only by convention).
+
+        The CSR fast paths index this directly for vectorised masks;
+        all writes must still go through :meth:`set_color` /
+        :meth:`set_many` so the per-color counts stay consistent.
+        """
+        return self._codes
+
+    def white_mask(self) -> np.ndarray:
+        """Boolean mask of the currently white objects."""
+        return self._codes == int(Color.WHITE)
+
     # Listener management --------------------------------------------------------
+    def has_listeners(self) -> bool:
+        """Whether any subscriber (e.g. an M-tree) watches transitions."""
+        return bool(self._listeners)
+
     def add_listener(self, listener: Listener) -> None:
         self._listeners.append(listener)
 

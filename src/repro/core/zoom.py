@@ -36,7 +36,9 @@ from repro.core._common import (
     ClosestBlackTracker,
     LazyMaxHeap,
     consume_stats,
+    csr_fast_path,
     query_neighbors,
+    scan_cover,
 )
 from repro.core.coloring import Color, Coloring
 from repro.core.greedy import greedy_cover
@@ -62,8 +64,8 @@ def recompute_closest_black(
     construction.
     """
     tracker = ClosestBlackTracker(index, exact=True)
-    for black in selected:
-        neighbors = query_neighbors(index, black, radius)
+    neighborhoods = index.range_query_batch(selected, radius)
+    for black, neighbors in zip(selected, neighborhoods):
         tracker.record_black(black, neighbors)
     return tracker
 
@@ -132,16 +134,16 @@ def zoom_in(
                 selected=added,
             )
         else:
-            for object_id in index.ids():
-                if not coloring.is_white(object_id):
-                    continue
-                coloring.set_black(object_id)
-                added.append(object_id)
-                neighbors = query_neighbors(index, object_id, new_radius, prune=prune)
-                for neighbor in neighbors:
-                    if coloring.is_white(neighbor):
-                        coloring.set_grey(neighbor)
-                tracker.record_black(object_id, neighbors)
+            # Zooming typically re-covers a handful of objects, so a
+            # full adjacency build at the new radius would dwarf the
+            # per-query cost — consume a cached CSR, never build one.
+            csr = csr_fast_path(
+                index, new_radius, coloring, prune=prune, build=False
+            )
+            scan_cover(
+                index, new_radius, coloring,
+                prune=prune, tracker=tracker, selected=added, csr=csr,
+            )
     finally:
         index.detach_coloring()
 
@@ -295,12 +297,23 @@ def _greedy_red_pass(
     red_counts = np.zeros(index.n, dtype=np.int64)
     white_counts = np.zeros(index.n, dtype=np.int64)
     touching: Dict[int, List[int]] = {}
-    for red in reds:
-        neighbors = query_neighbors(index, red, radius, prune=prune)
-        adjacency[red] = neighbors
-        red_counts[red] = sum(1 for n in neighbors if coloring.is_red(n))
-        white_counts[red] = sum(1 for n in neighbors if coloring.is_white(n))
-        for neighbor in neighbors:
+    if prune:
+        neighborhoods = [
+            query_neighbors(index, red, radius, prune=True) for red in reds
+        ]
+    else:
+        # One batched probe for the whole red set (vectorised on the
+        # simple indexes, per-query fidelity on the M-tree).
+        neighborhoods = index.range_query_batch(reds, radius)
+    codes = coloring.codes_view()
+    red_code, white_code = int(Color.RED), int(Color.WHITE)
+    for red, neighbors in zip(reds, neighborhoods):
+        neighbor_arr = np.asarray(neighbors, dtype=np.int64)
+        adjacency[red] = neighbor_arr
+        local = codes[neighbor_arr]
+        red_counts[red] = int(np.count_nonzero(local == red_code))
+        white_counts[red] = int(np.count_nonzero(local == white_code))
+        for neighbor in neighbor_arr.tolist():
             touching.setdefault(neighbor, []).append(red)
 
     if variant == "a":

@@ -45,6 +45,19 @@ __all__ = [
 ]
 
 
+def _abs_diff(a, b, out=None):
+    """|a - b| broadcast, reusing ``out`` as scratch when provided.
+
+    The closed-form L1/Linf pairwise implementations fold one
+    ``(len(X), len(Y))`` plane per *coordinate* into the result, so
+    memory stays at two 2-d matrices regardless of dimensionality —
+    unlike a full ``(n, m, d)`` broadcast, which is memory-bound, or
+    the generic per-row loop, which pays a Python call per row.
+    """
+    diff = np.subtract(a, b, out=out)
+    return np.abs(diff, out=diff)
+
+
 class Metric(abc.ABC):
     """A distance metric over fixed-dimension points.
 
@@ -103,24 +116,37 @@ class EuclideanMetric(Metric):
         return float(np.sqrt(np.dot(diff, diff)))
 
     def to_point(self, X: np.ndarray, p: np.ndarray) -> np.ndarray:
-        diff = np.asarray(X, dtype=float) - np.asarray(p, dtype=float)
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        X = np.asarray(X, dtype=float)
+        p = np.asarray(p, dtype=float)
+        if X.shape[1] == 0:
+            return np.zeros(X.shape[0], dtype=float)
+        # Same coordinate-at-a-time accumulation as :meth:`pairwise`
+        # (see there) so single queries and matrix blocks agree
+        # bit-for-bit at any dimensionality.
+        diff = np.subtract(X[:, 0], p[0])
+        out = np.multiply(diff, diff)
+        for k in range(1, X.shape[1]):
+            np.subtract(X[:, k], p[k], out=diff)
+            out += np.multiply(diff, diff, out=diff)
+        return np.sqrt(out, out=out)
 
     def pairwise(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
         X = np.asarray(X, dtype=float)
-        same = Y is None
-        Y = X if same else np.asarray(Y, dtype=float)
-        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped for fp safety.
-        sq = (
-            np.sum(X * X, axis=1)[:, None]
-            + np.sum(Y * Y, axis=1)[None, :]
-            - 2.0 * (X @ Y.T)
-        )
-        np.maximum(sq, 0.0, out=sq)
-        out = np.sqrt(sq)
-        if same:
-            np.fill_diagonal(out, 0.0)  # kill closed-form fp residue
-        return out
+        Y = X if Y is None else np.asarray(Y, dtype=float)
+        if X.shape[1] == 0:
+            return np.zeros((X.shape[0], Y.shape[0]), dtype=float)
+        # Direct squared-difference accumulation, one coordinate plane
+        # at a time.  Unlike the ||x||^2+||y||^2-2xy closed form this
+        # is bit-identical to :meth:`to_point` (same subtract/square/
+        # accumulate order), so cached adjacency, CSR builds and
+        # per-query scans agree even on exact radius ties — the
+        # determinism contract the cross-engine tests pin.
+        diff = np.subtract(X[:, 0, None], Y[None, :, 0])
+        out = np.multiply(diff, diff)
+        for k in range(1, X.shape[1]):
+            np.subtract(X[:, k, None], Y[None, :, k], out=diff)
+            out += np.multiply(diff, diff, out=diff)
+        return np.sqrt(out, out=out)
 
 
 class ManhattanMetric(Metric):
@@ -138,6 +164,17 @@ class ManhattanMetric(Metric):
             np.abs(np.asarray(X, dtype=float) - np.asarray(p, dtype=float)), axis=1
         )
 
+    def pairwise(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        Y = X if Y is None else np.asarray(Y, dtype=float)
+        if X.shape[1] == 0:
+            return np.zeros((X.shape[0], Y.shape[0]), dtype=float)
+        out = _abs_diff(X[:, 0, None], Y[None, :, 0])
+        scratch = np.empty_like(out)
+        for k in range(1, X.shape[1]):
+            out += _abs_diff(X[:, k, None], Y[None, :, k], out=scratch)
+        return out
+
 
 class ChebyshevMetric(Metric):
     """The L-infinity metric (max per-coordinate difference)."""
@@ -153,6 +190,17 @@ class ChebyshevMetric(Metric):
         return np.max(
             np.abs(np.asarray(X, dtype=float) - np.asarray(p, dtype=float)), axis=1
         )
+
+    def pairwise(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        Y = X if Y is None else np.asarray(Y, dtype=float)
+        if X.shape[1] == 0:
+            return np.zeros((X.shape[0], Y.shape[0]), dtype=float)
+        out = _abs_diff(X[:, 0, None], Y[None, :, 0])
+        scratch = np.empty_like(out)
+        for k in range(1, X.shape[1]):
+            np.maximum(out, _abs_diff(X[:, k, None], Y[None, :, k], out=scratch), out=out)
+        return out
 
 
 class MinkowskiMetric(Metric):
@@ -202,6 +250,14 @@ class HammingMetric(Metric):
 
     def to_point(self, X: np.ndarray, p: np.ndarray) -> np.ndarray:
         return np.sum(np.asarray(X) != np.asarray(p), axis=1).astype(float)
+
+    def pairwise(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.asarray(X)
+        Y = X if Y is None else np.asarray(Y)
+        out = np.zeros((X.shape[0], Y.shape[0]), dtype=float)
+        for k in range(X.shape[1]):
+            out += X[:, k, None] != Y[None, :, k]
+        return out
 
 
 #: Shared stateless instances.

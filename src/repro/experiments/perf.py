@@ -1,0 +1,193 @@
+"""Wall-clock benchmark harness for the CSR neighborhood engine.
+
+The paper's figures measure *node accesses*; this module seeds the
+complementary trajectory the ROADMAP asks for — raw wall-clock of index
+build + greedy selection at growing cardinalities, so every future
+engine or heuristic change can be judged against a recorded baseline.
+
+Workloads are the three numeric dataset families (uniform / clustered /
+cities) at n ∈ {2000, 10000, 50000}.  Engines:
+
+``brute-legacy``
+    :class:`BruteForceIndex` with ``accelerate=False`` — the seed
+    implementation (Python neighbor lists, per-neighbor loops).  The
+    reference the speedup column is computed against.
+``brute-csr`` / ``grid-csr`` / ``kdtree-csr``
+    the same heuristics driven by the CSR engine.
+
+The legacy engine is only timed up to ``LEGACY_MAX_N`` (it is the thing
+being replaced); the CSR engines run at every cardinality.  Results are
+emitted as ``results/BENCH_perf.json`` with one record per (workload,
+n, engine) and a ``speedups`` section keyed ``<workload>-<n>``.
+
+Run via ``python -m repro bench [--quick]`` or the ``slow``-marked
+``benchmarks/test_perf_wallclock.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.core import greedy_disc
+from repro.datasets import cities_dataset, clustered_dataset, uniform_dataset
+from repro.experiments.tables import format_table, results_dir
+from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
+
+__all__ = [
+    "BENCH_SIZES",
+    "QUICK_SIZES",
+    "LEGACY_MAX_N",
+    "run_wallclock_bench",
+    "render_bench_table",
+    "write_bench_json",
+]
+
+BENCH_SIZES = [2000, 10000, 50000]
+QUICK_SIZES = [2000]
+
+#: Largest n the seed (legacy brute-force) engine is timed at; beyond
+#: this it is impractically slow, which is the point of the CSR engine.
+LEGACY_MAX_N = 10000
+
+#: Radii giving paper-like neighborhood densities per workload family.
+BENCH_RADII = {"uniform": 0.05, "clustered": 0.05, "cities": 0.01}
+
+_WORKLOADS: Dict[str, Callable] = {
+    "uniform": lambda n: uniform_dataset(n=n, dim=2, seed=42),
+    "clustered": lambda n: clustered_dataset(n=n, dim=2, seed=42),
+    "cities": lambda n: cities_dataset(n=n, seed=42),
+}
+
+
+def _engines(n: int) -> Dict[str, Callable]:
+    engines: Dict[str, Callable] = {}
+    if n <= LEGACY_MAX_N:
+        engines["brute-legacy"] = lambda pts, metric: BruteForceIndex(
+            pts, metric, accelerate=False
+        )
+        engines["brute-csr"] = lambda pts, metric: BruteForceIndex(pts, metric)
+    engines["grid-csr"] = lambda pts, metric: GridIndex(pts, metric, cell_size=0.05)
+    engines["kdtree-csr"] = lambda pts, metric: KDTreeIndex(pts, metric)
+    return engines
+
+
+def run_wallclock_bench(
+    sizes: Optional[List[int]] = None,
+    workloads: Optional[List[str]] = None,
+    *,
+    quick: bool = False,
+    radius_overrides: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Time index build + Greedy-DisC selection across the grid.
+
+    Build time covers index construction plus neighborhood
+    materialisation (CSR build / legacy precompute) — the work a server
+    amortises across queries; select time is one full Greedy-DisC run.
+    Selections of every engine at the same (workload, n) are checked
+    for equality, so each benchmark run doubles as a parity test.
+    """
+    sizes = list(sizes if sizes is not None else (QUICK_SIZES if quick else BENCH_SIZES))
+    workloads = list(workloads or _WORKLOADS)
+    radii = dict(BENCH_RADII)
+    radii.update(radius_overrides or {})
+
+    runs: List[dict] = []
+    speedups: Dict[str, float] = {}
+    for workload in workloads:
+        for n in sizes:
+            data = _WORKLOADS[workload](n)
+            radius = radii[workload]
+            selections: Dict[str, list] = {}
+            timings: Dict[str, float] = {}
+            for engine_name, factory in _engines(n).items():
+                t0 = time.perf_counter()
+                index = factory(data.points, data.metric)
+                index.neighborhood_sizes(radius)  # materialise adjacency
+                t1 = time.perf_counter()
+                result = greedy_disc(index, radius)
+                t2 = time.perf_counter()
+                selections[engine_name] = result.selected
+                timings[engine_name] = t2 - t0
+                runs.append(
+                    {
+                        "workload": workload,
+                        "n": n,
+                        "engine": engine_name,
+                        "radius": radius,
+                        "build_s": round(t1 - t0, 6),
+                        "select_s": round(t2 - t1, 6),
+                        "total_s": round(t2 - t0, 6),
+                        "solution_size": result.size,
+                    }
+                )
+            reference = selections.get("brute-legacy")
+            if reference is not None:
+                mismatched = [
+                    name for name, sel in selections.items() if sel != reference
+                ]
+                if mismatched:
+                    raise AssertionError(
+                        f"engine selections diverged on {workload} n={n}: "
+                        f"{mismatched}"
+                    )
+                speedups[f"{workload}-{n}"] = round(
+                    timings["brute-legacy"] / timings["brute-csr"], 2
+                )
+    return {
+        "meta": {
+            "version": __version__,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "sizes": sizes,
+            "radii": {w: radii[w] for w in workloads},
+            "legacy_max_n": LEGACY_MAX_N,
+        },
+        "runs": runs,
+        "speedups": speedups,
+    }
+
+
+def render_bench_table(payload: dict) -> str:
+    """Human-readable view of a :func:`run_wallclock_bench` payload."""
+    rows = [
+        [
+            run["workload"],
+            run["n"],
+            run["engine"],
+            f"{run['build_s']:.3f}",
+            f"{run['select_s']:.3f}",
+            f"{run['total_s']:.3f}",
+            run["solution_size"],
+        ]
+        for run in payload["runs"]
+    ]
+    table = format_table(
+        "Wall-clock: index build + Greedy-DisC selection",
+        ["workload", "n", "engine", "build s", "select s", "total s", "|S|"],
+        rows,
+    )
+    if payload["speedups"]:
+        lines = [
+            f"  {key}: {value:.1f}x (brute-legacy / brute-csr)"
+            for key, value in sorted(payload["speedups"].items())
+        ]
+        table += "\nspeedups:\n" + "\n".join(lines)
+    return table
+
+
+def write_bench_json(payload: dict, path: Optional[str] = None) -> str:
+    """Persist the payload as ``results/BENCH_perf.json`` (or ``path``)."""
+    if path is None:
+        path = os.path.join(results_dir(), "BENCH_perf.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

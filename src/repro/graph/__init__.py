@@ -1,6 +1,7 @@
 """Graph-theoretic view of DisC diversity (Section 2.2) and exact
 solvers for small instances."""
 
+from repro.graph.csr import CSRNeighborhood, build_csr_pairwise
 from repro.graph.build import (
     build_neighborhood_graph,
     is_dominating_set,
@@ -14,6 +15,8 @@ from repro.graph.exact import (
 )
 
 __all__ = [
+    "CSRNeighborhood",
+    "build_csr_pairwise",
     "build_neighborhood_graph",
     "is_independent_set",
     "is_dominating_set",

@@ -29,7 +29,9 @@ def build_neighborhood_graph(points: np.ndarray, metric, radius: float) -> nx.Gr
     distance <= radius.
 
     O(n^2) distance evaluations — intended for analysis and tests, not
-    for the algorithms themselves (those use neighbor indexes).
+    for the algorithms themselves (those use neighbor indexes).  Edge
+    extraction is a single vectorised threshold over the upper triangle
+    rather than a Python double loop.
     """
     metric = get_metric(metric)
     points = np.asarray(points)
@@ -37,10 +39,8 @@ def build_neighborhood_graph(points: np.ndarray, metric, radius: float) -> nx.Gr
     graph = nx.Graph()
     graph.add_nodes_from(range(n))
     matrix = metric.pairwise(points)
-    for i in range(n):
-        for j in range(i + 1, n):
-            if matrix[i, j] <= radius:
-                graph.add_edge(i, j)
+    edges = np.argwhere(np.triu(matrix <= radius, k=1))
+    graph.add_edges_from((int(i), int(j)) for i, j in edges)
     return graph
 
 

@@ -1,0 +1,357 @@
+"""CSR neighborhood engine — the shared fast substrate for DisC.
+
+Every DisC heuristic reduces to repeated fixed-radius neighborhood
+operations over ``G_{P,r}``: "how many white neighbors does p have?",
+"which neighbors of p are still white?", "decrement the counts of
+everything adjacent to these objects".  Done one Python ``list`` at a
+time those operations cap the reproduction at paper scale (~10k
+objects); done as array primitives over a compressed-sparse-row
+adjacency they run at production scale.
+
+:class:`CSRNeighborhood` stores the fixed-radius adjacency (self
+excluded, rows ascending by neighbor id) as ``int64 indptr`` /
+``int32 indices`` arrays and implements the three primitives the
+heuristics need — per-object neighbor counts, batched count decrements
+and cover masks — as single NumPy expressions (``np.bincount``,
+boolean masks, fancy slicing) instead of per-neighbor Python loops.
+
+Builders
+--------
+:func:`build_csr_pairwise`
+    chunked vectorised ``metric.pairwise`` over row blocks; exact for
+    every metric and the default for :class:`BruteForceIndex`.
+:meth:`CSRNeighborhood.from_edges` / :meth:`from_rows`
+    assemble a CSR from edge arrays or per-row neighbor lists; used by
+    the grid (cell-blocked candidate generation) and KD-tree
+    (``query_pairs``) indexes.
+
+The adjacency is immutable once built; algorithms carry their mutable
+state (colors, counts) in separate dense arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CSRNeighborhood",
+    "build_csr_pairwise",
+    "build_csr_grid",
+    "group_points_by_cell",
+    "pairwise_row_chunk",
+]
+
+#: Soft memory budget (bytes) for one pairwise distance block.  The
+#: chunk height is derived from this, the candidate count *and* the
+#: dimensionality, so high-d workloads do not blow up on the ``(chunk,
+#: n, d)`` broadcast intermediates of the Lp metrics.
+DEFAULT_BLOCK_BYTES = 32_000_000
+
+
+def pairwise_row_chunk(
+    n_cols: int, dim: int, itemsize: int = 8, budget: int = DEFAULT_BLOCK_BYTES
+) -> int:
+    """Rows per pairwise block so ``chunk * n_cols * dim * itemsize``
+    stays within ``budget`` (always at least 1)."""
+    per_row = max(1, n_cols) * max(1, dim) * itemsize
+    return max(1, int(budget // per_row))
+
+
+class CSRNeighborhood:
+    """Fixed-radius adjacency in compressed-sparse-row form.
+
+    ``indptr`` has length ``n + 1``; the neighbors of object ``i`` are
+    ``indices[indptr[i]:indptr[i+1]]``, ascending, never containing
+    ``i`` itself.  All query primitives are pure NumPy.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "_row_ids")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.shape[0] < 2:
+            raise ValueError("indptr must be 1-d with at least two entries")
+        if indptr[0] != 0 or int(indptr[-1]) != len(indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        self.n = indptr.shape[0] - 1
+        self.indptr = indptr
+        self.indices = np.asarray(indices, dtype=np.int32)
+        self._row_ids: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        n: int,
+        *,
+        cols_sorted_within_rows: bool = False,
+    ) -> "CSRNeighborhood":
+        """Assemble from parallel edge arrays (directed, self-free).
+
+        The edges may arrive in any order; they are sorted by (row,
+        col) so every row comes out ascending.  Builders that already
+        emit each row's columns in ascending order (and each row
+        contiguously or not at all interleaved per row) can pass
+        ``cols_sorted_within_rows`` to replace the composite-key sort
+        with a single stable radix pass over the rows.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have the same shape")
+        if cols_sorted_within_rows:
+            order = np.argsort(rows, kind="stable")
+        else:
+            # One radix sort on a fused (row, col) key beats np.lexsort
+            # by ~2x at typical nnz.
+            order = np.argsort(rows * np.int64(n) + cols, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        return cls(indptr, cols[order].astype(np.int32))
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Iterable[int]]) -> "CSRNeighborhood":
+        """Assemble from per-object neighbor iterables (index = object id)."""
+        arrays = [np.asarray(row, dtype=np.int64) for row in rows]
+        lengths = np.fromiter(
+            (a.shape[0] for a in arrays), dtype=np.int64, count=len(arrays)
+        )
+        indptr = np.zeros(len(arrays) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        if arrays:
+            indices = np.concatenate(arrays).astype(np.int32)
+        else:
+            indices = np.empty(0, dtype=np.int32)
+        return cls(indptr, indices)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored (directed) adjacency entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """``|N_r(p_i)|`` for every object (self excluded)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, object_id: int) -> np.ndarray:
+        """The neighbor ids of one object (ascending, int32 view)."""
+        return self.indices[self.indptr[object_id] : self.indptr[object_id + 1]]
+
+    def row_ids(self) -> np.ndarray:
+        """Source id of every adjacency entry (cached ``np.repeat``).
+
+        int32 like :attr:`indices` — the cache lives as long as the
+        adjacency, so at production nnz the narrower dtype matters.
+        """
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.n, dtype=np.int32), self.degrees
+            )
+        return self._row_ids
+
+    # ------------------------------------------------------------------
+    # Bulk primitives
+    # ------------------------------------------------------------------
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Concatenated neighbor lists of ``ids`` (duplicates preserved).
+
+        Equivalent to ``np.concatenate([self.neighbors(i) for i in
+        ids])`` without the per-id Python loop: the flat positions of
+        every requested row are generated arithmetically.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int32)
+        starts = self.indptr[ids]
+        lengths = self.indptr[ids + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int32)
+        offsets = np.zeros(ids.shape[0], dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, lengths)
+            + np.repeat(starts, lengths)
+        )
+        return self.indices[positions]
+
+    def neighbor_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Per-object count of neighbors selected by the boolean ``mask``.
+
+        ``counts[i] = |{ q in N_r(p_i) : mask[q] }|`` — with an all-True
+        mask this is :attr:`degrees`.  Greedy-DisC seeds its priority
+        structure with ``neighbor_counts(white_mask)``.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        hits = mask[self.indices]
+        return np.bincount(self.row_ids()[hits], minlength=self.n)
+
+    def decrement(
+        self, counts: np.ndarray, sources: np.ndarray, eligible: np.ndarray
+    ) -> np.ndarray:
+        """Batch count maintenance for the grey update rule.
+
+        For every object in ``sources`` (objects that just stopped
+        being white), decrement ``counts`` of each of its neighbors
+        that is still ``eligible`` — once per adjacency, so an object
+        adjacent to several sources loses several counts, exactly like
+        the per-neighbor loop it replaces.  Returns the unique touched
+        eligible ids (for priority refresh).
+        """
+        touched = self.gather(sources)
+        if touched.size == 0:
+            return np.empty(0, dtype=np.int64)
+        touched = touched[eligible[touched]]
+        if touched.size == 0:
+            return np.empty(0, dtype=np.int64)
+        counts -= np.bincount(touched, minlength=self.n)
+        return np.unique(touched).astype(np.int64)
+
+    def cover_mask(
+        self, ids: np.ndarray, *, include_sources: bool = True
+    ) -> np.ndarray:
+        """Boolean mask of everything within one hop of ``ids``.
+
+        With ``include_sources`` the selected objects themselves are in
+        the mask — i.e. the mask of objects covered when ``ids`` are
+        selected at this radius (``N+_r`` union).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self.gather(ids)] = True
+        if include_sources and ids.size:
+            mask[ids] = True
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CSRNeighborhood(n={self.n}, nnz={self.nnz})"
+
+
+def build_csr_pairwise(
+    points: np.ndarray,
+    metric,
+    radius: float,
+    *,
+    stats=None,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+) -> CSRNeighborhood:
+    """Exact CSR adjacency via chunked vectorised ``metric.pairwise``.
+
+    Row blocks are sized from the cardinality *and* dimensionality so
+    peak memory stays near ``block_bytes`` regardless of the metric's
+    broadcast intermediates.  When ``stats`` (an
+    :class:`~repro.index.base.IndexStats`) is given, the evaluated
+    distances are charged to ``distance_computations``.
+    """
+    points = np.asarray(points)
+    n = points.shape[0]
+    dim = points.shape[1] if points.ndim == 2 else 1
+    chunk = pairwise_row_chunk(n, dim)
+    rows_acc: List[np.ndarray] = []
+    cols_acc: List[np.ndarray] = []
+    for start in range(0, n, chunk):
+        block = metric.pairwise(points[start : start + chunk], points)
+        if stats is not None:
+            stats.distance_computations += block.size
+        local_rows, cols = np.nonzero(block <= radius)
+        rows = local_rows.astype(np.int64) + start
+        keep = rows != cols
+        rows_acc.append(rows[keep])
+        cols_acc.append(cols[keep])
+    rows = np.concatenate(rows_acc) if rows_acc else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(cols_acc) if cols_acc else np.empty(0, dtype=np.int64)
+    # Blocks are generated in ascending row order with ascending cols,
+    # so only the cheap stable row pass is needed.
+    return CSRNeighborhood.from_edges(rows, cols, n, cols_sorted_within_rows=True)
+
+
+def group_points_by_cell(keys: np.ndarray) -> List[np.ndarray]:
+    """Group row indices by identical integer cell keys.
+
+    One index array per occupied cell; the stable sort keeps row ids
+    ascending within each group.  Shared by the grid-binned CSR
+    builder and :class:`~repro.index.grid.GridIndex`'s batch queries.
+    """
+    keys = np.asarray(keys)
+    order = np.lexsort(keys.T[::-1])
+    sorted_keys = keys[order]
+    boundaries = (
+        np.nonzero(np.any(np.diff(sorted_keys, axis=0) != 0, axis=1))[0] + 1
+    )
+    return np.split(order, boundaries)
+
+
+def build_csr_grid(
+    points: np.ndarray,
+    metric,
+    radius: float,
+    *,
+    stats=None,
+) -> CSRNeighborhood:
+    """Exact CSR adjacency via grid-binned candidate generation.
+
+    For Minkowski-family metrics a ball of radius r fits inside the
+    L-infinity box of half-width r, so with cells of edge ``radius``
+    every neighbor of a point lies in the point's own cell or one of
+    the ``3^d`` adjacent cells.  One vectorised ``metric.pairwise``
+    block per occupied cell then replaces the full O(n^2) matrix —
+    near-linear work at fixed density, which is what makes 50k+ object
+    workloads practical.  Exact only when per-coordinate distance never
+    exceeds total distance (true for all Lp, false for e.g. weighted
+    metrics — callers gate on the metric family).
+    """
+    points = np.asarray(points, dtype=float)
+    n, dim = points.shape
+    cell = float(radius) if radius > 0 else 1.0
+    origin = points.min(axis=0)
+    keys = np.floor((points - origin) / cell).astype(np.int64)
+    groups = group_points_by_cell(keys)
+    buckets = {tuple(keys[g[0]]): g for g in groups}
+    offsets = np.stack(
+        np.meshgrid(*([np.arange(-1, 2)] * dim), indexing="ij"), axis=-1
+    ).reshape(-1, dim)
+    rows_acc: List[np.ndarray] = []
+    cols_acc: List[np.ndarray] = []
+    for key, members in buckets.items():
+        key_arr = np.asarray(key)
+        candidate_groups = [
+            buckets.get(tuple(key_arr + off))
+            for off in offsets
+        ]
+        candidates = np.sort(
+            np.concatenate([g for g in candidate_groups if g is not None])
+        )
+        # Dense cells (clustered data) can hold thousands of members
+        # against tens of thousands of candidates; honour the block
+        # budget by chunking members like every other pairwise path.
+        chunk = pairwise_row_chunk(candidates.size, dim)
+        for start in range(0, members.size, chunk):
+            sub = members[start : start + chunk]
+            block = metric.pairwise(points[sub], points[candidates])
+            if stats is not None:
+                stats.distance_computations += block.size
+            local_rows, local_cols = np.nonzero(block <= radius)
+            rows = sub[local_rows]
+            cols = candidates[local_cols]
+            keep = rows != cols
+            rows_acc.append(rows[keep])
+            cols_acc.append(cols[keep])
+    rows = np.concatenate(rows_acc) if rows_acc else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(cols_acc) if cols_acc else np.empty(0, dtype=np.int64)
+    # Each object's edges all come from its own cell's block, where its
+    # columns are ascending (candidates sorted above) — the stable row
+    # pass restores global CSR order.
+    return CSRNeighborhood.from_edges(rows, cols, n, cols_sorted_within_rows=True)

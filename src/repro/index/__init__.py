@@ -4,12 +4,14 @@ The M-tree index (the paper's substrate) lives in :mod:`repro.mtree` and
 implements the same :class:`NeighborIndex` protocol.
 """
 
+from repro.graph.csr import CSRNeighborhood
 from repro.index.base import IndexStats, NeighborIndex
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.grid import GridIndex
 from repro.index.kdtree import KDTreeIndex
 
 __all__ = [
+    "CSRNeighborhood",
     "IndexStats",
     "NeighborIndex",
     "BruteForceIndex",

@@ -15,19 +15,49 @@ different data structures" as future work).
 Cost accounting lives here too: :class:`IndexStats` counts range queries,
 distance computations and — for tree-backed indexes — node accesses,
 which is the cost metric of every figure in the paper's Section 6.
+
+Performance & engines
+---------------------
+Indexes that can materialise the full fixed-radius adjacency expose it
+as a :class:`~repro.graph.csr.CSRNeighborhood` through
+:meth:`NeighborIndex.csr_neighborhood`; the DisC heuristics consume it
+for vectorised selection when present (see :mod:`repro.core.greedy`).
+The ``accelerate`` attribute gates this: ``"auto"`` (default) enables
+the CSR engine on every index that implements :meth:`_build_csr`
+(brute force, grid, KD-tree), ``False`` forces the legacy per-query
+path, ``True`` insists on it.  The M-tree intentionally builds no CSR
+so its per-query node-access accounting — the paper's headline cost
+metric — stays untouched.  :meth:`range_query_batch` is the batched
+companion of :meth:`range_query`: one call, many centers, with
+vectorised overrides in the simple indexes.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.distance import Metric, get_metric
+from repro.graph.csr import CSRNeighborhood
 
-__all__ = ["IndexStats", "NeighborIndex"]
+__all__ = ["IndexStats", "NeighborIndex", "validate_accelerate"]
+
+
+def validate_accelerate(value):
+    """Check an ``accelerate`` flag is exactly ``"auto"``, True or False.
+
+    The gates use identity checks, so look-alikes (``1``, ``0``,
+    ``np.True_``) would otherwise silently select the wrong path —
+    reject them loudly instead.
+    """
+    if value == "auto" or value is True or value is False:
+        return value
+    raise ValueError(
+        f'accelerate must be "auto", True or False, got {value!r}'
+    )
 
 
 @dataclass
@@ -90,6 +120,9 @@ class NeighborIndex(abc.ABC):
         self.points = points
         self.metric: Metric = get_metric(metric)
         self.stats = IndexStats()
+        #: CSR-engine gate: "auto" | True | False (see module docstring).
+        self.accelerate = "auto"
+        self._csr_cache: Dict[float, CSRNeighborhood] = {}
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -128,6 +161,63 @@ class NeighborIndex(abc.ABC):
         return [other for other in result if other != center_id]
 
     # ------------------------------------------------------------------
+    # Batched queries and the CSR engine
+    # ------------------------------------------------------------------
+    def range_query_batch(
+        self, ids: Sequence[int], radius: float, *, include_self: bool = False
+    ) -> List[np.ndarray]:
+        """``N_r`` for many centers in one call.
+
+        The base implementation loops :meth:`range_query` (so tree
+        indexes keep their exact per-query cost accounting); the simple
+        indexes override it with fully vectorised versions.  Returns
+        one int array per requested id with the center excluded; the
+        vectorised overrides return neighbors ascending, while this
+        default keeps :meth:`range_query`'s native order (e.g. M-tree
+        traversal order).  With ``include_self`` the center id is also
+        present (position unspecified — cached paths append it,
+        mirroring :meth:`range_query`).
+        """
+        return [
+            np.asarray(
+                self.range_query(int(i), radius, include_self=include_self),
+                dtype=np.int64,
+            )
+            for i in ids
+        ]
+
+    def csr_neighborhood(
+        self, radius: float, *, build: bool = True
+    ) -> Optional[CSRNeighborhood]:
+        """The CSR adjacency for ``radius``, or None.
+
+        Returns None when acceleration is disabled or the index does
+        not materialise adjacency (the M-tree).  With ``build=False``
+        only an already-cached CSR is returned — callers that merely
+        *prefer* the fast path use this to avoid paying a build for a
+        handful of queries.  Built CSRs are cached per radius.
+        """
+        if self.accelerate is False:
+            return None
+        key = float(radius)
+        csr = self._csr_cache.get(key)
+        if csr is None and build:
+            csr = self._build_csr(key)
+            if csr is not None:
+                self._csr_cache[key] = csr
+            elif self.accelerate is True:
+                raise RuntimeError(
+                    f"{type(self).__name__} cannot materialise a CSR "
+                    "neighborhood but accelerate=True insists on it; use "
+                    'accelerate="auto" to allow the per-query fallback'
+                )
+        return csr
+
+    def _build_csr(self, radius: float) -> Optional[CSRNeighborhood]:
+        """Materialise the fixed-radius adjacency (None = unsupported)."""
+        return None
+
+    # ------------------------------------------------------------------
     # Bulk helpers used by the greedy heuristics
     # ------------------------------------------------------------------
     def neighborhood_sizes(self, radius: float) -> np.ndarray:
@@ -135,8 +225,12 @@ class NeighborIndex(abc.ABC):
 
         Greedy-DisC seeds its priority structure ``L'`` with these; the
         M-tree computes them during construction (Section 5.1), other
-        indexes on demand.
+        indexes on demand — from the CSR degrees when the engine is
+        available, else one range query per object.
         """
+        csr = self.csr_neighborhood(radius)
+        if csr is not None:
+            return csr.degrees.astype(np.int64)
         sizes = np.empty(self.n, dtype=np.int64)
         for i in range(self.n):
             sizes[i] = len(self.range_query(i, radius))
@@ -164,11 +258,15 @@ class NeighborIndex(abc.ABC):
     # ------------------------------------------------------------------
     def validate_ids(self, ids: Sequence[int]) -> None:
         """Raise ``IndexError`` if any id is out of range (fail fast)."""
-        for object_id in ids:
-            if not 0 <= object_id < self.n:
-                raise IndexError(
-                    f"object id {object_id} out of range [0, {self.n})"
-                )
+        arr = ids if isinstance(ids, np.ndarray) else np.asarray(list(ids))
+        if arr.size == 0:
+            return
+        bad = (arr < 0) | (arr >= self.n)
+        if bad.any():
+            offender = arr[bad].flat[0]
+            raise IndexError(
+                f"object id {offender} out of range [0, {self.n})"
+            )
 
     def __len__(self) -> int:
         return self.n

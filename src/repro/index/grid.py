@@ -15,11 +15,17 @@ from __future__ import annotations
 
 import itertools
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.distance import HammingMetric
+from repro.graph.csr import (
+    CSRNeighborhood,
+    build_csr_grid,
+    build_csr_pairwise,
+    group_points_by_cell,
+)
 from repro.index.base import NeighborIndex
 
 __all__ = ["GridIndex"]
@@ -70,3 +76,70 @@ class GridIndex(NeighborIndex):
         distances = self.metric.to_point(self.points[candidate_ids], point)
         self.stats.distance_computations += len(candidate_ids)
         return [int(i) for i in candidate_ids[distances <= radius]]
+
+    # ------------------------------------------------------------------
+    # Cell-blocked batch machinery for range_query_batch: all query
+    # points in one cell see the same candidate cells, so one pairwise
+    # block serves the whole cell.
+    # ------------------------------------------------------------------
+    def _cell_candidates(self, key: Tuple[int, ...], radius: float) -> np.ndarray:
+        """Candidate ids for any query point falling in cell ``key``."""
+        key_arr = np.asarray(key)
+        low = self._origin + key_arr * self.cell_size
+        high = low + self.cell_size
+        lo_key = np.floor((low - radius - self._origin) / self.cell_size).astype(int)
+        hi_key = np.floor((high + radius - self._origin) / self.cell_size).astype(int)
+        candidates: List[int] = []
+        for neighbor_key in itertools.product(
+            *[range(int(lo), int(hi) + 1) for lo, hi in zip(lo_key, hi_key)]
+        ):
+            bucket = self._cells.get(neighbor_key)
+            if bucket:
+                candidates.extend(bucket)
+        return np.sort(np.asarray(candidates, dtype=np.int64))
+
+    def _cell_blocks(self, query_ids: np.ndarray, radius: float):
+        """Yield ``(ids, candidates, distance_block)`` per occupied cell."""
+        for positions in group_points_by_cell(self._keys[query_ids]):
+            group = query_ids[positions]
+            candidates = self._cell_candidates(tuple(self._keys[group[0]]), radius)
+            block = self.metric.pairwise(self.points[group], self.points[candidates])
+            self.stats.distance_computations += block.size
+            yield group, candidates, block
+
+    def range_query_batch(
+        self, ids: Sequence[int], radius: float, *, include_self: bool = False
+    ) -> List[np.ndarray]:
+        """Vectorised multi-center queries, one pairwise block per cell."""
+        ids = np.asarray(ids, dtype=np.int64)
+        radius = float(radius)
+        self.stats.range_queries += ids.size
+        csr = self.csr_neighborhood(radius, build=False)
+        results: Dict[int, np.ndarray] = {}
+        if csr is not None:
+            for i in ids:
+                results[int(i)] = csr.neighbors(i).astype(np.int64)
+        elif ids.size:
+            for group, candidates, block in self._cell_blocks(ids, radius):
+                for local, center in enumerate(group):
+                    hits = candidates[block[local] <= radius]
+                    results[int(center)] = np.sort(hits[hits != center])
+        out = []
+        for i in ids:
+            neighbors = results[int(i)]
+            if include_self:
+                neighbors = np.append(neighbors, np.int64(i))
+            out.append(neighbors)
+        return out
+
+    def _build_csr(self, radius: float) -> CSRNeighborhood:
+        """Delegate to the shared grid-binned builder (cells sized by
+        the radius, not this index's ``cell_size`` — the adjacency is
+        identical and radius-sized cells bound candidate fan-out).
+
+        Sound for the same metrics this index accepts: Minkowski-type
+        coordinate geometry (Hamming is rejected at construction).
+        """
+        if radius <= 0:
+            return build_csr_pairwise(self.points, self.metric, radius, stats=self.stats)
+        return build_csr_grid(self.points, self.metric, radius, stats=self.stats)

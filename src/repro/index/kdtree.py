@@ -14,7 +14,7 @@ cost experiments — only for solution-size and application workloads.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -25,6 +25,7 @@ from repro.distance import (
     ManhattanMetric,
     MinkowskiMetric,
 )
+from repro.graph.csr import CSRNeighborhood
 from repro.index.base import NeighborIndex
 
 __all__ = ["KDTreeIndex"]
@@ -60,8 +61,44 @@ class KDTreeIndex(NeighborIndex):
         )
         return [int(i) for i in hits]
 
+    def range_query_batch(
+        self, ids: Sequence[int], radius: float, *, include_self: bool = False
+    ) -> List[np.ndarray]:
+        """Vectorised multi-center queries via one ``query_ball_point``
+        call over all requested centers (compiled traversal)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        radius = float(radius)
+        self.stats.range_queries += ids.size
+        csr = self.csr_neighborhood(radius, build=False)
+        if csr is not None:
+            rows = [csr.neighbors(i).astype(np.int64) for i in ids]
+        else:
+            hits = self._tree.query_ball_point(
+                self.points[ids].astype(float), r=radius, p=self._p
+            )
+            rows = []
+            for center, row in zip(ids, hits):
+                row = np.sort(np.asarray(row, dtype=np.int64))
+                rows.append(row[row != center])
+        if include_self:
+            rows = [np.append(row, np.int64(i)) for row, i in zip(rows, ids)]
+        return rows
+
+    def _build_csr(self, radius: float) -> CSRNeighborhood:
+        """CSR adjacency from the tree's own pair enumeration."""
+        pairs = self._tree.query_pairs(
+            r=float(radius), p=self._p, output_type="ndarray"
+        )
+        rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        return CSRNeighborhood.from_edges(rows, cols, self.n)
+
     def neighborhood_sizes(self, radius: float) -> np.ndarray:
-        """Vectorised |N_r| for all objects via query_ball_tree."""
+        """Vectorised |N_r| for all objects: CSR degrees when the engine
+        is on, else ``query_ball_tree``."""
+        csr = self.csr_neighborhood(float(radius))
+        if csr is not None:
+            return csr.degrees.astype(np.int64)
         lists = self._tree.query_ball_tree(self._tree, r=float(radius), p=self._p)
         # query_ball_tree includes the object itself; subtract it.
         return np.array([len(hits) - 1 for hits in lists], dtype=np.int64)

@@ -23,6 +23,7 @@ RADII = [0.06, 0.15, 0.35]
 def all_engines(points):
     return {
         "brute": BruteForceIndex(points, EUCLIDEAN),
+        "brute-legacy": BruteForceIndex(points, EUCLIDEAN, accelerate=False),
         "grid": GridIndex(points, EUCLIDEAN, cell_size=0.07),
         "kdtree": KDTreeIndex(points, EUCLIDEAN),
         "mtree": MTreeIndex(points, EUCLIDEAN, capacity=8),
@@ -64,7 +65,7 @@ class TestZoomAcrossEngines:
         """Greedy zoom-in decisions are order-free, so simple engines
         (which share ascending-id iteration) must agree exactly."""
         outcomes = {}
-        for name in ("brute", "kdtree", "grid"):
+        for name in ("brute", "brute-legacy", "kdtree", "grid"):
             index = all_engines(medium_uniform)[name]
             coarse = greedy_disc(index, 0.3, track_closest_black=True)
             fine = zoom_in(index, coarse, 0.15, greedy=True)
