@@ -25,9 +25,18 @@ from repro.experiments import (
 
 pytestmark = pytest.mark.slow
 
-#: The tentpole target: CSR-accelerated Greedy-DisC must beat the seed
-#: brute-force path by at least this factor on n=10000 uniform.
+#: The PR 1 tentpole target: CSR-accelerated Greedy-DisC must beat the
+#: seed brute-force path by at least this factor on n=10000 uniform.
 MIN_SPEEDUP_10K_UNIFORM = 10.0
+
+#: PR 1 reference (ROADMAP / BENCH_perf.json @ 75bd2c8): best-engine
+#: build+select on 50k clustered was 18.27s (kdtree-csr).  The PR 2
+#: selection+build acceleration layer must improve it at least 3x.
+PR1_CLUSTERED_50K_TOTAL_S = 18.27
+MIN_CLUSTERED_50K_GAIN = 3.0
+
+#: PR 2 selection target at the 50k tier (best engine per workload).
+MAX_SELECT_50K_S = 0.6
 
 
 @pytest.fixture(scope="module")
@@ -40,8 +49,8 @@ def test_wallclock_bench_emits_json(payload, register):
     path = write_bench_json(payload)
     assert os.path.exists(path)
     register("BENCH_perf", render_bench_table(payload))
-    # Every (workload, n) with a legacy reference also asserted parity
-    # inside run_wallclock_bench; reaching here means selections agreed.
+    # Every (workload, n) also asserted cross-engine parity inside
+    # run_wallclock_bench; reaching here means selections agreed.
     assert payload["runs"], "benchmark produced no runs"
 
 
@@ -50,3 +59,40 @@ def test_csr_speedup_at_10k_uniform(payload):
     if key not in payload["speedups"]:
         pytest.skip("10k tier not in this run (REPRO_BENCH_QUICK)")
     assert payload["speedups"][key] >= MIN_SPEEDUP_10K_UNIFORM, payload["speedups"]
+
+
+def _runs_at(payload, workload, n):
+    return [
+        run for run in payload["runs"]
+        if run["workload"] == workload and run["n"] == n
+    ]
+
+
+def test_clustered_50k_build_select_gain(payload):
+    runs = _runs_at(payload, "clustered", 50000)
+    if not runs:
+        pytest.skip("50k tier not in this run (REPRO_BENCH_QUICK)")
+    best = min(run["total_s"] for run in runs)
+    assert best * MIN_CLUSTERED_50K_GAIN <= PR1_CLUSTERED_50K_TOTAL_S, runs
+
+
+def test_selection_below_target_at_50k(payload):
+    checked = 0
+    for workload in ("uniform", "clustered", "cities"):
+        runs = _runs_at(payload, workload, 50000)
+        if not runs:
+            continue
+        checked += 1
+        best = min(run["select_s"] for run in runs)
+        assert best <= MAX_SELECT_50K_S, (workload, runs)
+    if not checked:
+        pytest.skip("50k tier not in this run (REPRO_BENCH_QUICK)")
+
+
+def test_scale_tiers_record_per_phase_timings(payload):
+    runs = _runs_at(payload, "uniform", 100000)
+    if not runs:
+        pytest.skip("100k tier not in this run (REPRO_BENCH_QUICK)")
+    for run in runs:
+        assert {"index_s", "adjacency_s", "select_s"} <= set(run)
+        assert run["radius"] < 0.05  # density-preserving scaling applied

@@ -117,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="Uniform",
         choices=["Uniform", "Clustered", "Cities", "Cameras"],
     )
+    p_table3.add_argument(
+        "--engine",
+        default="mtree",
+        choices=["mtree", "csr"],
+        help="mtree = the paper's instrument; csr = fast solution-size "
+        "path (greedy sizes identical, no node accesses)",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="wall-clock engine benchmark (emits BENCH_perf.json)"
@@ -219,12 +226,13 @@ def _cmd_compare(args) -> int:
 
 def _cmd_table3(args) -> int:
     exp = experiment_suite()[args.dataset]
-    records = sweep(exp, TABLE3_ALGORITHMS)
+    records = sweep(exp, TABLE3_ALGORITHMS, engine=args.engine)
     rows = [
         [name] + [rec.size for rec in records[name]] for name in TABLE3_ALGORITHMS
     ]
+    suffix = " [csr engine]" if args.engine == "csr" else ""
     print(format_table(
-        f"Table 3: solution size — {exp.name} (n={exp.dataset.n})",
+        f"Table 3: solution size — {exp.name} (n={exp.dataset.n}){suffix}",
         ["algorithm"] + [f"r={r:g}" for r in exp.radii],
         rows,
     ))

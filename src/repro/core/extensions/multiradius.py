@@ -131,7 +131,13 @@ def multiradius_disc(
         algorithm="MultiRadius-DisC",
         stats=consume_stats(index, before),
         coloring=coloring,
-        meta={"radii": radii, "multi_radius": True},
+        # Declared legacy by design: the CSR engine materialises one
+        # fixed-radius adjacency, while this heuristic's coverage
+        # relation is per-object ("who covers whom" depends on each
+        # object's own radius), so it stays on per-query range queries.
+        # The parity suite asserts this declaration so the extension
+        # cannot silently drift onto a wrong-radius fast path.
+        meta={"radii": radii, "multi_radius": True, "engine": "legacy"},
     )
 
 

@@ -167,8 +167,12 @@ class StreamingDisC:
             radius=self.radius,
             algorithm="Streaming-DisC",
             closest_black=np.asarray(self._closest_black),
+            # Arrivals never touch an index: each one is a single
+            # vectorised distance pass over the black matrix, already
+            # free of per-neighbor Python loops (declared engine).
             meta={"n_seen": self.n_seen, "online": True,
-                  "closest_black_exact": True},
+                  "closest_black_exact": True,
+                  "engine": "vectorized-stream"},
         )
 
     def rebuild(self) -> DiscResult:
@@ -192,6 +196,13 @@ class StreamingDisC:
         result = greedy_disc(index, self.radius)
         result.selected = [alive[local] for local in result.selected]
         result.meta["arrival_ids"] = True
+        # Rebuilds ride the CSR fast path whenever the oracle index
+        # materialised the adjacency (always, with cache_radius set).
+        result.meta["engine"] = (
+            "csr"
+            if index.csr_neighborhood(self.radius, build=False) is not None
+            else "legacy"
+        )
         result.coloring = None  # local ids would be misleading
         return result
 

@@ -28,9 +28,12 @@ from repro.core._common import (
     LazyMaxHeap,
     attach_fresh_coloring,
     consume_stats,
+    csr_fast_path,
     query_neighbors,
 )
+from repro.core.coloring import Color
 from repro.core.result import DiscResult
+from repro.graph.priority import MaxSegmentTree
 from repro.index.base import NeighborIndex
 
 __all__ = ["weighted_disc", "total_weight"]
@@ -80,32 +83,41 @@ def weighted_disc(
             counts[object_id] / count_scale
         )
 
-    # The heap stores quantised scores so lazy invalidation can compare
-    # exactly; counts only decrease, so stale entries are always >= live.
+    # Both paths rank by the same quantised scores so lazy invalidation
+    # (heap) and the segment tree compare exactly; counts only
+    # decrease, so stale entries are always >= live.
     def quantised(object_id: int) -> int:
         return int(round(score(object_id) * 10**9))
 
-    heap = LazyMaxHeap()
-    for object_id in range(index.n):
-        heap.push(object_id, quantised(object_id))
-
     selected: List[int] = []
+    csr = csr_fast_path(index, radius, coloring, prune=prune)
     try:
-        while coloring.any_white():
-            pick = heap.pop_valid(quantised, coloring.is_white)
-            if pick is None:
-                raise RuntimeError("weighted greedy lost track of white objects")
-            coloring.set_black(pick)
-            selected.append(pick)
-            neighbors = query_neighbors(index, pick, radius, prune=prune)
-            newly_grey = [n for n in neighbors if coloring.is_white(n)]
-            for grey_id in newly_grey:
-                coloring.set_grey(grey_id)
-            for grey_id in newly_grey:
-                for other in query_neighbors(index, grey_id, radius, prune=prune):
-                    if coloring.is_white(other):
-                        counts[other] -= 1
-                        heap.push(other, quantised(other))
+        if csr is not None:
+            _weighted_csr(
+                index, csr, coloring, counts, weights, alpha,
+                weight_scale, count_scale, selected,
+            )
+        else:
+            heap = LazyMaxHeap()
+            for object_id in range(index.n):
+                heap.push(object_id, quantised(object_id))
+            while coloring.any_white():
+                pick = heap.pop_valid(quantised, coloring.is_white)
+                if pick is None:
+                    raise RuntimeError(
+                        "weighted greedy lost track of white objects"
+                    )
+                coloring.set_black(pick)
+                selected.append(pick)
+                neighbors = query_neighbors(index, pick, radius, prune=prune)
+                newly_grey = [n for n in neighbors if coloring.is_white(n)]
+                for grey_id in newly_grey:
+                    coloring.set_grey(grey_id)
+                for grey_id in newly_grey:
+                    for other in query_neighbors(index, grey_id, radius, prune=prune):
+                        if coloring.is_white(other):
+                            counts[other] -= 1
+                            heap.push(other, quantised(other))
     finally:
         index.detach_coloring()
 
@@ -115,8 +127,67 @@ def weighted_disc(
         algorithm=f"Weighted-DisC (alpha={alpha:g})",
         stats=consume_stats(index, before),
         coloring=coloring,
-        meta={"alpha": alpha, "total_weight": float(weights[selected].sum())},
+        meta={
+            "alpha": alpha,
+            "total_weight": float(weights[selected].sum()),
+            "engine": "legacy" if csr is None else "csr",
+        },
     )
+
+
+def _weighted_csr(
+    index: NeighborIndex,
+    csr,
+    coloring,
+    counts: np.ndarray,
+    weights: np.ndarray,
+    alpha: float,
+    weight_scale: float,
+    count_scale: float,
+    selected: List[int],
+) -> None:
+    """Vectorised weighted greedy over a CSR adjacency.
+
+    Selection order is identical to the heap path: scores are the same
+    quantised blend (NumPy's and Python's ``round`` both round half to
+    even over the same float64 arithmetic), the segment-tree argmax
+    breaks ties on the lowest id exactly like the ``(-score, id)``
+    heap, and count maintenance follows the same grey update rule.
+    """
+    white_code = int(Color.WHITE)
+    codes = coloring.codes_view()
+
+    def quantise(ids: np.ndarray) -> np.ndarray:
+        blended = alpha * (weights[ids] / weight_scale) + (1 - alpha) * (
+            counts[ids] / count_scale
+        )
+        return np.round(blended * 10**9).astype(np.int64)
+
+    all_ids = np.arange(csr.n)
+    scores = quantise(all_ids)
+    tree = MaxSegmentTree(scores)
+    candidate_mask = codes == white_code
+
+    while coloring.any_white():
+        pick = tree.argmax()
+        if scores[pick] < 0:
+            raise RuntimeError("weighted greedy lost track of white objects")
+        coloring.set_black(pick)
+        selected.append(pick)
+        neighbors = csr.neighbors(pick)
+        newly_grey = neighbors[codes[neighbors] == white_code].astype(np.int64)
+        coloring.set_grey_many(newly_grey)
+        # Legacy accounting: one query for the pick plus one grey-update
+        # query per newly-grey object.
+        index.stats.range_queries += 1 + newly_grey.size
+        candidate_mask[pick] = False
+        candidate_mask[newly_grey] = False
+        touched = csr.decrement(counts, newly_grey, candidate_mask)
+        scores[touched] = quantise(touched)
+        retired = np.append(newly_grey, np.int64(pick))
+        scores[retired] = -1
+        stale = np.concatenate((touched, retired))
+        tree.update_many(stale, scores[stale])
 
 
 def total_weight(weights: np.ndarray, selected: List[int]) -> float:

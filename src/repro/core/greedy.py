@@ -39,9 +39,39 @@ from repro.core._common import (
 )
 from repro.core.coloring import Color, Coloring
 from repro.core.result import DiscResult
+from repro.graph.priority import MaxSegmentTree
 from repro.index.base import NeighborIndex
 
-__all__ = ["greedy_disc", "greedy_c", "fast_c", "greedy_cover"]
+__all__ = [
+    "greedy_disc",
+    "greedy_c",
+    "fast_c",
+    "greedy_cover",
+    "CSR_SELECTION_STRATEGY",
+]
+
+#: Execution strategy of the CSR greedy-cover loop: "lazy", "eager" or
+#: "auto".  All are byte-identical in output (the parity suite runs
+#: each); "auto" follows the bench harness
+#: (``selection_strategy_bench``): the eager decrement sweep costs
+#: O(nnz) with a small vectorised constant and wins at moderate
+#: degrees, while lazy verified-pops touch only the rows they inspect
+#: and win on the dense clustered graphs where O(nnz) explodes.
+CSR_SELECTION_STRATEGY = "auto"
+
+#: "auto" thresholds, fitted to the head-to-head strategy timings in
+#: results/BENCH_perf.json.  Below MIN_NNZ both strategies run in tens
+#: of milliseconds and eager's single sweep has the smaller constant.
+#: Above it the degree dispersion decides: on near-uniform degree
+#: distributions (coefficient of variation under MIN_DEGREE_CV —
+#: uniform data sits near 0.13, the blob-clustered family near 0.47,
+#: cities near 1.5) the tree top is crowded with near-ties, lazy pops
+#: devolve into long lowering cascades, and the eager O(nnz) sweep
+#: stays ahead at every recorded scale; on skewed multi-density graphs
+#: (clustered, cities) lazy wins up to 3x because it never touches
+#: most of the edge mass.
+LAZY_STRATEGY_MIN_NNZ = 2_000_000
+LAZY_STRATEGY_MIN_DEGREE_CV = 0.3
 
 
 def greedy_cover(
@@ -182,21 +212,51 @@ def _greedy_cover_csr(
     initial_counts: Optional[np.ndarray],
     tracker: Optional[ClosestBlackTracker],
     selected: Optional[List[int]],
+    strategy: Optional[str] = None,
 ) -> List[int]:
     """Vectorised :func:`greedy_cover` over a CSR adjacency.
 
     Selection order is *identical* to the heap-driven path: the next
     pick is the eligible candidate with the maximum white-neighborhood
-    count, ties broken by the smaller object id (``np.argmax`` returns
-    the first maximum).  Counts are maintained with the same grey
-    update rule — every object that stops being white decrements each
-    adjacent candidate once — executed as one ``np.bincount`` per step
-    instead of nested Python loops.
+    count, ties broken by the smaller object id — both strategies drive
+    a :class:`~repro.graph.priority.MaxSegmentTree` whose argmax breaks
+    ties exactly like ``np.argmax`` (lowest id wins).
+
+    ``strategy`` (default :data:`CSR_SELECTION_STRATEGY`):
+
+    ``"eager"``
+        the grey update rule verbatim — every object that stops being
+        white decrements each adjacent candidate once, as one CSR
+        gather per step.  Work is O(nnz) over the whole run.
+    ``"lazy"``
+        verified pops (Minoux's lazy greedy): tree values are stale
+        upper bounds — counts only ever decrease — so the argmax is
+        popped, its white-neighbor count recounted from its own CSR
+        row, and the pick accepted only when the stored value is still
+        current; otherwise the lowered value goes back into the tree
+        and the argmax repeats.  A pick is accepted exactly when its
+        verified count is the true maximum and every lower-id tie has
+        already been verified down, so the sequence matches the eager
+        one element for element while touching only the rows it
+        inspects.
     """
     white_code = int(Color.WHITE)
     grey_code = int(Color.GREY)
     codes = coloring.codes_view()
     n = csr.n
+    if strategy is None:
+        strategy = CSR_SELECTION_STRATEGY
+    if strategy == "auto":
+        strategy = "eager"
+        if csr.nnz >= LAZY_STRATEGY_MIN_NNZ:
+            degrees = csr.degrees
+            mean = csr.nnz / n
+            if float(degrees.std()) >= LAZY_STRATEGY_MIN_DEGREE_CV * mean:
+                strategy = "lazy"
+    if strategy not in ("lazy", "eager"):
+        raise ValueError(
+            f'strategy must be "auto", "lazy" or "eager", got {strategy!r}'
+        )
 
     if initial_counts is not None:
         counts = np.asarray(initial_counts, dtype=np.int64).copy()
@@ -215,35 +275,23 @@ def _greedy_cover_csr(
     if selected is None:
         selected = []
 
-    # scores[i] = counts[i] while i is an eligible candidate, else -1;
-    # maintained incrementally so every pick is a single argmax scan.
+    # scores[i] = counts[i] while i is an eligible candidate, else -1
+    # (under the lazy strategy scores are upper bounds between pops).
     if include_grey_candidates:
         eligible = (codes == white_code) | (
             (codes == grey_code) & (counts > 0)
         )
+        # r-C mode: greys stay candidates, only picks leave the pool.
+        candidate_mask = (codes == white_code) | (codes == grey_code)
     else:
         eligible = codes == white_code
+        candidate_mask = eligible.copy()
     scores = np.where(eligible, counts, -1)
+    tree = MaxSegmentTree(scores)
 
-    def refresh(ids: np.ndarray) -> None:
-        """Re-derive scores for ``ids`` from current colors/counts."""
-        if ids.size == 0:
-            return
-        local = codes[ids]
-        if include_grey_candidates:
-            ok = (local == white_code) | ((local == grey_code) & (counts[ids] > 0))
-        else:
-            ok = local == white_code
-        scores[ids] = np.where(ok, counts[ids], -1)
-
-    while coloring.any_white():
-        pick = int(np.argmax(scores))
-        if scores[pick] < 0:
-            raise RuntimeError(
-                "greedy cover ran out of candidates with white objects left; "
-                "the priority structure is inconsistent"
-            )
-        was_white = codes[pick] == white_code
+    def process_pick(pick: int) -> np.ndarray:
+        """Select ``pick``: recolor, account, and track — both
+        strategies share this step.  Returns the newly-grey ids."""
         coloring.set_black(pick)
         selected.append(pick)
         neighbors = csr.neighbors(pick)
@@ -254,19 +302,96 @@ def _greedy_cover_csr(
         index.stats.range_queries += 1 + newly_grey.size
         if tracker is not None:
             tracker.record_black(pick, neighbors)
+        return newly_grey
 
-        # Grey update rule: everything that stopped being white this
-        # step decrements each adjacent candidate once.
-        sources = (
-            np.append(newly_grey, np.int64(pick)) if was_white else newly_grey
-        )
-        if include_grey_candidates:
-            candidate_mask = (codes == white_code) | (codes == grey_code)
-        else:
-            candidate_mask = codes == white_code
-        refresh(csr.decrement(counts, sources, candidate_mask))
-        scores[pick] = -1
-        refresh(newly_grey)
+    if strategy == "lazy":
+        indptr, indices = csr.indptr, csr.indices
+        # The tree leaves are the single source of truth for the lazy
+        # upper bounds; hot-loop locals matter because the verify loop
+        # runs tens of thousands of scalar iterations.
+        argmax = tree.argmax
+        update_one = tree.update_one
+        stored_at = tree.tree.item
+        leaf_base = tree.size
+        code_at = codes.item
+        start_at = indptr.item
+        count_nonzero = np.count_nonzero
+        any_white = coloring.any_white
+        while any_white():
+            while True:
+                pick = argmax()
+                stored = stored_at(leaf_base + pick)
+                if stored < 0:
+                    raise RuntimeError(
+                        "greedy cover ran out of candidates with white objects "
+                        "left; the priority structure is inconsistent"
+                    )
+                code = code_at(pick)
+                if code != white_code and not (
+                    include_grey_candidates and code == grey_code
+                ):
+                    # No longer a candidate; retire the stale entry.
+                    update_one(pick, -1)
+                    continue
+                row = indices[start_at(pick) : start_at(pick + 1)]
+                # WHITE is code 0, so the white count is the row length
+                # minus the non-zero codes — one pass fewer than an
+                # explicit comparison on these (often huge) rows.
+                current = row.size - count_nonzero(codes[row])
+                if code == grey_code and current == 0:
+                    # Grey candidates need positive gain; counts only
+                    # shrink, so this entry can retire for good.
+                    update_one(pick, -1)
+                    continue
+                if current != stored:
+                    update_one(pick, current)
+                    continue  # somebody else may hold the max now
+                break
+            newly_grey = process_pick(pick)
+            update_one(pick, -1)
+            if not include_grey_candidates and newly_grey.size:
+                # r-DisC mode: greys stop being candidates the moment
+                # they are greyed — retire them in one batch instead of
+                # one stale-entry pop each.
+                tree.update_many(
+                    newly_grey, np.full(newly_grey.size, -1, dtype=np.int64)
+                )
+    else:
+        pick_buf = np.empty(1, dtype=np.int64)
+        while coloring.any_white():
+            pick = tree.argmax()
+            if scores[pick] < 0:
+                raise RuntimeError(
+                    "greedy cover ran out of candidates with white objects "
+                    "left; the priority structure is inconsistent"
+                )
+            was_white = codes[pick] == white_code
+            newly_grey = process_pick(pick)
+
+            # Grey update rule: everything that stopped being white this
+            # step decrements each adjacent candidate once.  The
+            # candidate mask is maintained incrementally (only the
+            # recolored objects change) — no per-pick O(n) rebuild.
+            sources = (
+                np.append(newly_grey, np.int64(pick)) if was_white else newly_grey
+            )
+            candidate_mask[pick] = False
+            if not include_grey_candidates:
+                candidate_mask[newly_grey] = False
+            touched = csr.decrement(counts, sources, candidate_mask)
+            stale = np.concatenate((touched, newly_grey))
+            local = codes[stale]
+            if include_grey_candidates:
+                ok = (local == white_code) | (
+                    (local == grey_code) & (counts[stale] > 0)
+                )
+            else:
+                ok = local == white_code
+            scores[stale] = np.where(ok, counts[stale], -1)
+            scores[pick] = -1
+            pick_buf[0] = pick
+            stale = np.concatenate((stale, pick_buf))
+            tree.update_many(stale, scores[stale])
     return selected
 
 

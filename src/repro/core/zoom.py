@@ -43,6 +43,7 @@ from repro.core._common import (
 from repro.core.coloring import Color, Coloring
 from repro.core.greedy import greedy_cover
 from repro.core.result import DiscResult
+from repro.graph.priority import NEG_INF, MaxSegmentTree
 from repro.index.base import NeighborIndex
 
 __all__ = [
@@ -209,9 +210,19 @@ def zoom_out(
                     continue
                 _select_zoom_out(index, coloring, tracker, red, new_radius, selected, prune)
         else:
-            _greedy_red_pass(
-                index, coloring, tracker, new_radius, selected, greedy_variant, prune
-            )
+            # The red pass touches every red's full neighborhood; with a
+            # cached CSR at the new radius it runs as array primitives
+            # (building one here would dwarf the pass, so consume only).
+            csr = csr_fast_path(index, new_radius, coloring, prune=prune, build=False)
+            if csr is not None:
+                _greedy_red_pass_csr(
+                    index, csr, coloring, tracker, selected, greedy_variant
+                )
+            else:
+                _greedy_red_pass(
+                    index, coloring, tracker, new_radius, selected,
+                    greedy_variant, prune,
+                )
 
         # Pass 2: cover areas the removed reds left uncovered.
         if greedy_variant is None:
@@ -355,6 +366,88 @@ def _greedy_red_pass(
         tracker.record_black(pick, neighbors)
         # The pick itself stopped being red.
         on_recolor(pick, was_red=True)
+
+
+def _greedy_red_pass_csr(
+    index: NeighborIndex,
+    csr,
+    coloring: Coloring,
+    tracker: ClosestBlackTracker,
+    selected: List[int],
+    variant: str,
+) -> None:
+    """Vectorised :func:`_greedy_red_pass` over a cached CSR adjacency.
+
+    Selection order is identical to the heap-driven pass: the next pick
+    is the red object with the maximum variant priority, ties broken by
+    the smaller id (the :class:`~repro.graph.priority.MaxSegmentTree`
+    argmax mirrors the heap's ordering).  Count maintenance follows the
+    same rule — every object that stops being red/white decrements the
+    red/white counters of its still-red neighbors — with the one
+    irrelevant divergence that counters of objects greyed *within the
+    same step* are not decremented: the legacy pass may still touch
+    them mid-loop, but their priorities are never read again (the heap
+    skips non-reds), so the selections cannot differ.
+    """
+    codes = coloring.codes_view()
+    red_code, white_code = int(Color.RED), int(Color.WHITE)
+    red_mask = codes == red_code
+    reds = np.flatnonzero(red_mask)
+    # Legacy accounting: one up-front probe per red object.
+    index.stats.range_queries += reds.size
+    red_counts = csr.neighbor_counts(red_mask).astype(np.int64)
+    white_counts = csr.neighbor_counts(codes == white_code).astype(np.int64)
+
+    if variant == "a":
+        priority = red_counts
+        sign = 1
+    elif variant == "b":
+        priority = -red_counts
+        sign = -1
+    else:  # "c"
+        priority = white_counts
+        sign = 1
+
+    scores = np.where(red_mask, priority, NEG_INF)
+    tree = MaxSegmentTree(scores)
+
+    def refresh_and_push(stale: np.ndarray) -> None:
+        if variant == "c":
+            live = white_counts[stale]
+        else:
+            live = sign * red_counts[stale]
+        scores[stale] = np.where(red_mask[stale], live, NEG_INF)
+        tree.update_many(stale, scores[stale])
+
+    pick_buf = np.empty(1, dtype=np.int64)
+    while coloring.any_red():
+        pick = tree.argmax()
+        if scores[pick] == NEG_INF:
+            raise RuntimeError("red pass lost track of remaining red objects")
+        coloring.set_black(pick)
+        selected.append(pick)
+        neighbors = csr.neighbors(pick)
+        local = codes[neighbors]
+        greyed_reds = neighbors[local == red_code].astype(np.int64)
+        greyed_whites = neighbors[local == white_code].astype(np.int64)
+        coloring.set_grey_many(greyed_reds)
+        coloring.set_grey_many(greyed_whites)
+        tracker.record_black(pick, neighbors)
+
+        # The pick and the greyed reds left the red pool.
+        red_mask[pick] = False
+        red_mask[greyed_reds] = False
+        touched_r = csr.decrement(
+            red_counts, np.append(greyed_reds, np.int64(pick)), red_mask
+        )
+        touched_w = csr.decrement(white_counts, greyed_whites, red_mask)
+        pick_buf[0] = pick
+        # greyed_reds must be re-pushed too: they may not appear in the
+        # touched sets (the mask already excludes them) but their old
+        # scores would otherwise linger in the tree as phantom maxima.
+        refresh_and_push(
+            np.concatenate((touched_r, touched_w, greyed_reds, pick_buf))
+        )
 
 
 def local_zoom(

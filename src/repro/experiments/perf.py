@@ -6,7 +6,7 @@ build + greedy selection at growing cardinalities, so every future
 engine or heuristic change can be judged against a recorded baseline.
 
 Workloads are the three numeric dataset families (uniform / clustered /
-cities) at n ∈ {2000, 10000, 50000}.  Engines:
+cities) at n ∈ {2000, 10000, 50000, 100000, 200000}.  Engines:
 
 ``brute-legacy``
     :class:`BruteForceIndex` with ``accelerate=False`` — the seed
@@ -16,17 +16,28 @@ cities) at n ∈ {2000, 10000, 50000}.  Engines:
     the same heuristics driven by the CSR engine.
 
 The legacy engine is only timed up to ``LEGACY_MAX_N`` (it is the thing
-being replaced); the CSR engines run at every cardinality.  Results are
-emitted as ``results/BENCH_perf.json`` with one record per (workload,
-n, engine) and a ``speedups`` section keyed ``<workload>-<n>``.
+being replaced); the CSR engines run at every cardinality.  At the
+scale tiers (n > 50000) the per-workload radius shrinks as
+``sqrt(50000 / n)`` so neighborhood density — and with it nnz per
+object — stays at the 50k reference level instead of growing linearly
+with n.  Each run records per-phase wall-clock: ``index_s`` (index
+constructor), ``adjacency_s`` (CSR materialisation / legacy
+precompute), ``select_s`` (one full Greedy-DisC), plus ``build_s`` =
+index + adjacency.  On the 50k+ grid runs both selection strategies of
+:mod:`repro.core.greedy` are additionally timed head-to-head
+(``select_lazy_s`` / ``select_eager_s``) — the record behind the
+``CSR_SELECTION_STRATEGY`` default.
 
-Run via ``python -m repro bench [--quick]`` or the ``slow``-marked
-``benchmarks/test_perf_wallclock.py``.
+Results are emitted as ``results/BENCH_perf.json`` with one record per
+(workload, n, engine) and a ``speedups`` section keyed
+``<workload>-<n>``.  Run via ``python -m repro bench [--quick]`` or
+the ``slow``-marked ``benchmarks/test_perf_wallclock.py``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
@@ -36,6 +47,7 @@ import numpy as np
 
 from repro import __version__
 from repro.core import greedy_disc
+from repro.core import greedy as greedy_module
 from repro.datasets import cities_dataset, clustered_dataset, uniform_dataset
 from repro.experiments.tables import format_table, results_dir
 from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
@@ -44,12 +56,14 @@ __all__ = [
     "BENCH_SIZES",
     "QUICK_SIZES",
     "LEGACY_MAX_N",
+    "DENSITY_REFERENCE_N",
+    "bench_radius",
     "run_wallclock_bench",
     "render_bench_table",
     "write_bench_json",
 ]
 
-BENCH_SIZES = [2000, 10000, 50000]
+BENCH_SIZES = [2000, 10000, 50000, 100000, 200000]
 QUICK_SIZES = [2000]
 
 #: Largest n the seed (legacy brute-force) engine is timed at; beyond
@@ -59,11 +73,33 @@ LEGACY_MAX_N = 10000
 #: Radii giving paper-like neighborhood densities per workload family.
 BENCH_RADII = {"uniform": 0.05, "clustered": 0.05, "cities": 0.01}
 
+#: Above this n the radius is scaled to keep density at the 50k level.
+DENSITY_REFERENCE_N = 50000
+
+#: n from which the head-to-head selection-strategy timings are taken.
+STRATEGY_BENCH_MIN_N = 50000
+
 _WORKLOADS: Dict[str, Callable] = {
     "uniform": lambda n: uniform_dataset(n=n, dim=2, seed=42),
     "clustered": lambda n: clustered_dataset(n=n, dim=2, seed=42),
     "cities": lambda n: cities_dataset(n=n, seed=42),
 }
+
+
+def bench_radius(workload: str, n: int, base: Optional[float] = None) -> float:
+    """The benchmark radius for one (workload, n) cell.
+
+    Up to :data:`DENSITY_REFERENCE_N` the paper-like base radius is
+    used unchanged (keeping the 2k/10k/50k tiers comparable with the
+    PR 1 trajectory); beyond it the 2-d density-preserving scaling
+    ``base * sqrt(reference / n)`` pins the average degree at its 50k
+    value, so the scale tiers measure engine throughput rather than a
+    quadratically growing edge count.
+    """
+    base = BENCH_RADII[workload] if base is None else base
+    if n <= DENSITY_REFERENCE_N:
+        return base
+    return base * math.sqrt(DENSITY_REFERENCE_N / n)
 
 
 def _engines(n: int) -> Dict[str, Callable]:
@@ -76,6 +112,21 @@ def _engines(n: int) -> Dict[str, Callable]:
     engines["grid-csr"] = lambda pts, metric: GridIndex(pts, metric, cell_size=0.05)
     engines["kdtree-csr"] = lambda pts, metric: KDTreeIndex(pts, metric)
     return engines
+
+
+def _time_selection_strategies(index, radius: float) -> Dict[str, float]:
+    """Head-to-head lazy vs eager selection on a warm index."""
+    timings: Dict[str, float] = {}
+    previous = greedy_module.CSR_SELECTION_STRATEGY
+    try:
+        for strategy in ("lazy", "eager"):
+            greedy_module.CSR_SELECTION_STRATEGY = strategy
+            t0 = time.perf_counter()
+            greedy_disc(index, radius)
+            timings[f"select_{strategy}_s"] = round(time.perf_counter() - t0, 6)
+    finally:
+        greedy_module.CSR_SELECTION_STRATEGY = previous
+    return timings
 
 
 def run_wallclock_bench(
@@ -103,40 +154,51 @@ def run_wallclock_bench(
     for workload in workloads:
         for n in sizes:
             data = _WORKLOADS[workload](n)
-            radius = radii[workload]
+            radius = bench_radius(workload, n, radii[workload])
             selections: Dict[str, list] = {}
             timings: Dict[str, float] = {}
             for engine_name, factory in _engines(n).items():
                 t0 = time.perf_counter()
                 index = factory(data.points, data.metric)
-                index.neighborhood_sizes(radius)  # materialise adjacency
                 t1 = time.perf_counter()
-                result = greedy_disc(index, radius)
+                index.neighborhood_sizes(radius)  # materialise adjacency
                 t2 = time.perf_counter()
+                result = greedy_disc(index, radius)
+                t3 = time.perf_counter()
                 selections[engine_name] = result.selected
-                timings[engine_name] = t2 - t0
-                runs.append(
-                    {
-                        "workload": workload,
-                        "n": n,
-                        "engine": engine_name,
-                        "radius": radius,
-                        "build_s": round(t1 - t0, 6),
-                        "select_s": round(t2 - t1, 6),
-                        "total_s": round(t2 - t0, 6),
-                        "solution_size": result.size,
-                    }
+                timings[engine_name] = t3 - t0
+                record = {
+                    "workload": workload,
+                    "n": n,
+                    "engine": engine_name,
+                    "radius": radius,
+                    "index_s": round(t1 - t0, 6),
+                    "adjacency_s": round(t2 - t1, 6),
+                    "build_s": round(t2 - t0, 6),
+                    "select_s": round(t3 - t2, 6),
+                    "total_s": round(t3 - t0, 6),
+                    "solution_size": result.size,
+                }
+                if (
+                    engine_name == "grid-csr"
+                    and n >= STRATEGY_BENCH_MIN_N
+                ):
+                    record.update(_time_selection_strategies(index, radius))
+                runs.append(record)
+            reference_name = (
+                "brute-legacy" if "brute-legacy" in selections
+                else next(iter(selections))
+            )
+            reference = selections[reference_name]
+            mismatched = [
+                name for name, sel in selections.items() if sel != reference
+            ]
+            if mismatched:
+                raise AssertionError(
+                    f"engine selections diverged on {workload} n={n}: "
+                    f"{mismatched} vs {reference_name}"
                 )
-            reference = selections.get("brute-legacy")
-            if reference is not None:
-                mismatched = [
-                    name for name, sel in selections.items() if sel != reference
-                ]
-                if mismatched:
-                    raise AssertionError(
-                        f"engine selections diverged on {workload} n={n}: "
-                        f"{mismatched}"
-                    )
+            if "brute-legacy" in selections:
                 speedups[f"{workload}-{n}"] = round(
                     timings["brute-legacy"] / timings["brute-csr"], 2
                 )
@@ -148,6 +210,7 @@ def run_wallclock_bench(
             "machine": platform.machine(),
             "sizes": sizes,
             "radii": {w: radii[w] for w in workloads},
+            "density_reference_n": DENSITY_REFERENCE_N,
             "legacy_max_n": LEGACY_MAX_N,
         },
         "runs": runs,
@@ -162,6 +225,8 @@ def render_bench_table(payload: dict) -> str:
             run["workload"],
             run["n"],
             run["engine"],
+            f"{run.get('index_s', 0.0):.3f}",
+            f"{run.get('adjacency_s', 0.0):.3f}",
             f"{run['build_s']:.3f}",
             f"{run['select_s']:.3f}",
             f"{run['total_s']:.3f}",
@@ -171,9 +236,18 @@ def render_bench_table(payload: dict) -> str:
     ]
     table = format_table(
         "Wall-clock: index build + Greedy-DisC selection",
-        ["workload", "n", "engine", "build s", "select s", "total s", "|S|"],
+        ["workload", "n", "engine", "index s", "adj s", "build s",
+         "select s", "total s", "|S|"],
         rows,
     )
+    strategy_rows = [
+        f"  {run['workload']}-{run['n']}: lazy {run['select_lazy_s']:.3f}s / "
+        f"eager {run['select_eager_s']:.3f}s"
+        for run in payload["runs"]
+        if "select_lazy_s" in run
+    ]
+    if strategy_rows:
+        table += "\nselection strategies (grid-csr):\n" + "\n".join(strategy_rows)
     if payload["speedups"]:
         lines = [
             f"  {key}: {value:.1f}x (brute-legacy / brute-csr)"

@@ -47,6 +47,7 @@ from repro.mtree import MTreeIndex, fat_factor
 __all__ = [
     "RunRecord",
     "ALGORITHMS",
+    "ALGORITHM_SPECS",
     "TABLE3_ALGORITHMS",
     "FIG7_ALGORITHMS",
     "FIG8_ALGORITHMS",
@@ -81,26 +82,41 @@ class RunRecord:
     meta: dict = field(default_factory=dict)
 
 
+#: name -> (heuristic, keyword arguments, needs_precomputed_counts).
+#: The runner derives both the M-tree runners and their prune-stripped
+#: CSR-engine equivalents from this table (pruning is an M-tree access
+#: optimisation with identical output, meaningless off the tree).
+ALGORITHM_SPECS: Dict[str, Tuple[Callable, dict, bool]] = {
+    "B-DisC": (basic_disc, {}, False),
+    "B-DisC (Pruned)": (basic_disc, {"prune": True}, False),
+    "Gr-G-DisC": (greedy_disc, {}, True),
+    "Gr-G-DisC (Pruned)": (greedy_disc, {"prune": True}, True),
+    "Wh-G-DisC (Pruned)": (
+        greedy_disc,
+        {"update_variant": "white", "prune": True},
+        True,
+    ),
+    "L-Gr-G-DisC (Pruned)": (greedy_disc, {"lazy": True, "prune": True}, True),
+    "L-Wh-G-DisC (Pruned)": (
+        greedy_disc,
+        {"update_variant": "white", "lazy": True, "prune": True},
+        True,
+    ),
+    "G-C": (greedy_c, {}, True),
+    "Fast-C": (fast_c, {}, True),
+}
+
+
+def _runner_for(name: str, engine: str) -> Tuple[Callable, bool]:
+    func, kwargs, needs_precompute = ALGORITHM_SPECS[name]
+    if engine == "csr":
+        kwargs = {k: v for k, v in kwargs.items() if k != "prune"}
+    return (lambda idx, r: func(idx, r, **kwargs)), needs_precompute
+
+
 #: name -> (runner(index, radius) -> DiscResult, needs_precomputed_counts)
 ALGORITHMS: Dict[str, Tuple[Callable, bool]] = {
-    "B-DisC": (lambda idx, r: basic_disc(idx, r), False),
-    "B-DisC (Pruned)": (lambda idx, r: basic_disc(idx, r, prune=True), False),
-    "Gr-G-DisC": (lambda idx, r: greedy_disc(idx, r), True),
-    "Gr-G-DisC (Pruned)": (lambda idx, r: greedy_disc(idx, r, prune=True), True),
-    "Wh-G-DisC (Pruned)": (
-        lambda idx, r: greedy_disc(idx, r, update_variant="white", prune=True),
-        True,
-    ),
-    "L-Gr-G-DisC (Pruned)": (
-        lambda idx, r: greedy_disc(idx, r, lazy=True, prune=True),
-        True,
-    ),
-    "L-Wh-G-DisC (Pruned)": (
-        lambda idx, r: greedy_disc(idx, r, update_variant="white", lazy=True, prune=True),
-        True,
-    ),
-    "G-C": (lambda idx, r: greedy_c(idx, r), True),
-    "Fast-C": (lambda idx, r: fast_c(idx, r), True),
+    name: _runner_for(name, "mtree") for name in ALGORITHM_SPECS
 }
 
 #: Table 3 rows (the paper's "G-DisC" is the grey greedy variant).
@@ -152,6 +168,21 @@ def _fresh_index(
     )
 
 
+def _fresh_csr_index(dataset: Dataset, radius: float):
+    """A CSR-engine index for solution-size runs (no node accesses).
+
+    Grid-backed for coordinate metrics (its builder exploits the
+    cell-pair pruning), brute-force for Hamming-coded categoricals.
+    """
+    from repro.distance import HammingMetric
+    from repro.index import BruteForceIndex, GridIndex
+
+    if isinstance(dataset.metric, HammingMetric):
+        return BruteForceIndex(dataset.points, dataset.metric)
+    cell = float(radius) if radius > 0 else 0.05
+    return GridIndex(dataset.points, dataset.metric, cell_size=cell)
+
+
 def run_algorithm(
     name: str,
     dataset: Dataset,
@@ -160,21 +191,43 @@ def run_algorithm(
     capacity: int = DEFAULT_CAPACITY,
     policy: str = DEFAULT_POLICY,
     use_cache: bool = True,
+    engine: str = "mtree",
 ) -> RunRecord:
-    """Run one named heuristic on a fresh M-tree and record its costs."""
-    try:
-        runner, needs_precompute = ALGORITHMS[name]
-    except KeyError:
+    """Run one named heuristic and record its costs.
+
+    ``engine="mtree"`` (default) is the paper's instrument: a fresh
+    M-tree with exact node-access accounting — required for every cost
+    experiment.  ``engine="csr"`` is the opt-in fast path for
+    *solution-size* experiments: the same heuristic on a CSR-engine
+    index (node accesses read 0).  Greedy/covering selections are
+    engine-independent, so sizes match the M-tree records exactly;
+    B-DisC's "arbitrary" scan follows each engine's natural order
+    (insertion vs. leaf order), so its sizes are engine-specific —
+    both are valid instances of the paper's arbitrary selection.
+    Fast-C exploits tree shortcuts by definition and stays M-tree-only.
+    """
+    if engine not in ("mtree", "csr"):
+        raise ValueError(f'engine must be "mtree" or "csr", got {engine!r}')
+    if name not in ALGORITHM_SPECS:
         raise ValueError(
-            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
-        ) from None
-    key = (dataset.name, dataset.n, name, radius, capacity, policy)
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHM_SPECS)}"
+        )
+    if engine == "csr" and name == "Fast-C":
+        raise ValueError(
+            "Fast-C is defined by its M-tree traversal shortcuts; "
+            'run it with engine="mtree"'
+        )
+    runner, needs_precompute = _runner_for(name, engine)
+    key = (dataset.name, dataset.n, name, radius, capacity, policy, engine)
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    index = _fresh_index(
-        dataset, radius if needs_precompute else None,
-        capacity=capacity, policy=policy,
-    )
+    if engine == "csr":
+        index = _fresh_csr_index(dataset, radius)
+    else:
+        index = _fresh_index(
+            dataset, radius if needs_precompute else None,
+            capacity=capacity, policy=policy,
+        )
     start = time.perf_counter()
     result = runner(index, radius)
     elapsed = time.perf_counter() - start
@@ -186,7 +239,7 @@ def run_algorithm(
         node_accesses=result.node_accesses,
         seconds=elapsed,
         selected=result.selected,
-        meta=dict(result.meta),
+        meta=dict(result.meta, engine=engine),
     )
     if use_cache:
         _CACHE[key] = record
@@ -199,11 +252,19 @@ def sweep(
     *,
     capacity: int = DEFAULT_CAPACITY,
     policy: str = DEFAULT_POLICY,
+    engine: str = "mtree",
 ) -> Dict[str, List[RunRecord]]:
-    """Run each algorithm across the dataset's radii grid."""
+    """Run each algorithm across the dataset's radii grid.
+
+    ``engine="csr"`` opts solution-size sweeps (Table 3) into the CSR
+    fast path; node-access figures must keep the default M-tree.
+    """
     return {
         name: [
-            run_algorithm(name, exp.dataset, radius, capacity=capacity, policy=policy)
+            run_algorithm(
+                name, exp.dataset, radius,
+                capacity=capacity, policy=policy, engine=engine,
+            )
             for radius in exp.radii
         ]
         for name in algorithms
@@ -400,16 +461,25 @@ def zoom_out_experiment(exp: ExperimentDataset, radii: Sequence[float]) -> List[
 # Figure 6: qualitative model comparison
 # ----------------------------------------------------------------------
 def radius_for_target_size(
-    dataset: Dataset, target: int, *, low: float, high: float, tolerance: int = 1
+    dataset: Dataset,
+    target: int,
+    *,
+    low: float,
+    high: float,
+    tolerance: int = 1,
+    engine: str = "mtree",
 ) -> float:
     """Bisect the radius so Greedy-DisC returns ~``target`` objects.
 
     The paper fixes k = 15 for its clustered example (r = 0.7 in its
     coordinate frame); our frame differs, so we solve for the radius.
+    Only sizes matter here, so ``engine="csr"`` is sound and fast.
     """
     for _ in range(25):
         mid = (low + high) / 2.0
-        size = run_algorithm("Gr-G-DisC (Pruned)", dataset, mid).size
+        size = run_algorithm(
+            "Gr-G-DisC (Pruned)", dataset, mid, engine=engine
+        ).size
         if abs(size - target) <= tolerance:
             return mid
         if size > target:
@@ -419,13 +489,21 @@ def radius_for_target_size(
     return (low + high) / 2.0
 
 
-def model_comparison(dataset: Dataset, radius: float, *, seed: int = 0) -> Dict[str, dict]:
-    """Figure 6: DisC vs r-C vs MaxMin vs MaxSum vs k-medoids at equal k."""
-    disc = run_algorithm("Gr-G-DisC (Pruned)", dataset, radius)
+def model_comparison(
+    dataset: Dataset, radius: float, *, seed: int = 0, engine: str = "mtree"
+) -> Dict[str, dict]:
+    """Figure 6: DisC vs r-C vs MaxMin vs MaxSum vs k-medoids at equal k.
+
+    Compares selections only (no access counts), so ``engine="csr"``
+    is sound and fast.
+    """
+    disc = run_algorithm("Gr-G-DisC (Pruned)", dataset, radius, engine=engine)
     k = max(disc.size, 1)
     selections = {
         "DisC (GMIS)": disc.selected,
-        "r-C (GDS)": run_algorithm("G-C", dataset, radius).selected,
+        "r-C (GDS)": run_algorithm(
+            "G-C", dataset, radius, engine=engine
+        ).selected,
         "MaxMin (MMIN)": maxmin_select(dataset.points, dataset.metric, k),
         "MaxSum (MSUM)": maxsum_select(dataset.points, dataset.metric, k),
         "k-medoids (KMED)": kmedoids_select(dataset.points, dataset.metric, k, seed=seed),

@@ -1,7 +1,8 @@
 """Graph-theoretic view of DisC diversity (Section 2.2) and exact
 solvers for small instances."""
 
-from repro.graph.csr import CSRNeighborhood, build_csr_pairwise
+from repro.graph.csr import CSRNeighborhood, build_csr_grid, build_csr_pairwise
+from repro.graph.priority import MaxSegmentTree
 from repro.graph.build import (
     build_neighborhood_graph,
     is_dominating_set,
@@ -16,6 +17,8 @@ from repro.graph.exact import (
 
 __all__ = [
     "CSRNeighborhood",
+    "MaxSegmentTree",
+    "build_csr_grid",
     "build_csr_pairwise",
     "build_neighborhood_graph",
     "is_independent_set",

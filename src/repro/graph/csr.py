@@ -179,13 +179,14 @@ class CSRNeighborhood:
         total = int(lengths.sum())
         if total == 0:
             return np.empty(0, dtype=np.int32)
+        # The row start and the running output offset are fused into a
+        # single per-id shift so only one repeat pass touches the full
+        # length; int32 positions halve the traffic whenever nnz fits.
         offsets = np.zeros(ids.shape[0], dtype=np.int64)
         np.cumsum(lengths[:-1], out=offsets[1:])
-        positions = (
-            np.arange(total, dtype=np.int64)
-            - np.repeat(offsets, lengths)
-            + np.repeat(starts, lengths)
-        )
+        dtype = np.int32 if self.nnz <= np.iinfo(np.int32).max else np.int64
+        positions = np.arange(total, dtype=dtype)
+        positions += np.repeat((starts - offsets).astype(dtype), lengths)
         return self.indices[positions]
 
     def neighbor_counts(self, mask: np.ndarray) -> np.ndarray:
@@ -205,20 +206,34 @@ class CSRNeighborhood:
         """Batch count maintenance for the grey update rule.
 
         For every object in ``sources`` (objects that just stopped
-        being white), decrement ``counts`` of each of its neighbors
-        that is still ``eligible`` — once per adjacency, so an object
-        adjacent to several sources loses several counts, exactly like
-        the per-neighbor loop it replaces.  Returns the unique touched
-        eligible ids (for priority refresh).
+        being white), decrement ``counts`` of each of its neighbors —
+        once per adjacency, so an object adjacent to several sources
+        loses several counts, exactly like the per-neighbor loop it
+        replaces.  Returns the unique touched ids filtered to
+        ``eligible`` (for priority refresh).
+
+        Ineligible neighbors are decremented too — filtering them out
+        of the full gather would cost more than the whole decrement —
+        which is sound because every caller treats the counts of
+        objects that left the candidate pool as garbage: a grey/black
+        object can never become a candidate again, so its count is
+        never read.
         """
         touched = self.gather(sources)
         if touched.size == 0:
             return np.empty(0, dtype=np.int64)
-        touched = touched[eligible[touched]]
-        if touched.size == 0:
-            return np.empty(0, dtype=np.int64)
-        counts -= np.bincount(touched, minlength=self.n)
-        return np.unique(touched).astype(np.int64)
+        # Two equivalent ways to apply the same per-id decrements; pick
+        # by batch size so the cost is O(k log k) for small updates and
+        # O(n + k) (no sort) for the huge clustered-cell batches.
+        if touched.size < self.n // 4:
+            uniq, hits = np.unique(touched, return_counts=True)
+            uniq = uniq.astype(np.int64)
+            counts[uniq] -= hits
+        else:
+            delta = np.bincount(touched, minlength=self.n)
+            counts -= delta
+            uniq = np.flatnonzero(delta)
+        return uniq[eligible[uniq]]
 
     def cover_mask(
         self, ids: np.ndarray, *, include_sources: bool = True
@@ -294,64 +309,252 @@ def group_points_by_cell(keys: np.ndarray) -> List[np.ndarray]:
     return np.split(order, boundaries)
 
 
+#: Relative safety margin applied to the analytic cell-pair distance
+#: bounds, covering the FP noise in key assignment and norm evaluation.
+#: Pairs near the margin fall back to explicit distance computation,
+#: never the other way around, so the margin only costs work.
+_BOUND_EPS = 1e-9
+
+#: Offset classifications for :func:`_classify_offsets`.
+_PAIR_AUTO, _PAIR_COMPUTE = 0, 1
+
+
+def _grid_resolution(dim: int) -> int:
+    """Cells per radius for the pruned grid build.
+
+    Sub-radius cells are what give the min/max cell-pair bounds their
+    discriminating power (at ``cell == radius`` no pair is ever fully
+    inside the radius under L2); the offset count grows as
+    ``(2k+1)^d``, so the resolution backs off with dimensionality.
+    """
+    if dim <= 2:
+        return 4
+    if dim == 3:
+        return 2
+    return 1
+
+
+def _classify_offsets(metric, radius: float, cell: float, dim: int, resolution: int):
+    """Enumerate candidate cell offsets with their distance-bound class.
+
+    For a pair of cells whose integer keys differ by ``delta`` the
+    per-coordinate separation of any two points lies in
+    ``[max(0, |delta| - 1), |delta| + 1] * cell`` (strictly, but the
+    closed interval is the safe direction), so the metric applied to
+    those corner vectors brackets every point-pair distance:
+
+    * lower bound > radius — the pair holds no edges: **skipped**;
+    * upper bound <= radius — every pair is an edge: **auto** (edges
+      emitted without computing a single distance);
+    * otherwise — **compute** (vectorised pairwise, as before).
+
+    Offsets are bounded per-dimension by ``resolution`` cells: an Lp
+    neighbor within ``radius`` moves at most ``radius`` along any
+    coordinate, i.e. at most ``resolution`` key steps (the same
+    soundness argument as the classic 3^d enumeration at
+    ``cell == radius``).
+    """
+    span = np.arange(-resolution, resolution + 1)
+    offsets = np.stack(
+        np.meshgrid(*([span] * dim), indexing="ij"), axis=-1
+    ).reshape(-1, dim)
+    zeros = np.zeros(dim)
+    kept: List[np.ndarray] = []
+    classes: List[int] = []
+    for off in offsets:
+        magnitude = np.abs(off)
+        lower = metric.distance(np.maximum(0, magnitude - 1) * cell, zeros)
+        if lower * (1.0 - _BOUND_EPS) > radius:
+            continue
+        upper = metric.distance((magnitude + 1) * cell, zeros)
+        kept.append(off)
+        classes.append(
+            _PAIR_AUTO if upper * (1.0 + _BOUND_EPS) <= radius else _PAIR_COMPUTE
+        )
+    return np.asarray(kept, dtype=np.int64), np.asarray(classes, dtype=np.int64)
+
+
+def _cell_pair_table(ukeys: np.ndarray, offsets: np.ndarray, classes: np.ndarray):
+    """All occupied (source cell, neighbor cell) pairs per kept offset.
+
+    Returns ``(src, dst, cls)`` parallel arrays of cell indices sorted
+    by source cell.  Cell keys are fused into one scalar per cell so
+    each offset resolves through a single vectorised ``searchsorted``;
+    when the key ranges would overflow the int64 fusion (extreme spans
+    in high dimensions) a dict lookup covers the same ground.
+    """
+    m, dim = ukeys.shape
+    kmin = ukeys.min(axis=0)
+    # Digit headroom must cover the largest offset magnitude on both
+    # sides, else out-of-range digits alias neighboring cells when a
+    # dimension's key span is small (e.g. thin-strip data).
+    reach = int(np.abs(offsets).max()) if offsets.size else 1
+    shifted = ukeys - kmin + reach + 1
+    spans = shifted.max(axis=0) + 2 * (reach + 1)
+    src_acc: List[np.ndarray] = []
+    dst_acc: List[np.ndarray] = []
+    cls_acc: List[np.ndarray] = []
+    if np.log2(spans.astype(float)).sum() <= 62:
+
+        def fuse(keys: np.ndarray) -> np.ndarray:
+            out = np.zeros(keys.shape[0], dtype=np.int64)
+            for j in range(dim):
+                out = out * spans[j] + (keys[:, j] - kmin[j] + reach + 1)
+            return out
+
+        fused = fuse(ukeys)  # ascending: ukeys arrive in lex order
+        for off, cls in zip(offsets, classes):
+            target = fuse(ukeys + off)
+            pos = np.searchsorted(fused, target)
+            pos_clipped = np.minimum(pos, m - 1)
+            hit = fused[pos_clipped] == target
+            src = np.flatnonzero(hit)
+            src_acc.append(src)
+            dst_acc.append(pos_clipped[hit])
+            cls_acc.append(np.full(src.size, cls, dtype=np.int64))
+    else:  # pragma: no cover - extreme key ranges only
+        lookup = {tuple(key): i for i, key in enumerate(ukeys)}
+        for off, cls in zip(offsets, classes):
+            pairs = [
+                (i, lookup[tuple(key)])
+                for i, key in enumerate(ukeys + off)
+                if tuple(key) in lookup
+            ]
+            src = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            dst = np.asarray([p[1] for p in pairs], dtype=np.int64)
+            src_acc.append(src)
+            dst_acc.append(dst)
+            cls_acc.append(np.full(src.size, cls, dtype=np.int64))
+    src = np.concatenate(src_acc)
+    dst = np.concatenate(dst_acc)
+    cls = np.concatenate(cls_acc)
+    order = np.argsort(src, kind="stable")
+    return src[order], dst[order], cls[order]
+
+
 def build_csr_grid(
     points: np.ndarray,
     metric,
     radius: float,
     *,
     stats=None,
+    resolution: Optional[int] = None,
 ) -> CSRNeighborhood:
-    """Exact CSR adjacency via grid-binned candidate generation.
+    """Exact CSR adjacency via grid binning with cell-pair pruning.
 
-    For Minkowski-family metrics a ball of radius r fits inside the
-    L-infinity box of half-width r, so with cells of edge ``radius``
-    every neighbor of a point lies in the point's own cell or one of
-    the ``3^d`` adjacent cells.  One vectorised ``metric.pairwise``
-    block per occupied cell then replaces the full O(n^2) matrix —
-    near-linear work at fixed density, which is what makes 50k+ object
-    workloads practical.  Exact only when per-coordinate distance never
-    exceeds total distance (true for all Lp, false for e.g. weighted
-    metrics — callers gate on the metric family).
+    Points are bucketed into cells of edge ``radius / resolution``; for
+    every occupied cell pair within reach the analytic min/max distance
+    bounds of :func:`_classify_offsets` decide whether the pair is
+    skipped outright, emits all its member pairs as edges *without
+    computing any distance* (the pair is provably inside the radius),
+    or falls back to one vectorised ``metric.pairwise`` block.  On
+    clustered data the dense cells sit deep inside each other's radius,
+    so the quadratic pairwise blocks that previously dominated the
+    build collapse into plain index arithmetic; distance computations
+    are reserved for the geometric boundary shell.
+
+    The adjacency is identical to :func:`build_csr_pairwise` for every
+    Minkowski-family metric (per-coordinate distance never exceeds the
+    total — callers gate on the metric family).  ``resolution`` (cells
+    per radius) defaults per dimensionality, backing off to the classic
+    3^d enumeration when sub-radius cells would not pay: past 3-d, or
+    when occupancy is too sparse for auto pairs to matter.
     """
     points = np.asarray(points, dtype=float)
     n, dim = points.shape
-    cell = float(radius) if radius > 0 else 1.0
+    if resolution is None:
+        resolution = _grid_resolution(dim) if radius > 0 else 1
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    cell = float(radius) / resolution if radius > 0 else 1.0
     origin = points.min(axis=0)
     keys = np.floor((points - origin) / cell).astype(np.int64)
     groups = group_points_by_cell(keys)
-    buckets = {tuple(keys[g[0]]): g for g in groups}
-    offsets = np.stack(
-        np.meshgrid(*([np.arange(-1, 2)] * dim), indexing="ij"), axis=-1
-    ).reshape(-1, dim)
-    rows_acc: List[np.ndarray] = []
-    cols_acc: List[np.ndarray] = []
-    for key, members in buckets.items():
-        key_arr = np.asarray(key)
-        candidate_groups = [
-            buckets.get(tuple(key_arr + off))
-            for off in offsets
-        ]
-        candidates = np.sort(
-            np.concatenate([g for g in candidate_groups if g is not None])
-        )
+    if resolution > 1 and len(groups) > n // 4:
+        # Sparse occupancy: mostly-singleton cells mean the auto class
+        # almost never fires while the finer grid multiplies the cell
+        # loop; fall back to radius-sized cells.
+        resolution = 1
+        cell = float(radius) if radius > 0 else 1.0
+        keys = np.floor((points - origin) / cell).astype(np.int64)
+        groups = group_points_by_cell(keys)
+
+    m = len(groups)
+    sizes = np.fromiter((g.size for g in groups), dtype=np.int64, count=m)
+    ukeys = keys[np.fromiter((g[0] for g in groups), dtype=np.int64, count=m)]
+    offsets, classes = _classify_offsets(metric, radius, cell, dim, resolution)
+    pair_src, pair_dst, pair_cls = _cell_pair_table(ukeys, offsets, classes)
+    cell_ptr = np.searchsorted(pair_src, np.arange(m + 1))
+
+    # Every object's row is produced in full (ascending columns) by its
+    # own cell's block, so the CSR can be assembled by a counting
+    # layout — no global edge sort.  Blocks hold (members, their
+    # per-member neighbor counts, concatenated int32 columns).
+    degrees = np.zeros(n, dtype=np.int64)
+    blocks: List[tuple] = []
+
+    def emit(members: np.ndarray, lengths: np.ndarray, cols: np.ndarray) -> None:
+        degrees[members] = lengths
+        blocks.append((members, lengths, cols))
+
+    for i in range(m):
+        lo, hi = cell_ptr[i], cell_ptr[i + 1]
+        members = groups[i]
+        dsts = pair_dst[lo:hi]
+        candidates = np.concatenate([groups[j] for j in dsts])
+        auto_mask = np.repeat(pair_cls[lo:hi] == _PAIR_AUTO, sizes[dsts])
+        order = np.argsort(candidates)
+        candidates = candidates[order]
+        auto_mask = auto_mask[order]
+        candidates32 = candidates.astype(np.int32)
+
+        compute_idx = np.flatnonzero(~auto_mask)
+        if compute_idx.size == 0:
+            # Every candidate is provably within the radius: the edge
+            # list is pure index arithmetic, no distances at all.  Only
+            # each member's self entry needs masking out.
+            k = candidates.size
+            cols = np.tile(candidates32, members.size)
+            keep = np.ones(members.size * k, dtype=bool)
+            self_pos = np.searchsorted(candidates, members)
+            keep[self_pos + np.arange(members.size) * k] = False
+            emit(members, np.full(members.size, k - 1), cols[keep])
+            continue
+
         # Dense cells (clustered data) can hold thousands of members
         # against tens of thousands of candidates; honour the block
         # budget by chunking members like every other pairwise path.
+        compute_points = points[candidates[compute_idx]]
         chunk = pairwise_row_chunk(candidates.size, dim)
         for start in range(0, members.size, chunk):
             sub = members[start : start + chunk]
-            block = metric.pairwise(points[sub], points[candidates])
+            hits = np.empty((sub.size, candidates.size), dtype=bool)
+            hits[:] = auto_mask  # auto columns are edges unconditionally
+            block = metric.pairwise(points[sub], compute_points)
             if stats is not None:
                 stats.distance_computations += block.size
-            local_rows, local_cols = np.nonzero(block <= radius)
-            rows = sub[local_rows]
-            cols = candidates[local_cols]
-            keep = rows != cols
-            rows_acc.append(rows[keep])
-            cols_acc.append(cols[keep])
-    rows = np.concatenate(rows_acc) if rows_acc else np.empty(0, dtype=np.int64)
-    cols = np.concatenate(cols_acc) if cols_acc else np.empty(0, dtype=np.int64)
-    # Each object's edges all come from its own cell's block, where its
-    # columns are ascending (candidates sorted above) — the stable row
-    # pass restores global CSR order.
-    return CSRNeighborhood.from_edges(rows, cols, n, cols_sorted_within_rows=True)
+            hits[:, compute_idx] = block <= radius
+            # Self is always a hit (distance 0 or an auto column).
+            hits[np.arange(sub.size), np.searchsorted(candidates, sub)] = False
+            local_rows, local_cols = np.nonzero(hits)
+            emit(
+                sub,
+                np.bincount(local_rows, minlength=sub.size),
+                candidates32[local_cols],
+            )
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int32)
+    for members, lengths, cols in blocks:
+        if cols.size == 0:
+            continue
+        starts = np.zeros(members.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        positions = (
+            np.arange(cols.size, dtype=np.int64)
+            - np.repeat(starts, lengths)
+            + np.repeat(indptr[members], lengths)
+        )
+        indices[positions] = cols
+    return CSRNeighborhood(indptr, indices)

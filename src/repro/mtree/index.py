@@ -127,6 +127,42 @@ class MTreeIndex(NeighborIndex):
             return result
         return [other for other in result if other != center_id]
 
+    def range_query_batch(
+        self,
+        ids,
+        radius: float,
+        *,
+        include_self: bool = False,
+        per_query_stats: bool = False,
+    ) -> List[np.ndarray]:
+        """``N_r`` for many centers via one batched tree descent.
+
+        The descent shares node visits across queries while charging
+        the *same* totals as the per-query loop — each node bills one
+        access per query that would have visited it — so aggregate
+        node-access results (the paper's cost metric) are unchanged.
+        ``per_query_stats=True`` falls back to the per-query loop for
+        callers that attribute counter deltas to individual queries
+        (e.g. snapshotting between calls).
+        """
+        if per_query_stats:
+            return super().range_query_batch(
+                ids, radius, include_self=include_self
+            )
+        ids = np.asarray(ids, dtype=np.int64)
+        self.stats.range_queries += ids.size
+        raw = self.tree.range_query_batch_points(self.points[ids], radius)
+        out: List[np.ndarray] = []
+        for center, result in zip(ids, raw):
+            center = int(center)
+            if include_self:
+                if center not in result:
+                    result.append(center)
+            else:
+                result = [other for other in result if other != center]
+            out.append(np.asarray(result, dtype=np.int64))
+        return out
+
     def knn_query(self, point: np.ndarray, k: int) -> List[int]:
         """The k nearest objects to a free point (best-first search)."""
         self.stats.range_queries += 1

@@ -194,6 +194,54 @@ class MTree:
             if d <= radius + r_cov:
                 self._search(entry.child, point, radius, prune_grey, out)
 
+    def range_query_batch_points(
+        self, points: np.ndarray, radius: float
+    ) -> List[List[int]]:
+        """Top-down range queries for many points in one shared descent.
+
+        Every node on the union of the queries' search paths is visited
+        exactly once; the triangle-inequality test runs as one pairwise
+        block over the queries still active at that node.  Cost
+        accounting is *identical* to issuing the queries one at a time:
+        a node charges one access per active query (a query is active
+        at a node precisely when the per-query traversal would have
+        visited it) and one distance computation per (active query,
+        entry) pair.  Result lists match the per-query traversal order
+        element for element, because the descent visits entries in the
+        same order and the metric's ``pairwise`` agrees with
+        ``to_point`` bit for bit.
+        """
+        points = np.asarray(points, dtype=float)
+        results: List[List[int]] = [[] for _ in range(points.shape[0])]
+        if points.shape[0]:
+            active = np.arange(points.shape[0], dtype=np.int64)
+            self._search_batch(self.root, points, active, float(radius), results)
+        return results
+
+    def _search_batch(
+        self,
+        node: Node,
+        points: np.ndarray,
+        active: np.ndarray,
+        radius: float,
+        results: List[List[int]],
+    ) -> None:
+        self.stats.node_accesses += active.size
+        if not node.entries:
+            return  # empty root of a freshly created tree
+        block = self.metric.pairwise(points[active], node.entry_points())
+        self.stats.distance_computations += block.size
+        if node.is_leaf:
+            for j, entry in enumerate(node.entries):
+                for q in active[block[:, j] <= radius]:
+                    results[q].append(entry.object_id)
+            return
+        radii = node.covering_radii()
+        for j, entry in enumerate(node.entries):
+            sub = active[block[:, j] <= radius + radii[j]]
+            if sub.size:
+                self._search_batch(entry.child, points, sub, radius, results)
+
     def range_query_bottom_up(
         self,
         object_id: int,

@@ -1,0 +1,78 @@
+"""Fast bench-harness smoke test (tier 1, not ``@slow``).
+
+Runs the ``python -m repro bench --quick`` machinery in-process at a
+small cardinality and pins the JSON schema, so CI catches harness
+breakage (renamed fields, a broken engine factory, a parity divergence)
+without paying the wall-clock of the real benchmark tiers.
+"""
+
+import json
+
+from repro.experiments import (
+    bench_radius,
+    render_bench_table,
+    run_wallclock_bench,
+    write_bench_json,
+)
+
+RUN_KEYS = {
+    "workload",
+    "n",
+    "engine",
+    "radius",
+    "index_s",
+    "adjacency_s",
+    "build_s",
+    "select_s",
+    "total_s",
+    "solution_size",
+}
+
+
+def test_bench_payload_schema(tmp_path):
+    payload = run_wallclock_bench(
+        sizes=[600], workloads=["uniform", "clustered"]
+    )
+
+    meta = payload["meta"]
+    for key in ("version", "python", "numpy", "machine", "sizes", "radii",
+                "density_reference_n", "legacy_max_n"):
+        assert key in meta, key
+    assert meta["sizes"] == [600]
+    assert set(meta["radii"]) == {"uniform", "clustered"}
+
+    runs = payload["runs"]
+    # 600 <= LEGACY_MAX_N: all four engines per workload.
+    assert len(runs) == 2 * 4
+    for run in runs:
+        assert RUN_KEYS <= set(run), run
+        assert run["build_s"] >= 0 and run["select_s"] >= 0
+        # Each phase is rounded to 6 decimals independently; the parts
+        # can drift from the rounded sum by one ulp each.
+        assert abs(
+            run["index_s"] + run["adjacency_s"] - run["build_s"]
+        ) <= 2e-6
+        assert run["solution_size"] > 0
+
+    # The legacy tiers produce one speedup entry per workload cell.
+    assert set(payload["speedups"]) == {"uniform-600", "clustered-600"}
+
+    # Table rendering and JSON persistence round-trip.
+    table = render_bench_table(payload)
+    assert "Wall-clock" in table and "speedups:" in table
+    path = write_bench_json(payload, str(tmp_path / "bench.json"))
+    with open(path) as handle:
+        assert json.load(handle)["runs"] == runs
+
+
+def test_quick_mode_restricts_sizes():
+    payload = run_wallclock_bench(quick=True, workloads=["uniform"])
+    assert payload["meta"]["sizes"] == [2000]
+    assert {run["n"] for run in payload["runs"]} == {2000}
+
+
+def test_bench_radius_density_scaling():
+    assert bench_radius("uniform", 2000) == 0.05
+    assert bench_radius("uniform", 50000) == 0.05
+    assert bench_radius("uniform", 200000) == 0.025  # sqrt(1/4) scaling
+    assert 0.0070 < bench_radius("cities", 100000) < 0.0071

@@ -403,3 +403,180 @@ class TestValidateIds:
             index.validate_ids(np.array([0, 60]))
         with pytest.raises(IndexError, match="-1"):
             index.validate_ids([-1])
+
+
+# ----------------------------------------------------------------------
+# PR 2: the priority structure and the selection strategies
+# ----------------------------------------------------------------------
+class TestMaxSegmentTree:
+    def test_argmax_matches_np_argmax_with_ties(self):
+        from repro.graph.priority import MaxSegmentTree
+
+        scores = np.array([3, 7, 7, 1, 7, 0], dtype=np.int64)
+        tree = MaxSegmentTree(scores)
+        assert tree.argmax() == 1  # first maximum, exactly like np.argmax
+        tree.update_one(1, -1)
+        assert tree.argmax() == 2
+        assert tree.max_value == 7
+
+    def test_update_many_repairs_ancestors(self, rng):
+        from repro.graph.priority import MaxSegmentTree
+
+        scores = rng.integers(0, 100, size=513).astype(np.int64)
+        tree = MaxSegmentTree(scores)
+        for _ in range(50):
+            ids = rng.integers(0, 513, size=rng.integers(1, 40))
+            vals = rng.integers(-1, 100, size=ids.size).astype(np.int64)
+            scores[ids] = vals  # duplicate ids: last write wins both sides
+            tree.update_many(ids, vals)
+            assert tree.argmax() == int(np.argmax(scores))
+            assert tree.max_value == int(scores.max())
+
+    def test_single_leaf_tree(self):
+        from repro.graph.priority import MaxSegmentTree
+
+        tree = MaxSegmentTree(np.array([5], dtype=np.int64))
+        assert tree.argmax() == 0
+        tree.update_many(np.array([0]), np.array([2]))
+        assert tree.max_value == 2
+
+    def test_rejects_empty(self):
+        from repro.graph.priority import MaxSegmentTree
+
+        with pytest.raises(ValueError):
+            MaxSegmentTree(np.empty(0, dtype=np.int64))
+
+
+@pytest.mark.parametrize("strategy", ["lazy", "eager"])
+@pytest.mark.parametrize("family", sorted(DATASET_FAMILIES))
+def test_selection_strategies_identical(family, strategy, monkeypatch):
+    """Both CSR selection strategies must replay the legacy order —
+    the verified-pop lazy loop and the eager decrement sweep."""
+    import repro.core.greedy as greedy_module
+
+    monkeypatch.setattr(greedy_module, "CSR_SELECTION_STRATEGY", strategy)
+    data = DATASET_FAMILIES[family]()
+    radius = _FAMILY_RADII[family]
+    legacy = BruteForceIndex(data.points, data.metric, accelerate=False)
+    fast = BruteForceIndex(data.points, data.metric)
+    assert greedy_disc(legacy, radius).selected == greedy_disc(fast, radius).selected
+    legacy = BruteForceIndex(data.points, data.metric, accelerate=False)
+    fast = BruteForceIndex(data.points, data.metric)
+    assert greedy_c(legacy, radius).selected == greedy_c(fast, radius).selected
+
+
+def test_strategy_validation(small_uniform, monkeypatch):
+    import repro.core.greedy as greedy_module
+
+    monkeypatch.setattr(greedy_module, "CSR_SELECTION_STRATEGY", "bogus")
+    index = BruteForceIndex(small_uniform, EUCLIDEAN)
+    with pytest.raises(ValueError, match="strategy"):
+        greedy_disc(index, 0.15)
+
+
+# ----------------------------------------------------------------------
+# PR 2: the pruned grid builder
+# ----------------------------------------------------------------------
+class TestPrunedGridBuilder:
+    @pytest.mark.parametrize("resolution", [1, 2, 3, 4, 6])
+    def test_forced_resolutions_match_pairwise(self, resolution):
+        data = clustered_dataset(n=900, dim=2, seed=0)
+        reference = build_csr_pairwise(data.points, EUCLIDEAN, 0.05)
+        pruned = build_csr_grid(
+            data.points, EUCLIDEAN, 0.05, resolution=resolution
+        )
+        assert np.array_equal(reference.indptr, pruned.indptr)
+        assert np.array_equal(reference.indices, pruned.indices)
+
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MANHATTAN, CHEBYSHEV],
+                             ids=lambda m: m.name)
+    def test_lattice_boundary_ties(self, metric):
+        """Exact distance==radius ties must survive the bound
+        classification (the margins only demote pairs to compute)."""
+        grid_1d = np.linspace(0.0, 1.0, 12)
+        points = np.stack(np.meshgrid(grid_1d, grid_1d), -1).reshape(-1, 2)
+        radius = float(grid_1d[1] - grid_1d[0])
+        reference = build_csr_pairwise(points, metric, radius)
+        pruned = build_csr_grid(points, metric, radius)
+        assert np.array_equal(reference.indptr, pruned.indptr)
+        assert np.array_equal(reference.indices, pruned.indices)
+
+    def test_dense_cells_emit_without_distances(self):
+        """On tightly clustered data the auto class must fire: far
+        fewer distance computations than candidate pairs."""
+        from repro.index.base import IndexStats
+
+        rng = np.random.default_rng(3)
+        points = np.concatenate([
+            rng.normal(loc=c, scale=0.004, size=(600, 2))
+            for c in ([0.25, 0.25], [0.75, 0.75])
+        ])
+        stats = IndexStats()
+        csr = build_csr_grid(points, EUCLIDEAN, 0.05, stats=stats)
+        reference = build_csr_pairwise(points, EUCLIDEAN, 0.05)
+        assert np.array_equal(csr.indices, reference.indices)
+        # Each 600-point blob is fully mutually adjacent; without the
+        # auto class the builder would evaluate >= nnz distances.
+        assert stats.distance_computations < csr.nnz / 10
+
+    def test_offset_classification_is_sound(self):
+        from repro.graph.csr import _classify_offsets, _PAIR_AUTO
+
+        offsets, classes = _classify_offsets(EUCLIDEAN, 1.0, 0.25, 2, 4)
+        for off, cls in zip(offsets, classes):
+            magnitude = np.abs(off)
+            hi = float(np.linalg.norm((magnitude + 1) * 0.25))
+            lo = float(np.linalg.norm(np.maximum(0, magnitude - 1) * 0.25))
+            assert lo <= 1.0 + 1e-9  # kept pairs can hold edges
+            if cls == _PAIR_AUTO:
+                assert hi <= 1.0 + 1e-9  # auto pairs lie fully inside
+
+    def test_resolution_validation(self, small_uniform):
+        with pytest.raises(ValueError, match="resolution"):
+            build_csr_grid(small_uniform, EUCLIDEAN, 0.1, resolution=0)
+
+
+# ----------------------------------------------------------------------
+# PR 2: batched M-tree descent
+# ----------------------------------------------------------------------
+class TestMTreeBatchedDescent:
+    def test_batch_matches_loop_and_accounting(self, medium_uniform):
+        from repro.mtree import MTreeIndex
+
+        ids = list(range(0, len(medium_uniform), 5))
+        batched = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=8)
+        looped = MTreeIndex(medium_uniform, EUCLIDEAN, capacity=8)
+        batch = batched.range_query_batch(ids, 0.12)
+        loop = looped.range_query_batch(ids, 0.12, per_query_stats=True)
+        for left, right in zip(batch, loop):
+            # The shared descent preserves per-query traversal order.
+            assert left.tolist() == right.tolist()
+        assert batched.stats.node_accesses == looped.stats.node_accesses
+        assert (
+            batched.stats.distance_computations
+            == looped.stats.distance_computations
+        )
+        assert batched.stats.range_queries == looped.stats.range_queries
+
+    def test_batch_include_self_matches(self, small_uniform):
+        from repro.mtree import MTreeIndex
+
+        index = MTreeIndex(small_uniform, EUCLIDEAN, capacity=8)
+        batch = index.range_query_batch([2, 7], 0.2, include_self=True)
+        for center, row in zip([2, 7], batch):
+            assert center in row.tolist()
+
+    def test_thin_strip_key_spans(self):
+        """Regression: when one dimension's cell-key span is smaller
+        than the offset reach, the fused-key lookup must not alias
+        neighboring cells (it used to emit self-loops and duplicate
+        edges on strip-shaped data)."""
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            points = np.column_stack([
+                rng.uniform(0, 10, 400), rng.uniform(0, 0.5, 400)
+            ])
+            reference = build_csr_pairwise(points, EUCLIDEAN, 1.0)
+            pruned = build_csr_grid(points, EUCLIDEAN, 1.0)
+            assert np.array_equal(reference.indptr, pruned.indptr)
+            assert np.array_equal(reference.indices, pruned.indices)

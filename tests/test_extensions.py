@@ -248,3 +248,61 @@ class TestStreamingRemoval:
         rebuilt = stream.rebuild()
         assert victim not in rebuilt.selected
         assert set(rebuilt.selected) <= set(stream.alive_ids())
+
+
+class TestExtensionEngines:
+    """Each extension either rides the CSR fast path or explicitly
+    declares its legacy path via ``result.meta["engine"]`` — so a
+    silent regression to per-neighbor Python loops fails loudly."""
+
+    def test_weighted_csr_parity_with_legacy(self, medium_uniform, rng):
+        weights = rng.random(len(medium_uniform))
+        for alpha in (0.0, 0.3, 1.0):
+            fast = weighted_disc(
+                BruteForceIndex(medium_uniform, EUCLIDEAN), 0.12, weights,
+                alpha=alpha,
+            )
+            slow = weighted_disc(
+                BruteForceIndex(medium_uniform, EUCLIDEAN, accelerate=False),
+                0.12, weights, alpha=alpha,
+            )
+            assert fast.meta["engine"] == "csr"
+            assert slow.meta["engine"] == "legacy"
+            assert fast.selected == slow.selected, alpha
+
+    def test_weighted_mtree_and_pruned_stay_legacy(self, small_uniform, rng):
+        """Listener-attached (M-tree) and pruned runs need the
+        per-query protocol; the fast path must decline them."""
+        weights = rng.random(len(small_uniform))
+        tree = weighted_disc(
+            MTreeIndex(small_uniform, EUCLIDEAN, capacity=8), 0.15, weights
+        )
+        assert tree.meta["engine"] == "legacy"
+        pruned = weighted_disc(
+            MTreeIndex(small_uniform, EUCLIDEAN, capacity=8), 0.15, weights,
+            prune=True,
+        )
+        assert pruned.meta["engine"] == "legacy"
+        fast = weighted_disc(
+            BruteForceIndex(small_uniform, EUCLIDEAN), 0.15, weights
+        )
+        assert fast.meta["engine"] == "csr"
+        assert tree.selected == pruned.selected == fast.selected
+
+    def test_multiradius_declares_legacy(self, small_uniform):
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        radii = np.full(len(small_uniform), 0.15)
+        result = multiradius_disc(index, radii)
+        assert result.meta["engine"] == "legacy"
+
+    def test_streaming_declares_engines(self, medium_uniform):
+        stream = StreamingDisC(radius=0.15)
+        stream.extend(medium_uniform)
+        assert stream.result().meta["engine"] == "vectorized-stream"
+        rebuilt = stream.rebuild()
+        assert rebuilt.meta["engine"] == "csr"
+        # The rebuild's CSR selections equal a legacy-path greedy run.
+        legacy_index = BruteForceIndex(
+            medium_uniform, EUCLIDEAN, accelerate=False
+        )
+        assert rebuilt.selected == greedy_disc(legacy_index, 0.15).selected
