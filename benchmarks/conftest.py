@@ -11,11 +11,28 @@ paper's exact dataset sizes.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import current_scale, experiment_suite, save_text
 
 _REGISTERED = []
+
+_BENCH_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The figure/table regenerations take minutes at default scale; the
+    marker keeps the default run (tier-1 verify) functional-only while
+    ``pytest -m bench`` (or ``-m "bench and not slow"``) remains the
+    lane that rebuilds the paper's outputs.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_ROOT):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

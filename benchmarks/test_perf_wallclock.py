@@ -2,8 +2,10 @@
 
 Unlike the figure benchmarks (node accesses, solution sizes), this tier
 times real seconds on uniform / clustered / cities workloads at
-n ∈ {2000, 10000, 50000} and persists ``results/BENCH_perf.json`` so
-every future PR can be judged against a recorded trajectory.
+n ∈ {2000, ..., 200000} (clustered additionally at 500000, feasible
+only through the blocked adjacency) and persists
+``results/BENCH_perf.json`` so every future PR can be judged against a
+recorded trajectory.
 
 Marked ``slow`` and therefore excluded from the default ``pytest``
 run (see pytest.ini); select with ``pytest -m slow benchmarks/`` or run
@@ -37,6 +39,13 @@ MIN_CLUSTERED_50K_GAIN = 3.0
 
 #: PR 2 selection target at the 50k tier (best engine per workload).
 MAX_SELECT_50K_S = 0.6
+
+#: PR 3 targets: the blocked adjacency must beat PR 2's 200k clustered
+#: build+select (24.6s, grid-csr @ 8a390b0) and keep a measurable share
+#: of the edges implicit; the new 500k clustered tier must complete.
+PR2_CLUSTERED_200K_TOTAL_S = 24.6
+MIN_BLOCKED_DENSE_FRACTION = 0.25
+MAX_CLUSTERED_500K_TOTAL_S = 180.0
 
 
 @pytest.fixture(scope="module")
@@ -96,3 +105,34 @@ def test_scale_tiers_record_per_phase_timings(payload):
     for run in runs:
         assert {"index_s", "adjacency_s", "select_s"} <= set(run)
         assert run["radius"] < 0.05  # density-preserving scaling applied
+
+
+def test_blocked_beats_pr2_at_200k_clustered(payload):
+    """The PR 3 tentpole: implicit dense blocks at the adjacency-bound
+    tier — faster than the flat build *and* holding back a measurable
+    share of the edge mass from materialisation."""
+    runs = _runs_at(payload, "clustered", 200000)
+    if not runs:
+        pytest.skip("200k tier not in this run (REPRO_BENCH_QUICK)")
+    grid = [run for run in runs if run["engine"] == "grid-csr"]
+    assert grid, runs
+    run = grid[0]
+    assert run["adjacency_blocked"], "200k clustered should pick blocked"
+    assert run["total_s"] <= PR2_CLUSTERED_200K_TOTAL_S, run
+    # The blocked build's own wall-clock (the ISSUE's `adjacency_blocked_s`
+    # field) must be present, positive, and the dominant share of build.
+    assert 0 < run["adjacency_blocked_s"] <= run["build_s"], run
+    assert run["stored_nnz"] < run["peak_nnz"], run
+    assert run["dense_edge_fraction"] >= MIN_BLOCKED_DENSE_FRACTION, run
+
+
+def test_clustered_500k_tier_feasible(payload):
+    """The tier the flat CSR could not reach (≈ 950M logical edges)."""
+    runs = _runs_at(payload, "clustered", 500000)
+    if not runs:
+        pytest.skip("500k tier not in this run (REPRO_BENCH_QUICK)")
+    run = runs[0]
+    assert run["engine"] == "grid-csr"
+    assert run["adjacency_blocked"], run
+    assert run["solution_size"] > 0
+    assert run["total_s"] <= MAX_CLUSTERED_500K_TOTAL_S, run

@@ -16,6 +16,7 @@ Example
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -40,8 +41,9 @@ from repro.core import (
 from repro.datasets import Dataset
 from repro.distance import get_metric
 from repro.index import BruteForceIndex, GridIndex, KDTreeIndex, NeighborIndex
-from repro.index.base import validate_accelerate
+from repro.index.base import IndexStats, validate_accelerate
 from repro.mtree import MTreeIndex
+from repro.validation import validate_radius
 
 __all__ = ["build_index", "disc_select", "DiscDiversifier"]
 
@@ -51,6 +53,99 @@ _METHODS = {
     "greedy-c": greedy_c,
     "fast-c": fast_c,
 }
+
+#: Algorithm labels used when a heuristic is answered degenerately
+#: (empty input) without running; match each heuristic's default name.
+_METHOD_NAMES = {
+    "basic": "Basic-DisC",
+    "greedy": "Grey-Greedy-DisC",
+    "greedy-c": "Greedy-C",
+    "fast-c": "Fast-C",
+}
+
+
+def _empty_input_label(method: str, options: dict) -> str:
+    """The algorithm label the heuristic itself would have reported.
+
+    Callers key logs on ``result.algorithm``, so the degenerate
+    empty-input answer must carry the same variant-aware name as a real
+    run of the identical request.
+    """
+    if method == "greedy":
+        from repro.core.greedy import _variant_name
+
+        update_variant = options.get("update_variant", "grey")
+        if update_variant not in ("grey", "white"):
+            raise ValueError(f"unknown update_variant {update_variant!r}")
+        return _variant_name(
+            update_variant,
+            bool(options.get("lazy", False)),
+            bool(options.get("prune", False)),
+        )
+    if method == "basic" and options.get("prune"):
+        return "Basic-DisC (Pruned)"
+    return _METHOD_NAMES[method]
+
+_ENGINE_CLASSES = {
+    "auto": MTreeIndex,
+    "mtree": MTreeIndex,
+    "brute": BruteForceIndex,
+    "grid": GridIndex,
+    "kdtree": KDTreeIndex,
+}
+
+
+def _check_engine_options(engine: str, cls, options: dict) -> None:
+    """Reject unknown engine keywords with the valid names spelled out.
+
+    Without this, a typo like ``index="kdtree"`` surfaces as an opaque
+    ``MTreeIndex.__init__() got an unexpected keyword argument`` from
+    whatever engine ``auto`` picked — the caller never asked for an
+    M-tree and has no idea which signature to read.
+    """
+    params = inspect.signature(cls.__init__).parameters
+    valid = sorted(
+        name
+        for name, param in params.items()
+        if name not in ("self", "points", "metric")
+        and param.kind
+        not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+    )
+    unknown = sorted(set(options) - set(valid) - {"accelerate"})
+    if unknown:
+        raise ValueError(
+            f"unknown engine option(s) {', '.join(map(repr, unknown))} for "
+            f"engine {engine!r} ({cls.__name__}); valid options: "
+            f"{', '.join(sorted(set(valid) | {'accelerate'}))}"
+        )
+
+
+def _validate_engine_request(engine: str, engine_options: dict):
+    """Validate an engine choice + options without building anything.
+
+    The single validation path shared by :func:`build_index` and the
+    empty-dataset fast path of :func:`disc_select`, so a bad request
+    fails identically whether or not there is data to index.  Returns
+    ``(engine, engine_cls, accelerate, options)`` with ``accelerate``
+    already popped out of ``options``.
+    """
+    engine = engine.lower()
+    options = dict(engine_options)
+    accelerate = validate_accelerate(options.pop("accelerate", "auto"))
+    try:
+        engine_cls = _ENGINE_CLASSES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected auto, brute, grid, kdtree or mtree"
+        ) from None
+    _check_engine_options(engine, engine_cls, options)
+    if engine in ("auto", "mtree") and accelerate is True:
+        raise ValueError(
+            "the M-tree has no CSR engine (its per-query node-access "
+            "accounting is the paper's cost metric); pick a simple "
+            'engine for accelerate=True or use accelerate="auto"'
+        )
+    return engine, engine_cls, accelerate, options
 
 
 def _resolve(data, metric):
@@ -86,24 +181,34 @@ def build_index(
     simple engine (brute, grid, kdtree) materialise the fixed-radius
     adjacency once as int32 CSR arrays and run Greedy-DisC / Greedy-C /
     zooming as vectorised array ops — identical selections, ~10-100x
-    faster at paper scale (see ``results/BENCH_perf.json``).
+    faster at paper scale (see ``results/BENCH_perf.json``).  On
+    clustered workloads whose edge mass concentrates in provably-dense
+    grid-cell pairs, the grid-backed builders transparently upgrade to
+    the *blocked* adjacency of :mod:`repro.graph.blocked` — the dense
+    pairs stay implicit (id arrays instead of hundreds of millions of
+    edges) while selections remain byte-identical.
     ``False`` forces the legacy per-query path (the parity baseline);
     ``True`` insists on the engine and is rejected for the M-tree,
     whose per-query node-access accounting is the paper's cost metric
     and must stay exact.  Batched neighborhoods for many centers are
     available on every index via
     ``index.range_query_batch(ids, radius)``.
+
+    Input contracts
+    ---------------
+    Unknown keyword options are rejected with the chosen engine's valid
+    option names (rather than an opaque ``TypeError`` from whatever
+    engine ``auto`` picked).  Radii are validated where they are
+    consumed: NaN and ±inf raise ``ValueError`` from every entry point
+    (:func:`disc_select`, the heuristics, the CSR builders), 0 is a
+    valid degenerate radius, and :func:`disc_select` on an empty
+    dataset returns an empty result instead of erroring.
     """
     points, resolved_metric = _resolve(data, metric)
-    engine = engine.lower()
-    accelerate = validate_accelerate(engine_options.pop("accelerate", "auto"))
+    engine, _, accelerate, engine_options = _validate_engine_request(
+        engine, engine_options
+    )
     if engine in ("auto", "mtree"):
-        if accelerate is True:
-            raise ValueError(
-                "the M-tree has no CSR engine (its per-query node-access "
-                "accounting is the paper's cost metric); pick a simple "
-                'engine for accelerate=True or use accelerate="auto"'
-            )
         index = MTreeIndex(points, resolved_metric, **engine_options)
     elif engine == "brute":
         # Pass through the constructor so a ctor-time ``cache_radius``
@@ -113,12 +218,8 @@ def build_index(
         )
     elif engine == "grid":
         index = GridIndex(points, resolved_metric, **engine_options)
-    elif engine == "kdtree":
+    else:  # kdtree (the unknown-name case raised above)
         index = KDTreeIndex(points, resolved_metric, **engine_options)
-    else:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected auto, brute, grid, kdtree or mtree"
-        )
     index.accelerate = accelerate
     return index
 
@@ -138,6 +239,11 @@ def disc_select(
     ``method`` is one of ``"basic"``, ``"greedy"``, ``"greedy-c"``,
     ``"fast-c"``; remaining keyword arguments go to the heuristic
     (``prune=True``, ``update_variant="white"``, ``lazy=True``, ...).
+
+    The radius must be finite and non-negative (NaN used to sail
+    through the ``radius < 0`` guards and return the *entire dataset*
+    as "diverse"); an empty dataset yields an empty result, so service
+    callers need no special-casing on either side.
     """
     try:
         algorithm = _METHODS[method.lower()]
@@ -145,6 +251,34 @@ def disc_select(
         raise ValueError(
             f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
         ) from None
+    radius = validate_radius(radius)
+    points, _ = _resolve(data, metric)
+    if points.shape[0] == 0:
+        # Nothing to cover: the unique r-DisC diverse subset is empty.
+        # Still validate the whole request first — a typo'd engine,
+        # engine option or heuristic kwarg must fail here exactly as it
+        # would on non-empty data, not ship green until the first real
+        # request.
+        _validate_engine_request(engine, engine_options or {})
+        params = inspect.signature(algorithm).parameters
+        keyword_only = {
+            name
+            for name, param in params.items()
+            if param.kind == inspect.Parameter.KEYWORD_ONLY
+        }
+        unknown = sorted(set(method_options) - keyword_only)
+        if unknown:
+            raise TypeError(
+                f"{algorithm.__name__}() got unexpected keyword argument(s) "
+                f"{', '.join(map(repr, unknown))}"
+            )
+        return DiscResult(
+            selected=[],
+            radius=radius,
+            algorithm=_empty_input_label(method.lower(), method_options),
+            stats=IndexStats(),
+            meta={"empty_input": True},
+        )
     index = build_index(data, metric, engine=engine, **(engine_options or {}))
     return algorithm(index, radius, **method_options)
 

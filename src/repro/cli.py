@@ -26,9 +26,13 @@ The simple engines (``brute``, ``grid``, ``kdtree``) auto-enable the
 CSR neighborhood engine (see :mod:`repro.graph.csr`): the fixed-radius
 adjacency is materialised once as int32 CSR arrays and the heuristics
 run as vectorised array ops, ~10-100x faster than the per-query path
-at paper scale.  Pass ``accelerate=False`` through ``engine_options``
-(API) to force the legacy per-query path; the M-tree never uses the
-CSR engine so its node-access accounting matches the paper.
+at paper scale.  On clustered workloads the grid-backed builds upgrade
+further to the blocked adjacency (:mod:`repro.graph.blocked`): provably
+dense cell pairs stay implicit, cutting adjacency memory and build time
+by the dense fraction with byte-identical selections.  Pass
+``accelerate=False`` through ``engine_options`` (API) to force the
+legacy per-query path; the M-tree never uses the CSR engine so its
+node-access accounting matches the paper.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ from repro.core._common import (
 )
 from repro.core.result import DiscResult
 from repro.index.base import NeighborIndex
+from repro.validation import validate_radius
 
 __all__ = ["basic_disc"]
 
@@ -53,8 +54,7 @@ def basic_disc(
         zooming (Section 5.2).  With ``prune`` these are upper bounds;
         zoom algorithms re-run the exact post-processing pass.
     """
-    if radius < 0:
-        raise ValueError(f"radius must be non-negative, got {radius}")
+    radius = validate_radius(radius)
     before = index.stats.snapshot()
     coloring = attach_fresh_coloring(index)
     tracker: Optional[ClosestBlackTracker] = (

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.result import DiscResult
 from repro.distance import get_metric
+from repro.validation import validate_radius
 
 __all__ = ["StreamingDisC"]
 
@@ -48,9 +49,9 @@ class StreamingDisC:
     """
 
     def __init__(self, radius: float, metric="euclidean"):
-        if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
-        self.radius = float(radius)
+        # Shared validation: rejects NaN/±inf too — a NaN radius would
+        # make every arrival "diverse" (all distance comparisons False).
+        self.radius = validate_radius(radius)
         self.metric = get_metric(metric)
         self._points: List[np.ndarray] = []
         self._alive: List[bool] = []

@@ -35,6 +35,7 @@ from repro.core.coloring import Color
 from repro.core.result import DiscResult
 from repro.graph.priority import MaxSegmentTree
 from repro.index.base import NeighborIndex
+from repro.validation import validate_radius
 
 __all__ = ["weighted_disc", "total_weight"]
 
@@ -68,8 +69,7 @@ def weighted_disc(
         raise ValueError("weights must be non-negative")
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
-    if radius < 0:
-        raise ValueError(f"radius must be non-negative, got {radius}")
+    radius = validate_radius(radius)
 
     before = index.stats.snapshot()
     counts = index.neighborhood_sizes(radius).astype(float)

@@ -39,8 +39,10 @@ from repro.core._common import (
 )
 from repro.core.coloring import Color, Coloring
 from repro.core.result import DiscResult
+from repro.graph.blocked import BlockedNeighborhood
 from repro.graph.priority import MaxSegmentTree
 from repro.index.base import NeighborIndex
+from repro.validation import validate_radius
 
 __all__ = [
     "greedy_disc",
@@ -52,7 +54,9 @@ __all__ = [
 
 #: Execution strategy of the CSR greedy-cover loop: "lazy", "eager" or
 #: "auto".  All are byte-identical in output (the parity suite runs
-#: each); "auto" follows the bench harness
+#: each); on a :class:`~repro.graph.blocked.BlockedNeighborhood` every
+#: name resolves to the block-aggregated eager sweep (see
+#: :func:`_greedy_cover_csr`).  "auto" follows the bench harness
 #: (``selection_strategy_bench``): the eager decrement sweep costs
 #: O(nnz) with a small vectorised constant and wins at moderate
 #: degrees, while lazy verified-pops touch only the rows they inspect
@@ -118,8 +122,7 @@ def greedy_cover(
     """
     if update_variant not in ("grey", "white"):
         raise ValueError(f"unknown update_variant {update_variant!r}")
-    if radius < 0:
-        raise ValueError(f"radius must be non-negative, got {radius}")
+    radius = validate_radius(radius)
 
     # Vectorised execution over the CSR engine when the index provides
     # one and the configuration keeps per-query semantics unnecessary
@@ -246,17 +249,25 @@ def _greedy_cover_csr(
     n = csr.n
     if strategy is None:
         strategy = CSR_SELECTION_STRATEGY
-    if strategy == "auto":
+    if strategy not in ("auto", "lazy", "eager"):
+        raise ValueError(
+            f'strategy must be "auto", "lazy" or "eager", got {strategy!r}'
+        )
+    if isinstance(csr, BlockedNeighborhood):
+        # The blocked engine has one strategy: the eager sweep, whose
+        # decrements collapse into per-block deltas (each dense side is
+        # touched once per step, not once per source).  The lazy
+        # verified-pop recount would re-materialise dense rows per pop
+        # — exactly the edge expansion the blocks avoid — so both
+        # strategy names resolve to the block-aggregated sweep.
+        strategy = "eager"
+    elif strategy == "auto":
         strategy = "eager"
         if csr.nnz >= LAZY_STRATEGY_MIN_NNZ:
             degrees = csr.degrees
             mean = csr.nnz / n
             if float(degrees.std()) >= LAZY_STRATEGY_MIN_DEGREE_CV * mean:
                 strategy = "lazy"
-    if strategy not in ("lazy", "eager"):
-        raise ValueError(
-            f'strategy must be "auto", "lazy" or "eager", got {strategy!r}'
-        )
 
     if initial_counts is not None:
         counts = np.asarray(initial_counts, dtype=np.int64).copy()
@@ -491,6 +502,7 @@ def greedy_disc(
     ``(Grey-)Greedy-DisC``; combine ``update_variant``/``lazy``/``prune``
     for the others.  Output always satisfies both DisC conditions.
     """
+    radius = validate_radius(radius)
     before = index.stats.snapshot()
     initial_counts = index.neighborhood_sizes(radius)
     coloring = attach_fresh_coloring(index)
@@ -541,6 +553,7 @@ def greedy_c(
     and nodes must remain reachable so their white-neighborhood counts
     stay current — so all queries run unpruned.
     """
+    radius = validate_radius(radius)
     before = index.stats.snapshot()
     initial_counts = index.neighborhood_sizes(radius)
     coloring = attach_fresh_coloring(index)
@@ -590,6 +603,7 @@ def fast_c(
     Requires an index supporting the M-tree query options; on simple
     indexes it degrades to plain Greedy-C (no grey flags to exploit).
     """
+    radius = validate_radius(radius)
     before = index.stats.snapshot()
     initial_counts = index.neighborhood_sizes(radius)
     coloring = attach_fresh_coloring(index)

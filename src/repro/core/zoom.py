@@ -45,6 +45,7 @@ from repro.core.greedy import greedy_cover
 from repro.core.result import DiscResult
 from repro.graph.priority import NEG_INF, MaxSegmentTree
 from repro.index.base import NeighborIndex
+from repro.validation import validate_radius
 
 __all__ = [
     "zoom_in",
@@ -99,12 +100,11 @@ def zoom_in(
     objects for the areas the smaller radius uncovers.  The result's
     ``closest_black`` is always exact, ready for further zooming.
     """
+    new_radius = validate_radius(new_radius, name="new_radius")
     if new_radius >= previous.radius:
         raise ValueError(
             f"zoom-in needs a smaller radius: {new_radius} >= {previous.radius}"
         )
-    if new_radius < 0:
-        raise ValueError(f"radius must be non-negative, got {new_radius}")
     before = index.stats.snapshot()
     tracker = _tracker_from_previous(index, previous)
 
@@ -183,6 +183,7 @@ def zoom_out(
     most-white-neighbors respectively.  Greedy variants also run the
     second (coverage) pass greedily; the arbitrary variant scans.
     """
+    new_radius = validate_radius(new_radius, name="new_radius")
     if new_radius <= previous.radius:
         raise ValueError(
             f"zoom-out needs a larger radius: {new_radius} <= {previous.radius}"

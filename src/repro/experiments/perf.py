@@ -6,14 +6,21 @@ build + greedy selection at growing cardinalities, so every future
 engine or heuristic change can be judged against a recorded baseline.
 
 Workloads are the three numeric dataset families (uniform / clustered /
-cities) at n ∈ {2000, 10000, 50000, 100000, 200000}.  Engines:
+cities) at n ∈ {2000, 10000, 50000, 100000, 200000}, plus a 500k
+clustered tier (:data:`EXTRA_SIZES`) that only the blocked adjacency
+makes feasible.  Engines:
 
 ``brute-legacy``
     :class:`BruteForceIndex` with ``accelerate=False`` — the seed
     implementation (Python neighbor lists, per-neighbor loops).  The
     reference the speedup column is computed against.
 ``brute-csr`` / ``grid-csr`` / ``kdtree-csr``
-    the same heuristics driven by the CSR engine.
+    the same heuristics driven by the CSR engine.  The grid-backed
+    builds auto-upgrade to the blocked adjacency on dense-pair-heavy
+    workloads (``adjacency_blocked`` in the record, with
+    ``adjacency_blocked_s`` = the blocked build's wall-clock,
+    ``peak_nnz`` = logical edges a flat CSR would store and
+    ``stored_nnz`` = what is actually materialised).
 
 The legacy engine is only timed up to ``LEGACY_MAX_N`` (it is the thing
 being replaced); the CSR engines run at every cardinality.  At the
@@ -50,11 +57,14 @@ from repro.core import greedy_disc
 from repro.core import greedy as greedy_module
 from repro.datasets import cities_dataset, clustered_dataset, uniform_dataset
 from repro.experiments.tables import format_table, results_dir
+from repro.graph.blocked import BlockedNeighborhood
 from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
 
 __all__ = [
     "BENCH_SIZES",
     "QUICK_SIZES",
+    "EXTRA_SIZES",
+    "GRID_ONLY_MIN_N",
     "LEGACY_MAX_N",
     "DENSITY_REFERENCE_N",
     "bench_radius",
@@ -66,9 +76,21 @@ __all__ = [
 BENCH_SIZES = [2000, 10000, 50000, 100000, 200000]
 QUICK_SIZES = [2000]
 
+#: Extra per-workload scale tiers beyond :data:`BENCH_SIZES`.  The 500k
+#: clustered tier exists because the blocked adjacency makes it
+#: feasible at all: flat CSR would materialise ~800M explicit edges
+#: (3+ GB of int32 indices plus assembly time) where the blocked
+#: engine stores the dense fraction as id arrays.
+EXTRA_SIZES = {"clustered": [500000]}
+
 #: Largest n the seed (legacy brute-force) engine is timed at; beyond
 #: this it is impractically slow, which is the point of the CSR engine.
 LEGACY_MAX_N = 10000
+
+#: Above this n only the grid engine runs: the KD-tree build
+#: (``query_pairs`` + edge sort) has no blocked upgrade and its flat
+#: edge list stops fitting comfortably in memory at paper densities.
+GRID_ONLY_MIN_N = 300000
 
 #: Radii giving paper-like neighborhood densities per workload family.
 BENCH_RADII = {"uniform": 0.05, "clustered": 0.05, "cities": 0.01}
@@ -110,7 +132,8 @@ def _engines(n: int) -> Dict[str, Callable]:
         )
         engines["brute-csr"] = lambda pts, metric: BruteForceIndex(pts, metric)
     engines["grid-csr"] = lambda pts, metric: GridIndex(pts, metric, cell_size=0.05)
-    engines["kdtree-csr"] = lambda pts, metric: KDTreeIndex(pts, metric)
+    if n <= GRID_ONLY_MIN_N:
+        engines["kdtree-csr"] = lambda pts, metric: KDTreeIndex(pts, metric)
     return engines
 
 
@@ -144,7 +167,10 @@ def run_wallclock_bench(
     Selections of every engine at the same (workload, n) are checked
     for equality, so each benchmark run doubles as a parity test.
     """
-    sizes = list(sizes if sizes is not None else (QUICK_SIZES if quick else BENCH_SIZES))
+    base_sizes = list(
+        sizes if sizes is not None else (QUICK_SIZES if quick else BENCH_SIZES)
+    )
+    explicit_sizes = sizes is not None
     workloads = list(workloads or _WORKLOADS)
     radii = dict(BENCH_RADII)
     radii.update(radius_overrides or {})
@@ -152,7 +178,10 @@ def run_wallclock_bench(
     runs: List[dict] = []
     speedups: Dict[str, float] = {}
     for workload in workloads:
-        for n in sizes:
+        workload_sizes = list(base_sizes)
+        if not explicit_sizes and not quick:
+            workload_sizes += EXTRA_SIZES.get(workload, [])
+        for n in workload_sizes:
             data = _WORKLOADS[workload](n)
             radius = bench_radius(workload, n, radii[workload])
             selections: Dict[str, list] = {}
@@ -179,9 +208,29 @@ def run_wallclock_bench(
                     "total_s": round(t3 - t0, 6),
                     "solution_size": result.size,
                 }
+                blocked = False
+                adjacency = index.csr_neighborhood(radius, build=False)
+                if adjacency is not None:
+                    # peak_nnz = logical edges (what a flat CSR stores);
+                    # stored_nnz = what this engine actually keeps.
+                    blocked = isinstance(adjacency, BlockedNeighborhood)
+                    record["peak_nnz"] = int(adjacency.nnz)
+                    record["stored_nnz"] = int(
+                        getattr(adjacency, "stored_nnz", adjacency.nnz)
+                    )
+                    record["adjacency_blocked"] = blocked
+                    if blocked:
+                        record["adjacency_blocked_s"] = record["adjacency_s"]
+                        record["dense_edge_fraction"] = round(
+                            adjacency.dense_fraction, 6
+                        )
                 if (
                     engine_name == "grid-csr"
                     and n >= STRATEGY_BENCH_MIN_N
+                    and not blocked
+                    # On a blocked adjacency both strategy names resolve
+                    # to the block-aggregated sweep; a head-to-head
+                    # would time the same loop twice.
                 ):
                     record.update(_time_selection_strategies(index, radius))
                 runs.append(record)
@@ -208,7 +257,8 @@ def run_wallclock_bench(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "sizes": sizes,
+            "sizes": base_sizes,
+            "extra_sizes": {} if explicit_sizes or quick else dict(EXTRA_SIZES),
             "radii": {w: radii[w] for w in workloads},
             "density_reference_n": DENSITY_REFERENCE_N,
             "legacy_max_n": LEGACY_MAX_N,
@@ -224,7 +274,7 @@ def render_bench_table(payload: dict) -> str:
         [
             run["workload"],
             run["n"],
-            run["engine"],
+            run["engine"] + ("+blk" if run.get("adjacency_blocked") else ""),
             f"{run.get('index_s', 0.0):.3f}",
             f"{run.get('adjacency_s', 0.0):.3f}",
             f"{run['build_s']:.3f}",
@@ -235,11 +285,21 @@ def render_bench_table(payload: dict) -> str:
         for run in payload["runs"]
     ]
     table = format_table(
-        "Wall-clock: index build + Greedy-DisC selection",
+        "Wall-clock: index build + Greedy-DisC selection "
+        "(+blk = blocked adjacency)",
         ["workload", "n", "engine", "index s", "adj s", "build s",
          "select s", "total s", "|S|"],
         rows,
     )
+    blocked_rows = [
+        f"  {run['workload']}-{run['n']} ({run['engine']}): "
+        f"stored nnz {run['stored_nnz']:,} of {run['peak_nnz']:,} logical "
+        f"({run['dense_edge_fraction']:.1%} implicit)"
+        for run in payload["runs"]
+        if run.get("adjacency_blocked")
+    ]
+    if blocked_rows:
+        table += "\nblocked adjacencies:\n" + "\n".join(blocked_rows)
     strategy_rows = [
         f"  {run['workload']}-{run['n']}: lazy {run['select_lazy_s']:.3f}s / "
         f"eager {run['select_eager_s']:.3f}s"

@@ -35,6 +35,12 @@ _SECTIONS: List[Tuple[str, str]] = [
     ("lemma7", "Lemma 7 — MaxMin quality bound"),
     ("misc", "Section 6 in-text claims"),
     ("ablation", "Ablations & Section 8 extensions"),
+    (
+        "BENCH",
+        "Wall-clock engine trajectory (engines tagged `+blk` ran on the "
+        "blocked implicit-dense adjacency of `repro.graph.blocked`; "
+        "`stored nnz` vs logical nnz quantifies the memory cut)",
+    ),
 ]
 
 

@@ -199,7 +199,11 @@ def run_algorithm(
     M-tree with exact node-access accounting — required for every cost
     experiment.  ``engine="csr"`` is the opt-in fast path for
     *solution-size* experiments: the same heuristic on a CSR-engine
-    index (node accesses read 0).  Greedy/covering selections are
+    index (node accesses read 0).  On clustered data the CSR engine
+    transparently upgrades to the blocked adjacency of
+    :mod:`repro.graph.blocked` (dense cell pairs kept implicit) — still
+    byte-identical selections, so nothing here needs to know.
+    Greedy/covering selections are
     engine-independent, so sizes match the M-tree records exactly;
     B-DisC's "arbitrary" scan follows each engine's natural order
     (insertion vs. leaf order), so its sizes are engine-specific —

@@ -1,6 +1,11 @@
 """Graph-theoretic view of DisC diversity (Section 2.2) and exact
 solvers for small instances."""
 
+from repro.graph.blocked import (
+    BlockedNeighborhood,
+    build_blocked_grid,
+    build_grid_auto,
+)
 from repro.graph.csr import CSRNeighborhood, build_csr_grid, build_csr_pairwise
 from repro.graph.priority import MaxSegmentTree
 from repro.graph.build import (
@@ -16,10 +21,13 @@ from repro.graph.exact import (
 )
 
 __all__ = [
+    "BlockedNeighborhood",
     "CSRNeighborhood",
     "MaxSegmentTree",
+    "build_blocked_grid",
     "build_csr_grid",
     "build_csr_pairwise",
+    "build_grid_auto",
     "build_neighborhood_graph",
     "is_independent_set",
     "is_dominating_set",

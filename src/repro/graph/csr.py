@@ -31,9 +31,12 @@ state (colors, counts) in separate dense arrays.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
+
+from repro.validation import validate_radius
 
 __all__ = [
     "CSRNeighborhood",
@@ -59,6 +62,28 @@ def pairwise_row_chunk(
     return max(1, int(budget // per_row))
 
 
+def _flat_row_positions(indptr: np.ndarray, ids: np.ndarray, dtype=np.int64):
+    """Flat positions of every entry of the requested CSR rows.
+
+    The fused start/offset arithmetic shared by the gather paths (one
+    ``np.repeat`` pass over the full length, no per-id Python loop):
+    returns ``(positions, lengths)`` where ``positions`` indexes the
+    layout's value array and ``lengths`` is each requested row's size.
+    ``dtype`` narrows the position array when the caller knows the
+    total entry count fits (int32 halves the traffic at large nnz).
+    """
+    starts = indptr[ids]
+    lengths = indptr[ids + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=dtype), lengths
+    offsets = np.zeros(ids.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    positions = np.arange(total, dtype=dtype)
+    positions += np.repeat((starts - offsets).astype(dtype), lengths)
+    return positions, lengths
+
+
 class CSRNeighborhood:
     """Fixed-radius adjacency in compressed-sparse-row form.
 
@@ -71,8 +96,11 @@ class CSRNeighborhood:
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         indptr = np.asarray(indptr, dtype=np.int64)
-        if indptr.ndim != 1 or indptr.shape[0] < 2:
-            raise ValueError("indptr must be 1-d with at least two entries")
+        # A single-entry indptr is the valid empty adjacency (n = 0):
+        # builders return it for empty point sets so service callers
+        # need no special-casing.
+        if indptr.ndim != 1 or indptr.shape[0] < 1:
+            raise ValueError("indptr must be 1-d with at least one entry")
         if indptr[0] != 0 or int(indptr[-1]) != len(indices):
             raise ValueError("indptr must start at 0 and end at len(indices)")
         if np.any(np.diff(indptr) < 0):
@@ -132,6 +160,11 @@ class CSRNeighborhood:
             indices = np.empty(0, dtype=np.int32)
         return cls(indptr, indices)
 
+    @classmethod
+    def empty(cls) -> "CSRNeighborhood":
+        """The n = 0 adjacency (what every builder returns for no points)."""
+        return cls(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int32))
+
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
@@ -174,19 +207,10 @@ class CSRNeighborhood:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.size == 0:
             return np.empty(0, dtype=np.int32)
-        starts = self.indptr[ids]
-        lengths = self.indptr[ids + 1] - starts
-        total = int(lengths.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int32)
-        # The row start and the running output offset are fused into a
-        # single per-id shift so only one repeat pass touches the full
-        # length; int32 positions halve the traffic whenever nnz fits.
-        offsets = np.zeros(ids.shape[0], dtype=np.int64)
-        np.cumsum(lengths[:-1], out=offsets[1:])
         dtype = np.int32 if self.nnz <= np.iinfo(np.int32).max else np.int64
-        positions = np.arange(total, dtype=dtype)
-        positions += np.repeat((starts - offsets).astype(dtype), lengths)
+        positions, _ = _flat_row_positions(self.indptr, ids, dtype=dtype)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int32)
         return self.indices[positions]
 
     def neighbor_counts(self, mask: np.ndarray) -> np.ndarray:
@@ -271,8 +295,11 @@ def build_csr_pairwise(
     :class:`~repro.index.base.IndexStats`) is given, the evaluated
     distances are charged to ``distance_computations``.
     """
+    radius = validate_radius(radius)
     points = np.asarray(points)
     n = points.shape[0]
+    if n == 0:
+        return CSRNeighborhood.empty()
     dim = points.shape[1] if points.ndim == 2 else 1
     chunk = pairwise_row_chunk(n, dim)
     rows_acc: List[np.ndarray] = []
@@ -432,6 +459,184 @@ def _cell_pair_table(ukeys: np.ndarray, offsets: np.ndarray, classes: np.ndarray
     return src[order], dst[order], cls[order]
 
 
+@dataclass
+class _GridPlan:
+    """Everything the grid builders share before edge emission.
+
+    The plan is the product of binning, the sparse-occupancy fallback
+    and the cell-pair classification; both the flat CSR builder and the
+    blocked builder (:mod:`repro.graph.blocked`) consume one plan, so
+    their notion of "provably dense cell pair" is identical by
+    construction.
+    """
+
+    n: int
+    dim: int
+    cell: float
+    resolution: int
+    groups: List[np.ndarray]
+    sizes: np.ndarray
+    pair_src: np.ndarray
+    pair_dst: np.ndarray
+    pair_cls: np.ndarray
+    cell_ptr: np.ndarray
+
+    @property
+    def m(self) -> int:
+        """Occupied cell count."""
+        return len(self.groups)
+
+    def pair_products(self) -> np.ndarray:
+        """Candidate-pair count of every directed cell pair (self pairs
+        counted as ``s * (s - 1)``: no self loops)."""
+        products = self.sizes[self.pair_src] * self.sizes[self.pair_dst]
+        self_pairs = self.pair_src == self.pair_dst
+        products[self_pairs] -= self.sizes[self.pair_src[self_pairs]]
+        return products
+
+
+def _plan_grid(
+    points: np.ndarray, metric, radius: float, resolution: Optional[int]
+) -> _GridPlan:
+    """Bin points, pick the effective resolution and classify cell pairs."""
+    n, dim = points.shape
+    if resolution is None:
+        resolution = _grid_resolution(dim) if radius > 0 else 1
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    cell = float(radius) / resolution if radius > 0 else 1.0
+    origin = points.min(axis=0)
+    keys = np.floor((points - origin) / cell).astype(np.int64)
+    groups = group_points_by_cell(keys)
+    if resolution > 1 and len(groups) > n // 4:
+        # Sparse occupancy: mostly-singleton cells mean the auto class
+        # almost never fires while the finer grid multiplies the cell
+        # loop; fall back to radius-sized cells.
+        resolution = 1
+        cell = float(radius) if radius > 0 else 1.0
+        keys = np.floor((points - origin) / cell).astype(np.int64)
+        groups = group_points_by_cell(keys)
+
+    m = len(groups)
+    sizes = np.fromiter((g.size for g in groups), dtype=np.int64, count=m)
+    ukeys = keys[np.fromiter((g[0] for g in groups), dtype=np.int64, count=m)]
+    offsets, classes = _classify_offsets(metric, radius, cell, dim, resolution)
+    pair_src, pair_dst, pair_cls = _cell_pair_table(ukeys, offsets, classes)
+    cell_ptr = np.searchsorted(pair_src, np.arange(m + 1))
+    return _GridPlan(
+        n=n, dim=dim, cell=cell, resolution=resolution, groups=groups,
+        sizes=sizes, pair_src=pair_src, pair_dst=pair_dst, pair_cls=pair_cls,
+        cell_ptr=cell_ptr,
+    )
+
+
+def _assemble_grid_csr(
+    points: np.ndarray,
+    metric,
+    radius: float,
+    plan: _GridPlan,
+    *,
+    stats=None,
+    pair_keep: Optional[np.ndarray] = None,
+) -> CSRNeighborhood:
+    """Emit the (kept) cell-pair edges of a plan as a CSR adjacency.
+
+    ``pair_keep`` (boolean over the directed pair table) lets the
+    blocked builder route provably-dense pairs around the edge list;
+    ``None`` keeps everything (the flat build).  Every object's row is
+    produced in full (ascending columns) by its own cell's block, so
+    the CSR is assembled by a counting layout — no global edge sort.
+    Emitted blocks hold (members, their per-member neighbor counts,
+    concatenated int32 columns).
+    """
+    n, dim = plan.n, plan.dim
+    groups, sizes = plan.groups, plan.sizes
+    pair_dst, pair_cls, cell_ptr = plan.pair_dst, plan.pair_cls, plan.cell_ptr
+    degrees = np.zeros(n, dtype=np.int64)
+    blocks: List[tuple] = []
+
+    def emit(members: np.ndarray, lengths: np.ndarray, cols: np.ndarray) -> None:
+        degrees[members] = lengths
+        blocks.append((members, lengths, cols))
+
+    for i in range(plan.m):
+        lo, hi = cell_ptr[i], cell_ptr[i + 1]
+        members = groups[i]
+        dsts = pair_dst[lo:hi]
+        cls = pair_cls[lo:hi]
+        if pair_keep is not None:
+            keep_mask = pair_keep[lo:hi]
+            dsts = dsts[keep_mask]
+            cls = cls[keep_mask]
+        if dsts.size == 0:
+            continue  # all pairs routed to dense blocks: empty rows
+        # Whether the cell's own (i, i) pair survived — when it is
+        # routed to a clique block the members are absent from their
+        # own candidate list and need no self masking.
+        has_self = bool((dsts == i).any())
+        candidates = np.concatenate([groups[j] for j in dsts])
+        auto_mask = np.repeat(cls == _PAIR_AUTO, sizes[dsts])
+        order = np.argsort(candidates)
+        candidates = candidates[order]
+        auto_mask = auto_mask[order]
+        candidates32 = candidates.astype(np.int32)
+
+        compute_idx = np.flatnonzero(~auto_mask)
+        if compute_idx.size == 0:
+            # Every candidate is provably within the radius: the edge
+            # list is pure index arithmetic, no distances at all.  Only
+            # each member's self entry needs masking out.
+            k = candidates.size
+            cols = np.tile(candidates32, members.size)
+            if has_self:
+                keep = np.ones(members.size * k, dtype=bool)
+                self_pos = np.searchsorted(candidates, members)
+                keep[self_pos + np.arange(members.size) * k] = False
+                emit(members, np.full(members.size, k - 1), cols[keep])
+            else:
+                emit(members, np.full(members.size, k), cols)
+            continue
+
+        # Dense cells (clustered data) can hold thousands of members
+        # against tens of thousands of candidates; honour the block
+        # budget by chunking members like every other pairwise path.
+        compute_points = points[candidates[compute_idx]]
+        chunk = pairwise_row_chunk(candidates.size, dim)
+        for start in range(0, members.size, chunk):
+            sub = members[start : start + chunk]
+            hits = np.empty((sub.size, candidates.size), dtype=bool)
+            hits[:] = auto_mask  # auto columns are edges unconditionally
+            block = metric.pairwise(points[sub], compute_points)
+            if stats is not None:
+                stats.distance_computations += block.size
+            hits[:, compute_idx] = block <= radius
+            if has_self:
+                # Self is always a hit (distance 0 or an auto column).
+                hits[np.arange(sub.size), np.searchsorted(candidates, sub)] = False
+            local_rows, local_cols = np.nonzero(hits)
+            emit(
+                sub,
+                np.bincount(local_rows, minlength=sub.size),
+                candidates32[local_cols],
+            )
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int32)
+    for members, lengths, cols in blocks:
+        if cols.size == 0:
+            continue
+        starts = np.zeros(members.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        positions = (
+            np.arange(cols.size, dtype=np.int64)
+            - np.repeat(starts, lengths)
+            + np.repeat(indptr[members], lengths)
+        )
+        indices[positions] = cols
+    return CSRNeighborhood(indptr, indices)
+
+
 def build_csr_grid(
     points: np.ndarray,
     metric,
@@ -459,102 +664,15 @@ def build_csr_grid(
     per radius) defaults per dimensionality, backing off to the classic
     3^d enumeration when sub-radius cells would not pay: past 3-d, or
     when occupancy is too sparse for auto pairs to matter.
+
+    An empty point set returns the empty adjacency; see
+    :func:`repro.graph.blocked.build_blocked_grid` for the variant that
+    keeps the provably dense cell pairs *implicit* instead of expanding
+    them into edges.
     """
+    radius = validate_radius(radius)
     points = np.asarray(points, dtype=float)
-    n, dim = points.shape
-    if resolution is None:
-        resolution = _grid_resolution(dim) if radius > 0 else 1
-    if resolution < 1:
-        raise ValueError(f"resolution must be >= 1, got {resolution}")
-    cell = float(radius) / resolution if radius > 0 else 1.0
-    origin = points.min(axis=0)
-    keys = np.floor((points - origin) / cell).astype(np.int64)
-    groups = group_points_by_cell(keys)
-    if resolution > 1 and len(groups) > n // 4:
-        # Sparse occupancy: mostly-singleton cells mean the auto class
-        # almost never fires while the finer grid multiplies the cell
-        # loop; fall back to radius-sized cells.
-        resolution = 1
-        cell = float(radius) if radius > 0 else 1.0
-        keys = np.floor((points - origin) / cell).astype(np.int64)
-        groups = group_points_by_cell(keys)
-
-    m = len(groups)
-    sizes = np.fromiter((g.size for g in groups), dtype=np.int64, count=m)
-    ukeys = keys[np.fromiter((g[0] for g in groups), dtype=np.int64, count=m)]
-    offsets, classes = _classify_offsets(metric, radius, cell, dim, resolution)
-    pair_src, pair_dst, pair_cls = _cell_pair_table(ukeys, offsets, classes)
-    cell_ptr = np.searchsorted(pair_src, np.arange(m + 1))
-
-    # Every object's row is produced in full (ascending columns) by its
-    # own cell's block, so the CSR can be assembled by a counting
-    # layout — no global edge sort.  Blocks hold (members, their
-    # per-member neighbor counts, concatenated int32 columns).
-    degrees = np.zeros(n, dtype=np.int64)
-    blocks: List[tuple] = []
-
-    def emit(members: np.ndarray, lengths: np.ndarray, cols: np.ndarray) -> None:
-        degrees[members] = lengths
-        blocks.append((members, lengths, cols))
-
-    for i in range(m):
-        lo, hi = cell_ptr[i], cell_ptr[i + 1]
-        members = groups[i]
-        dsts = pair_dst[lo:hi]
-        candidates = np.concatenate([groups[j] for j in dsts])
-        auto_mask = np.repeat(pair_cls[lo:hi] == _PAIR_AUTO, sizes[dsts])
-        order = np.argsort(candidates)
-        candidates = candidates[order]
-        auto_mask = auto_mask[order]
-        candidates32 = candidates.astype(np.int32)
-
-        compute_idx = np.flatnonzero(~auto_mask)
-        if compute_idx.size == 0:
-            # Every candidate is provably within the radius: the edge
-            # list is pure index arithmetic, no distances at all.  Only
-            # each member's self entry needs masking out.
-            k = candidates.size
-            cols = np.tile(candidates32, members.size)
-            keep = np.ones(members.size * k, dtype=bool)
-            self_pos = np.searchsorted(candidates, members)
-            keep[self_pos + np.arange(members.size) * k] = False
-            emit(members, np.full(members.size, k - 1), cols[keep])
-            continue
-
-        # Dense cells (clustered data) can hold thousands of members
-        # against tens of thousands of candidates; honour the block
-        # budget by chunking members like every other pairwise path.
-        compute_points = points[candidates[compute_idx]]
-        chunk = pairwise_row_chunk(candidates.size, dim)
-        for start in range(0, members.size, chunk):
-            sub = members[start : start + chunk]
-            hits = np.empty((sub.size, candidates.size), dtype=bool)
-            hits[:] = auto_mask  # auto columns are edges unconditionally
-            block = metric.pairwise(points[sub], compute_points)
-            if stats is not None:
-                stats.distance_computations += block.size
-            hits[:, compute_idx] = block <= radius
-            # Self is always a hit (distance 0 or an auto column).
-            hits[np.arange(sub.size), np.searchsorted(candidates, sub)] = False
-            local_rows, local_cols = np.nonzero(hits)
-            emit(
-                sub,
-                np.bincount(local_rows, minlength=sub.size),
-                candidates32[local_cols],
-            )
-
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(degrees, out=indptr[1:])
-    indices = np.empty(int(indptr[-1]), dtype=np.int32)
-    for members, lengths, cols in blocks:
-        if cols.size == 0:
-            continue
-        starts = np.zeros(members.size, dtype=np.int64)
-        np.cumsum(lengths[:-1], out=starts[1:])
-        positions = (
-            np.arange(cols.size, dtype=np.int64)
-            - np.repeat(starts, lengths)
-            + np.repeat(indptr[members], lengths)
-        )
-        indices[positions] = cols
-    return CSRNeighborhood(indptr, indices)
+    if points.shape[0] == 0:
+        return CSRNeighborhood.empty()
+    plan = _plan_grid(points, metric, radius, resolution)
+    return _assemble_grid_csr(points, metric, radius, plan, stats=stats)

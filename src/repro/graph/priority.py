@@ -123,6 +123,13 @@ class MaxSegmentTree:
         # ancestors cannot have moved either), which usually drains the
         # climb long before the root.
         pos = (ids + self.size) >> 1
+        if pos.shape[0] > 64:
+            # Count updates from block deltas arrive as whole dense
+            # sides (the blocked engine refreshes every member of an
+            # affected side at once); those ids are near-contiguous, so
+            # sibling leaves share parents and deduping the entry
+            # frontier halves the gather width before the climb starts.
+            pos = np.unique(pos)
         while True:
             left = pos << 1
             new = np.maximum(tree[left], tree[left + 1])

@@ -19,9 +19,12 @@ which is the cost metric of every figure in the paper's Section 6.
 Performance & engines
 ---------------------
 Indexes that can materialise the full fixed-radius adjacency expose it
-as a :class:`~repro.graph.csr.CSRNeighborhood` through
-:meth:`NeighborIndex.csr_neighborhood`; the DisC heuristics consume it
-for vectorised selection when present (see :mod:`repro.core.greedy`).
+as a :class:`~repro.graph.csr.CSRNeighborhood` — or, on workloads whose
+edge mass concentrates in provably-dense cell pairs, a
+:class:`~repro.graph.blocked.BlockedNeighborhood` storing those pairs
+implicitly — through :meth:`NeighborIndex.csr_neighborhood`; the DisC
+heuristics consume either for vectorised selection when present (see
+:mod:`repro.core.greedy`; both forms yield byte-identical selections).
 The ``accelerate`` attribute gates this: ``"auto"`` (default) enables
 the CSR engine on every index that implements :meth:`_build_csr`
 (brute force, grid, KD-tree), ``False`` forces the legacy per-query
@@ -186,16 +189,18 @@ class NeighborIndex(abc.ABC):
             for i in ids
         ]
 
-    def csr_neighborhood(
-        self, radius: float, *, build: bool = True
-    ) -> Optional[CSRNeighborhood]:
-        """The CSR adjacency for ``radius``, or None.
+    def csr_neighborhood(self, radius: float, *, build: bool = True):
+        """The materialised adjacency for ``radius``, or None.
 
-        Returns None when acceleration is disabled or the index does
-        not materialise adjacency (the M-tree).  With ``build=False``
-        only an already-cached CSR is returned — callers that merely
-        *prefer* the fast path use this to avoid paying a build for a
-        handful of queries.  Built CSRs are cached per radius.
+        Returns a :class:`~repro.graph.csr.CSRNeighborhood` (or a
+        :class:`~repro.graph.blocked.BlockedNeighborhood` when the
+        builder judged the dense cell pairs worth keeping implicit —
+        same primitives, same selections), or None when acceleration is
+        disabled or the index does not materialise adjacency (the
+        M-tree).  With ``build=False`` only an already-cached adjacency
+        is returned — callers that merely *prefer* the fast path use
+        this to avoid paying a build for a handful of queries.  Built
+        adjacencies are cached per radius.
         """
         if self.accelerate is False:
             return None
@@ -213,8 +218,12 @@ class NeighborIndex(abc.ABC):
                 )
         return csr
 
-    def _build_csr(self, radius: float) -> Optional[CSRNeighborhood]:
-        """Materialise the fixed-radius adjacency (None = unsupported)."""
+    def _build_csr(self, radius: float):
+        """Materialise the fixed-radius adjacency (None = unsupported).
+
+        May return a flat :class:`~repro.graph.csr.CSRNeighborhood` or
+        an implicit :class:`~repro.graph.blocked.BlockedNeighborhood`.
+        """
         return None
 
     # ------------------------------------------------------------------

@@ -23,12 +23,8 @@ from repro.distance import (
     ManhattanMetric,
     MinkowskiMetric,
 )
-from repro.graph.csr import (
-    CSRNeighborhood,
-    build_csr_grid,
-    build_csr_pairwise,
-    pairwise_row_chunk,
-)
+from repro.graph.blocked import build_grid_auto
+from repro.graph.csr import build_csr_pairwise, pairwise_row_chunk
 from repro.index.base import NeighborIndex, validate_accelerate
 
 _MINKOWSKI_FAMILY = (
@@ -79,17 +75,19 @@ class BruteForceIndex(NeighborIndex):
         if cache_radius is not None:
             self.precompute(cache_radius)
 
-    def _build_csr(self, radius: float) -> CSRNeighborhood:
+    def _build_csr(self, radius: float):
         """Adjacency build: grid-binned candidate generation for Lp
         metrics at scale (exactly the same neighbor sets, near-linear
-        work at fixed density), chunked full pairwise otherwise."""
+        work at fixed density), chunked full pairwise otherwise.  The
+        grid path auto-upgrades to the implicit blocked adjacency on
+        dense-pair-heavy data (see :mod:`repro.graph.blocked`)."""
         if (
             radius > 0
             and isinstance(self.metric, _MINKOWSKI_FAMILY)
             and self.n >= _GRID_BUILD_MIN_N
             and self.points.shape[1] <= _GRID_BUILD_MAX_DIM
         ):
-            return build_csr_grid(self.points, self.metric, radius, stats=self.stats)
+            return build_grid_auto(self.points, self.metric, radius, stats=self.stats)
         return build_csr_pairwise(
             self.points, self.metric, radius, stats=self.stats
         )

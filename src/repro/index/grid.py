@@ -20,12 +20,8 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.distance import HammingMetric
-from repro.graph.csr import (
-    CSRNeighborhood,
-    build_csr_grid,
-    build_csr_pairwise,
-    group_points_by_cell,
-)
+from repro.graph.blocked import build_grid_auto
+from repro.graph.csr import build_csr_pairwise, group_points_by_cell
 from repro.index.base import NeighborIndex
 
 __all__ = ["GridIndex"]
@@ -132,14 +128,19 @@ class GridIndex(NeighborIndex):
             out.append(neighbors)
         return out
 
-    def _build_csr(self, radius: float) -> CSRNeighborhood:
+    def _build_csr(self, radius: float):
         """Delegate to the shared grid-binned builder (cells sized by
         the radius, not this index's ``cell_size`` — the adjacency is
         identical and radius-sized cells bound candidate fan-out).
 
-        Sound for the same metrics this index accepts: Minkowski-type
-        coordinate geometry (Hamming is rejected at construction).
+        :func:`~repro.graph.blocked.build_grid_auto` upgrades the
+        result to a :class:`~repro.graph.blocked.BlockedNeighborhood`
+        when the provably-dense cell pairs carry enough of the edge
+        mass (clustered data at scale); selections are byte-identical
+        either way.  Sound for the same metrics this index accepts:
+        Minkowski-type coordinate geometry (Hamming is rejected at
+        construction).
         """
         if radius <= 0:
             return build_csr_pairwise(self.points, self.metric, radius, stats=self.stats)
-        return build_csr_grid(self.points, self.metric, radius, stats=self.stats)
+        return build_grid_auto(self.points, self.metric, radius, stats=self.stats)

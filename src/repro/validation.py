@@ -1,0 +1,40 @@
+"""Shared input validation for the public entry points.
+
+Every DisC entry point takes a radius, and every one of them used to
+guard it with ``radius < 0`` — a comparison NaN passes silently (all
+comparisons with NaN are False), after which ``distance <= radius`` is
+False for every pair, the neighborhood graph is empty, and the "diverse"
+subset is the entire dataset.  Infinities pass the same guard and
+produce the opposite degeneracy (one selected object after an all-pairs
+adjacency build).  :func:`validate_radius` is the one guard all entry
+points share: finite and non-negative, with ``0`` (and ``-0.0``) valid —
+a zero radius means "only exact duplicates cover each other", which is a
+legitimate degenerate query.
+"""
+
+from __future__ import annotations
+
+import math
+from numbers import Real
+
+__all__ = ["validate_radius"]
+
+
+def validate_radius(radius, *, name: str = "radius") -> float:
+    """Check a radius is a finite, non-negative real; return it as float.
+
+    Rejects NaN and ±inf explicitly (they slip through ``radius < 0``
+    style guards), and negative values with the same message the
+    individual guards used.  ``-0.0`` is accepted and normalised to
+    ``0.0`` so downstream cache keys and comparisons see one zero.
+    """
+    if isinstance(radius, bool) or not isinstance(radius, Real):
+        raise TypeError(f"{name} must be a real number, got {radius!r}")
+    value = float(radius)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value + 0.0  # normalise -0.0 to 0.0

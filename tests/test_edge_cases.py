@@ -1,0 +1,327 @@
+"""Edge-case hardening of the public API and builder parity sweep.
+
+Codifies the sweep used to hunt the PR's bug reports: degenerate inputs
+(duplicates, constant coordinates, r=0, r beyond the data extent,
+n ∈ {0, 1}) must produce the *same adjacency* from every builder and
+engine, and the public entry points must reject non-finite radii and
+answer empty datasets instead of crashing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import DiscDiversifier, build_index, disc_select
+from repro.core.extensions import StreamingDisC
+from repro.datasets import Dataset
+from repro.distance import EUCLIDEAN
+from repro.graph.blocked import build_blocked_grid, build_grid_auto
+from repro.graph.csr import CSRNeighborhood, build_csr_grid, build_csr_pairwise
+from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
+from repro.validation import validate_radius
+
+
+# ----------------------------------------------------------------------
+# Degenerate-geometry parity sweep: every builder, same adjacency
+# ----------------------------------------------------------------------
+def _duplicates():
+    rng = np.random.default_rng(0)
+    base = rng.random((40, 2))
+    return np.concatenate([base, base[:15], base[:5]]), 0.1
+
+
+def _constant_coordinate():
+    rng = np.random.default_rng(1)
+    points = rng.random((80, 2))
+    points[:, 1] = 0.5  # one exactly-degenerate axis
+    return points, 0.08
+
+
+def _all_identical():
+    return np.full((30, 2), 0.25), 0.05
+
+
+def _zero_radius():
+    rng = np.random.default_rng(2)
+    base = rng.random((50, 2))
+    return np.concatenate([base, base[:10]]), 0.0  # only exact twins join
+
+def _radius_beyond_extent():
+    rng = np.random.default_rng(3)
+    return rng.random((60, 2)) * 0.1, 5.0  # complete graph
+
+
+def _single_point():
+    return np.array([[0.3, 0.7]]), 0.1
+
+
+def _empty():
+    return np.empty((0, 2)), 0.1
+
+
+EDGE_CASES = {
+    "duplicates": _duplicates,
+    "constant-coordinate": _constant_coordinate,
+    "all-identical": _all_identical,
+    "zero-radius": _zero_radius,
+    "radius-beyond-extent": _radius_beyond_extent,
+    "single-point": _single_point,
+    "empty": _empty,
+}
+
+
+def _assert_same_graph(reference: CSRNeighborhood, other, label: str) -> None:
+    assert other.n == reference.n, label
+    assert other.nnz == reference.nnz, label
+    assert np.array_equal(other.degrees, reference.degrees), label
+    for i in range(reference.n):
+        assert np.array_equal(other.neighbors(i), reference.neighbors(i)), (
+            label,
+            i,
+        )
+
+
+@pytest.mark.parametrize("case", sorted(EDGE_CASES))
+def test_builder_parity_sweep(case):
+    points, radius = EDGE_CASES[case]()
+    reference = build_csr_pairwise(points, EUCLIDEAN, radius)
+    assert reference.n == len(points)
+    _assert_same_graph(
+        reference, build_csr_grid(points, EUCLIDEAN, radius), "grid"
+    )
+    _assert_same_graph(
+        reference,
+        build_blocked_grid(points, EUCLIDEAN, radius, min_block_pairs=16),
+        "blocked",
+    )
+    _assert_same_graph(
+        reference, build_grid_auto(points, EUCLIDEAN, radius), "auto"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(set(EDGE_CASES) - {"empty"}))
+@pytest.mark.parametrize("engine", ["brute", "grid", "kdtree"])
+def test_index_engine_parity_sweep(case, engine):
+    """Index-built adjacencies agree with the pairwise oracle (indexes
+    reject n=0 at construction; disc_select answers that case, below)."""
+    points, radius = EDGE_CASES[case]()
+    reference = build_csr_pairwise(points, EUCLIDEAN, radius)
+    index = build_index(points, EUCLIDEAN, engine=engine)
+    csr = index.csr_neighborhood(radius)
+    assert csr is not None
+    _assert_same_graph(reference, csr, engine)
+
+
+@pytest.mark.parametrize("case", sorted(set(EDGE_CASES) - {"empty"}))
+def test_selection_parity_on_edge_cases(case):
+    points, radius = EDGE_CASES[case]()
+    legacy = disc_select(
+        points, radius, metric=EUCLIDEAN, engine="brute",
+        engine_options={"accelerate": False},
+    )
+    fast = disc_select(points, radius, metric=EUCLIDEAN, engine="grid")
+    assert legacy.selected == fast.selected
+
+
+# ----------------------------------------------------------------------
+# Satellite: NaN / inf / -0.0 radius validation at every entry point
+# ----------------------------------------------------------------------
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestRadiusValidation:
+    def test_validate_radius_contract(self):
+        assert validate_radius(0) == 0.0
+        assert validate_radius(-0.0) == 0.0
+        assert str(validate_radius(-0.0)) == "0.0"  # normalised sign
+        assert validate_radius(0.25) == 0.25
+        for bad in (NAN, INF, -INF):
+            with pytest.raises(ValueError):
+                validate_radius(bad)
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_radius(-0.1)
+        with pytest.raises(TypeError):
+            validate_radius("0.1")
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -INF, -1.0])
+    def test_disc_select_rejects(self, small_uniform, bad):
+        with pytest.raises(ValueError):
+            disc_select(small_uniform, bad, metric=EUCLIDEAN)
+
+    def test_disc_select_nan_regression(self, small_uniform):
+        """The original bug: NaN sailed through `radius < 0` and the
+        whole dataset came back as "diverse"."""
+        with pytest.raises(ValueError, match="NaN"):
+            disc_select(small_uniform, NAN, metric=EUCLIDEAN)
+
+    def test_disc_select_accepts_zero_variants(self, small_uniform):
+        for zero in (0, 0.0, -0.0):
+            result = disc_select(small_uniform, zero, metric=EUCLIDEAN)
+            assert result.size == len(small_uniform)  # no twins: all kept
+            assert result.radius == 0.0
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -1.0])
+    def test_streaming_rejects(self, bad):
+        with pytest.raises(ValueError):
+            StreamingDisC(radius=bad)
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -1.0])
+    def test_csr_builders_reject(self, small_uniform, bad):
+        for builder in (
+            build_csr_pairwise,
+            build_csr_grid,
+            build_blocked_grid,
+            build_grid_auto,
+        ):
+            with pytest.raises(ValueError):
+                builder(small_uniform, EUCLIDEAN, bad)
+
+    def test_heuristics_reject_nan(self, small_uniform):
+        from repro.core import basic_disc, fast_c, greedy_c, greedy_disc
+        from repro.mtree import MTreeIndex
+
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        mtree = MTreeIndex(small_uniform, EUCLIDEAN, capacity=8)
+        for algo in (basic_disc, greedy_disc, greedy_c, fast_c):
+            for idx in (index, mtree):
+                with pytest.raises(ValueError):
+                    algo(idx, NAN)
+
+    def test_zoom_rejects_nan(self, small_uniform):
+        from repro.core import zoom_in, zoom_out
+
+        index = BruteForceIndex(small_uniform, EUCLIDEAN)
+        diversifier = DiscDiversifier(small_uniform, EUCLIDEAN, engine="brute")
+        previous = diversifier.select(0.2)
+        for zoom, direction in ((zoom_in, "in"), (zoom_out, "out")):
+            with pytest.raises(ValueError):
+                zoom(diversifier.index, previous, NAN)
+
+
+# ----------------------------------------------------------------------
+# Satellite: empty datasets answered, not crashed
+# ----------------------------------------------------------------------
+class TestEmptyInputs:
+    def test_disc_select_empty_returns_empty_result(self):
+        for method in ("basic", "greedy", "greedy-c", "fast-c"):
+            result = disc_select(
+                np.empty((0, 2)), 0.1, metric=EUCLIDEAN, method=method
+            )
+            assert result.selected == []
+            assert result.size == 0
+            assert result.radius == 0.1
+            assert result.meta.get("empty_input") is True
+
+    def test_disc_select_empty_still_validates_radius(self):
+        with pytest.raises(ValueError, match="NaN"):
+            disc_select(np.empty((0, 2)), NAN, metric=EUCLIDEAN)
+        with pytest.raises(ValueError, match="method"):
+            disc_select(np.empty((0, 2)), 0.1, metric=EUCLIDEAN, method="bogus")
+
+    def test_disc_select_empty_still_validates_request(self):
+        """A typo'd engine, engine option or heuristic kwarg must fail
+        on empty data exactly as it would on real data — no shipping
+        green until the first non-empty request."""
+        empty = np.empty((0, 2))
+        with pytest.raises(ValueError, match="unknown engine"):
+            disc_select(empty, 0.1, metric=EUCLIDEAN, engine="bogus")
+        with pytest.raises(ValueError, match="valid options"):
+            disc_select(
+                empty, 0.1, metric=EUCLIDEAN, engine_options={"index": "kdtree"}
+            )
+        with pytest.raises(ValueError, match="accelerate"):
+            disc_select(
+                empty, 0.1, metric=EUCLIDEAN, engine_options={"accelerate": 1}
+            )
+        with pytest.raises(TypeError, match="totally_unknown"):
+            disc_select(empty, 0.1, metric=EUCLIDEAN, totally_unknown=True)
+        # Positional-parameter collisions and mtree/accelerate=True are
+        # rejected on non-empty data, so the empty path must match.
+        with pytest.raises(TypeError, match="index"):
+            disc_select(empty, 0.1, metric=EUCLIDEAN, index="oops")
+        with pytest.raises(ValueError, match="M-tree"):
+            disc_select(
+                empty, 0.1, metric=EUCLIDEAN,
+                engine="mtree", engine_options={"accelerate": True},
+            )
+
+    def test_disc_select_empty_variant_labels_match_nonempty(self, small_uniform):
+        for kwargs, expected in (
+            ({"method": "greedy", "lazy": True}, "Lazy-Grey-Greedy-DisC"),
+            ({"method": "greedy", "update_variant": "white"}, "White-Greedy-DisC"),
+            ({"method": "basic", "prune": True}, "Basic-DisC (Pruned)"),
+            ({"method": "greedy-c"}, "Greedy-C"),
+        ):
+            on_empty = disc_select(
+                np.empty((0, 2)), 0.1, metric=EUCLIDEAN, **kwargs
+            )
+            on_data = disc_select(small_uniform, 0.1, metric=EUCLIDEAN, **kwargs)
+            assert on_empty.algorithm == on_data.algorithm == expected, kwargs
+
+    def test_empty_dataset_object(self):
+        data = Dataset(
+            name="empty", points=np.empty((0, 2)), metric=EUCLIDEAN
+        )
+        assert disc_select(data, 0.1).selected == []
+
+    def test_builders_return_empty_adjacency(self):
+        for builder in (build_csr_pairwise, build_csr_grid, build_grid_auto):
+            csr = builder(np.empty((0, 2)), EUCLIDEAN, 0.1)
+            assert csr.n == 0 and csr.nnz == 0
+        assert CSRNeighborhood.from_rows([]).n == 0
+        assert CSRNeighborhood.empty().degrees.size == 0
+
+    def test_indexes_still_reject_empty_construction(self):
+        # Index construction keeps its loud error: an index over nothing
+        # has no iteration order or queries to serve.  disc_select
+        # short-circuits before ever building one.
+        for cls in (BruteForceIndex, GridIndex, KDTreeIndex):
+            with pytest.raises(ValueError, match="empty"):
+                cls(np.empty((0, 2)), EUCLIDEAN)
+
+
+# ----------------------------------------------------------------------
+# Satellite: unknown engine options name the valid keywords
+# ----------------------------------------------------------------------
+class TestEngineOptionValidation:
+    def test_unknown_keyword_names_engine_and_valid_options(self, small_uniform):
+        with pytest.raises(ValueError) as excinfo:
+            build_index(small_uniform, EUCLIDEAN, index="kdtree")
+        message = str(excinfo.value)
+        assert "'index'" in message
+        assert "MTreeIndex" in message  # the auto-picked engine
+        assert "capacity" in message and "split_policy" in message
+
+    def test_unknown_keyword_per_engine(self, small_uniform):
+        with pytest.raises(ValueError, match="leafsize"):
+            build_index(small_uniform, EUCLIDEAN, engine="kdtree", leafsizes=4)
+        with pytest.raises(ValueError, match="cell_size"):
+            build_index(small_uniform, EUCLIDEAN, engine="grid", cellsize=0.1)
+        with pytest.raises(ValueError, match="cache_radius"):
+            build_index(small_uniform, EUCLIDEAN, engine="brute", cache=0.1)
+
+    def test_valid_options_still_pass(self, small_uniform):
+        index = build_index(
+            small_uniform, EUCLIDEAN, engine="kdtree", leafsize=8
+        )
+        assert isinstance(index, KDTreeIndex)
+        index = build_index(
+            small_uniform, EUCLIDEAN, engine="mtree", capacity=10
+        )
+        assert index.n == len(small_uniform)
+        # accelerate is consumed before the engine signature check.
+        index = build_index(
+            small_uniform, EUCLIDEAN, engine="grid", accelerate=False
+        )
+        assert index.accelerate is False
+
+    def test_unknown_engine_name_unchanged(self, small_uniform):
+        with pytest.raises(ValueError, match="unknown engine"):
+            build_index(small_uniform, EUCLIDEAN, engine="rtree")
+
+    def test_disc_select_surfaces_option_errors(self, small_uniform):
+        with pytest.raises(ValueError, match="valid options"):
+            disc_select(
+                small_uniform, 0.1, metric=EUCLIDEAN,
+                engine_options={"index": "kdtree"},
+            )
