@@ -1,0 +1,31 @@
+"""Session adjacency-cache benchmark: regenerates BENCH_session.json.
+
+The repeated-radius zoom sequence of :func:`repro.experiments.perf.
+run_session_bench` — a :class:`~repro.api.DiscSession` replaying the
+pattern through its LRU adjacency cache vs the stateless one-shot
+``disc_select`` path that rebuilds per request.  Selections are
+asserted identical inside the harness; this lane records the wall-clock
+and cache counters.
+"""
+
+import pytest
+
+from repro.experiments import (
+    render_session_table,
+    run_session_bench,
+    write_session_json,
+)
+
+pytestmark = pytest.mark.bench
+
+
+def test_session_cache_bench_records_win():
+    payload = run_session_bench()
+    assert payload["cache"]["hits"] > 0
+    assert payload["cache"]["misses"] == payload["unique_radii"]
+    # The session must not lose to one-shot rebuilding on a repeated
+    # pattern; the committed JSON records the actual margin.
+    assert payload["session_s"] < payload["one_shot_s"]
+    path = write_session_json(payload)
+    print(render_session_table(payload))
+    print(f"[saved to {path}]")

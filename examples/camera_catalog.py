@@ -10,7 +10,7 @@ two attributes different) — exactly the paper's Figure 2 interaction.
 Run:  python examples/camera_catalog.py
 """
 
-from repro import DiscDiversifier, cameras_dataset
+from repro import DiscSession, cameras_dataset
 
 
 def show_camera(data, object_id, indent="  "):
@@ -25,10 +25,10 @@ def main() -> None:
     print(f"catalogue: {data.n} cameras x {data.dim} attributes "
           f"({', '.join(data.attributes)})\n")
 
-    diversifier = DiscDiversifier(data)
+    session = DiscSession(data)
 
     # Radius 5 under Hamming: representatives differ in >5 of 7 attrs.
-    overview = diversifier.select(radius=5)
+    overview = session.select(radius=5)
     print(f"r=5 -> {overview.size} maximally different cameras:")
     for object_id in overview.selected:
         show_camera(data, object_id)
@@ -37,7 +37,7 @@ def main() -> None:
     # radius 2 to see its close variants.
     focus = overview.selected[0]
     print(f"\nlocal zoom-in around camera #{focus} (r'=2):")
-    local = diversifier.local_zoom(focus, 2)
+    local = session.local_zoom(focus, 2)
     for object_id in local.meta["inside"]:
         show_camera(data, object_id)
     print(f"\n  ({local.meta['area_size']} cameras in the area, "
@@ -47,7 +47,7 @@ def main() -> None:
     # Global ladder: how the solution shrinks with the radius (Table 3d).
     print("\nsolution size ladder (Table 3d shape):")
     for radius in (1, 2, 3, 4, 5, 6):
-        result = diversifier.select(radius=radius)
+        result = session.select(radius=radius)
         print(f"  r={radius}: {result.size:4d} cameras")
 
 

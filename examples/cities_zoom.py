@@ -13,7 +13,7 @@ by geographic location.  This script renders the full flow as ASCII maps:
 Run:  python examples/cities_zoom.py
 """
 
-from repro import DiscDiversifier, cities_dataset
+from repro import DiscSession, cities_dataset
 from repro.experiments.plotting import ascii_scatter
 
 
@@ -25,22 +25,22 @@ def show(points, result, caption):
 
 def main() -> None:
     data = cities_dataset(n=3000, seed=7)
-    diversifier = DiscDiversifier(data)
+    session = DiscSession(data)
 
-    overview = diversifier.select(radius=0.08)
+    overview = session.select(radius=0.08)
     show(data.points, overview, "Initial diverse overview (r=0.08)")
 
-    zoomed_in = diversifier.zoom_in(0.04)
+    zoomed_in = session.zoom_in(0.04)
     assert set(overview.selected) <= set(zoomed_in.selected)
     show(data.points, zoomed_in, "Global zoom-in (r=0.04): previous cities kept")
 
-    zoomed_out = diversifier.zoom_out(0.16)
+    zoomed_out = session.zoom_out(0.16)
     show(data.points, zoomed_out, "Global zoom-out (r=0.16): coarse view")
 
     # Local zoom: drill into the first selected city's area only.
-    diversifier.last_result = overview
+    session.last_result = overview
     focus = overview.selected[0]
-    local = diversifier.local_zoom(focus, 0.02)
+    local = session.local_zoom(focus, 0.02)
     show(data.points, local, f"Local zoom-in around city #{focus} (r'=0.02)")
     print(f"  area contained {local.meta['area_size']} cities; "
           f"{len(local.meta['inside'])} now represent it, the rest of the "

@@ -12,7 +12,7 @@ Covers the library's core loop in ~40 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro import DiscDiversifier, uniform_dataset
+from repro import DiscSession, uniform_dataset
 
 def main() -> None:
     # 1. A "query result": 2000 points uniform in [0,1]^2.
@@ -20,29 +20,29 @@ def main() -> None:
     print(f"dataset: {data}")
 
     # 2. Index once (M-tree, the paper's substrate), then select.
-    diversifier = DiscDiversifier(data)
-    result = diversifier.select(radius=0.1)
+    session = DiscSession(data)
+    result = session.select(radius=0.1)
     print(f"\nr=0.10  ->  {result.size} diverse objects "
           f"({result.algorithm}, {result.node_accesses} node accesses)")
 
     # 3. Both DisC conditions hold by construction; verify anyway.
-    report = diversifier.verify()
+    report = session.verify()
     print(f"verification: {report}")
 
     # 4a. Zoom in: the user wants more detail.  All previous selections
     #     are kept (Lemma 5(i)); new representatives fill the gaps.
-    finer = diversifier.zoom_in(0.05)
+    finer = session.zoom_in(0.05)
     kept = set(result.selected) <= set(finer.selected)
     print(f"\nzoom-in to r=0.05  ->  {finer.size} objects "
           f"(previous solution kept: {kept}, "
           f"{finer.node_accesses} node accesses)")
 
     # 4b. Zoom out: back to a coarse overview.
-    coarser = diversifier.zoom_out(0.2)
+    coarser = session.zoom_out(0.2)
     overlap = len(set(coarser.selected) & set(finer.selected))
     print(f"zoom-out to r=0.20 ->  {coarser.size} objects "
           f"({overlap} shared with the previous view)")
-    print(f"verification: {diversifier.verify()}")
+    print(f"verification: {session.verify()}")
 
 
 if __name__ == "__main__":

@@ -3,16 +3,28 @@ on Dissimilarity and Coverage" (Drosou & Pitoura, VLDB 2013).
 
 Public surface:
 
-* :func:`disc_select` / :class:`DiscDiversifier` — high-level API.
+* :func:`disc_select` / :func:`execute_request` / :class:`DiscSession` —
+  the typed request pipeline (``SelectRequest`` in, ``DiscResult`` out;
+  :class:`DiscDiversifier` is the deprecated session name).
+* :mod:`repro.requests` — ``SelectRequest`` / ``EngineSpec`` request
+  objects with JSON round-trip.
+* :mod:`repro.engines` — engine capability registry + adjacency LRU.
 * :mod:`repro.core` — the DisC heuristics, zooming, verification, bounds.
 * :mod:`repro.mtree` — the M-tree substrate with node-access accounting.
-* :mod:`repro.index` — brute-force / grid neighbor indexes.
+* :mod:`repro.index` — brute-force / grid / KD-tree neighbor indexes.
 * :mod:`repro.baselines` — MaxMin, MaxSum, k-medoids and quality metrics.
 * :mod:`repro.datasets` — the paper's evaluation datasets.
 * :mod:`repro.graph` — G_{P,r} graphs and exact small-instance solvers.
 """
 
-from repro.api import DiscDiversifier, build_index, disc_select
+from repro.api import (
+    DiscDiversifier,
+    DiscSession,
+    build_index,
+    disc_select,
+    execute_request,
+)
+from repro.requests import EngineSpec, SelectRequest
 from repro.core import (
     DiscResult,
     basic_disc,
@@ -38,9 +50,13 @@ from repro.mtree import MTree, MTreeIndex
 __version__ = "1.0.0"
 
 __all__ = [
+    "DiscSession",
     "DiscDiversifier",
+    "SelectRequest",
+    "EngineSpec",
     "build_index",
     "disc_select",
+    "execute_request",
     "basic_disc",
     "greedy_disc",
     "greedy_c",

@@ -1,23 +1,58 @@
-"""High-level public API.
+"""High-level public API: the typed request pipeline and sessions.
 
-Most users want three things: build an index over their query result,
-compute a DisC diverse subset, and zoom.  :class:`DiscDiversifier` wraps
-that workflow; the free functions serve one-shot use.
+The pipeline has three layers:
+
+1. **Requests** (:mod:`repro.requests`): :class:`~repro.requests.SelectRequest`
+   + :class:`~repro.requests.EngineSpec` are typed, validated,
+   JSON-round-trippable descriptions of a diversification request.
+   ``validate()`` runs once, up front, and fails identically on empty
+   and non-empty data.
+2. **Engines** (:mod:`repro.engines`): index engines self-register with
+   capability descriptors; ``engine="auto"`` is a registry policy over
+   capabilities and workload shape (paper-fidelity M-tree at paper
+   scale, CSR/blocked engines beyond it or under ``accelerate=True``),
+   not a hard-coded default.
+3. **Sessions**: :class:`DiscSession` is the stateful façade for the
+   paper's interactive mode (Section 3) — index once, then select /
+   zoom / compare.  It installs a radius-keyed LRU adjacency cache so
+   zoom and repeated-radius selects reuse the materialised CSR/blocked
+   adjacency instead of rebuilding it, and offers ``select_many`` for
+   batch selection over the shared index.
+
+:func:`execute_request` is the one-shot entry point a service would
+expose: request in, :class:`~repro.core.result.DiscResult` out (both
+sides serialisable via ``to_dict``/``from_dict``).
+
+Backwards-compatible shims
+--------------------------
+:func:`build_index` and :func:`disc_select` keep their historical
+signatures and delegate to the pipeline.  :class:`DiscDiversifier` is
+the old name of :class:`DiscSession`; it still works but emits a
+``DeprecationWarning``.
 
 Example
 -------
->>> from repro import DiscDiversifier, uniform_dataset
+>>> from repro import DiscSession, uniform_dataset
 >>> data = uniform_dataset(n=500, seed=1)
->>> diversifier = DiscDiversifier(data)
->>> result = diversifier.select(radius=0.1)
->>> finer = diversifier.zoom_in(0.05)
+>>> session = DiscSession(data)
+>>> result = session.select(radius=0.1)
+>>> finer = session.zoom_in(0.05)
 >>> assert set(result.selected) <= set(finer.selected)
+
+Input contracts
+---------------
+Unknown engines, engine options and method keywords are rejected with
+the registry's capability-derived messages.  Radii are validated where
+they are consumed: NaN and ±inf raise ``ValueError`` from every entry
+point, 0 is a valid degenerate radius, and an empty dataset yields an
+empty result instead of erroring — after the *whole* request has been
+validated, so a typo never ships green until the first real request.
 """
 
 from __future__ import annotations
 
-import inspect
-from typing import Optional, Sequence, Union
+import warnings
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,10 +64,7 @@ from repro.baselines import (
 )
 from repro.core import (
     DiscResult,
-    basic_disc,
-    fast_c,
     greedy_c,
-    greedy_disc,
     local_zoom,
     verify_disc,
     zoom_in,
@@ -40,121 +72,38 @@ from repro.core import (
 )
 from repro.datasets import Dataset
 from repro.distance import get_metric
-from repro.index import BruteForceIndex, GridIndex, KDTreeIndex, NeighborIndex
-from repro.index.base import IndexStats, validate_accelerate
-from repro.mtree import MTreeIndex
+from repro.engines import AdjacencyCache
+from repro.index import NeighborIndex
+from repro.index.base import IndexStats
+from repro.requests import METHODS, EngineSpec, SelectRequest
 from repro.validation import validate_radius
 
-__all__ = ["build_index", "disc_select", "DiscDiversifier"]
-
-_METHODS = {
-    "basic": basic_disc,
-    "greedy": greedy_disc,
-    "greedy-c": greedy_c,
-    "fast-c": fast_c,
-}
-
-#: Algorithm labels used when a heuristic is answered degenerately
-#: (empty input) without running; match each heuristic's default name.
-_METHOD_NAMES = {
-    "basic": "Basic-DisC",
-    "greedy": "Grey-Greedy-DisC",
-    "greedy-c": "Greedy-C",
-    "fast-c": "Fast-C",
-}
+__all__ = [
+    "build_index",
+    "disc_select",
+    "execute_request",
+    "DiscSession",
+    "DiscDiversifier",
+]
 
 
-def _empty_input_label(method: str, options: dict) -> str:
-    """The algorithm label the heuristic itself would have reported.
+def resolve_data(data, metric):
+    """Accept a Dataset or a raw array (+ metric) uniformly.
 
-    Callers key logs on ``result.algorithm``, so the degenerate
-    empty-input answer must carry the same variant-aware name as a real
-    run of the identical request.
+    Resolution is idempotent: an already-resolved ``(ndarray, Metric)``
+    pair passes through unchanged (``get_metric`` accepts
+    :class:`~repro.distance.Metric` instances), so layered entry points
+    resolve exactly once — no double-resolution of metric objects.
     """
-    if method == "greedy":
-        from repro.core.greedy import _variant_name
-
-        update_variant = options.get("update_variant", "grey")
-        if update_variant not in ("grey", "white"):
-            raise ValueError(f"unknown update_variant {update_variant!r}")
-        return _variant_name(
-            update_variant,
-            bool(options.get("lazy", False)),
-            bool(options.get("prune", False)),
-        )
-    if method == "basic" and options.get("prune"):
-        return "Basic-DisC (Pruned)"
-    return _METHOD_NAMES[method]
-
-_ENGINE_CLASSES = {
-    "auto": MTreeIndex,
-    "mtree": MTreeIndex,
-    "brute": BruteForceIndex,
-    "grid": GridIndex,
-    "kdtree": KDTreeIndex,
-}
-
-
-def _check_engine_options(engine: str, cls, options: dict) -> None:
-    """Reject unknown engine keywords with the valid names spelled out.
-
-    Without this, a typo like ``index="kdtree"`` surfaces as an opaque
-    ``MTreeIndex.__init__() got an unexpected keyword argument`` from
-    whatever engine ``auto`` picked — the caller never asked for an
-    M-tree and has no idea which signature to read.
-    """
-    params = inspect.signature(cls.__init__).parameters
-    valid = sorted(
-        name
-        for name, param in params.items()
-        if name not in ("self", "points", "metric")
-        and param.kind
-        not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
-    )
-    unknown = sorted(set(options) - set(valid) - {"accelerate"})
-    if unknown:
-        raise ValueError(
-            f"unknown engine option(s) {', '.join(map(repr, unknown))} for "
-            f"engine {engine!r} ({cls.__name__}); valid options: "
-            f"{', '.join(sorted(set(valid) | {'accelerate'}))}"
-        )
-
-
-def _validate_engine_request(engine: str, engine_options: dict):
-    """Validate an engine choice + options without building anything.
-
-    The single validation path shared by :func:`build_index` and the
-    empty-dataset fast path of :func:`disc_select`, so a bad request
-    fails identically whether or not there is data to index.  Returns
-    ``(engine, engine_cls, accelerate, options)`` with ``accelerate``
-    already popped out of ``options``.
-    """
-    engine = engine.lower()
-    options = dict(engine_options)
-    accelerate = validate_accelerate(options.pop("accelerate", "auto"))
-    try:
-        engine_cls = _ENGINE_CLASSES[engine]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected auto, brute, grid, kdtree or mtree"
-        ) from None
-    _check_engine_options(engine, engine_cls, options)
-    if engine in ("auto", "mtree") and accelerate is True:
-        raise ValueError(
-            "the M-tree has no CSR engine (its per-query node-access "
-            "accounting is the paper's cost metric); pick a simple "
-            'engine for accelerate=True or use accelerate="auto"'
-        )
-    return engine, engine_cls, accelerate, options
-
-
-def _resolve(data, metric):
-    """Accept a Dataset or a raw array (+ metric) uniformly."""
     if isinstance(data, Dataset):
         return data.points, data.metric
     if metric is None:
         raise ValueError("metric is required when passing a raw point array")
     return np.asarray(data), get_metric(metric)
+
+
+# Backwards-compatible private alias (pre-pipeline name).
+_resolve = resolve_data
 
 
 def build_index(
@@ -164,64 +113,74 @@ def build_index(
     engine: str = "auto",
     **engine_options,
 ) -> NeighborIndex:
-    """Construct a neighbor index over ``data``.
+    """Construct a neighbor index over ``data`` (thin registry shim).
 
-    ``engine`` is one of ``"auto"``, ``"brute"``, ``"grid"``,
-    ``"kdtree"``, ``"mtree"``.  ``auto`` picks the M-tree (the paper's
-    substrate) — it works for any metric and enables pruning and zooming
-    accelerations.  Extra keyword options go to the engine constructor
-    (e.g. ``capacity=...``, ``split_policy=...``, ``build_radius=...``
-    for the M-tree; ``cell_size=...`` for the grid; ``leafsize=...`` for
-    the KD-tree).
+    ``engine`` is a registered engine name (``"brute"``, ``"grid"``,
+    ``"kdtree"``, ``"mtree"``) or ``"auto"`` — the capability policy of
+    :mod:`repro.engines.registry`: the M-tree (the paper's substrate,
+    exact node-access accounting) up to paper scale, a CSR-capable
+    engine beyond it.  Extra keyword options go to the engine
+    constructor (e.g. ``capacity=...`` for the M-tree, ``cell_size=...``
+    for the grid, ``leafsize=...`` for the KD-tree) and also *constrain*
+    ``auto``: only engines accepting the given option names are
+    considered, so ``engine="auto", capacity=10`` still lands on the
+    M-tree.
 
-    Performance & engines
-    ---------------------
     ``accelerate`` (in ``engine_options``) gates the CSR neighborhood
     engine of :mod:`repro.graph.csr`: ``"auto"`` (default) lets every
-    simple engine (brute, grid, kdtree) materialise the fixed-radius
-    adjacency once as int32 CSR arrays and run Greedy-DisC / Greedy-C /
-    zooming as vectorised array ops — identical selections, ~10-100x
-    faster at paper scale (see ``results/BENCH_perf.json``).  On
-    clustered workloads whose edge mass concentrates in provably-dense
-    grid-cell pairs, the grid-backed builders transparently upgrade to
-    the *blocked* adjacency of :mod:`repro.graph.blocked` — the dense
-    pairs stay implicit (id arrays instead of hundreds of millions of
-    edges) while selections remain byte-identical.
-    ``False`` forces the legacy per-query path (the parity baseline);
-    ``True`` insists on the engine and is rejected for the M-tree,
-    whose per-query node-access accounting is the paper's cost metric
-    and must stay exact.  Batched neighborhoods for many centers are
-    available on every index via
-    ``index.range_query_batch(ids, radius)``.
-
-    Input contracts
-    ---------------
-    Unknown keyword options are rejected with the chosen engine's valid
-    option names (rather than an opaque ``TypeError`` from whatever
-    engine ``auto`` picked).  Radii are validated where they are
-    consumed: NaN and ±inf raise ``ValueError`` from every entry point
-    (:func:`disc_select`, the heuristics, the CSR builders), 0 is a
-    valid degenerate radius, and :func:`disc_select` on an empty
-    dataset returns an empty result instead of erroring.
+    CSR-capable engine materialise the fixed-radius adjacency once and
+    run the heuristics as vectorised array ops (upgrading to the
+    blocked adjacency of :mod:`repro.graph.blocked` on clustered
+    workloads); ``False`` forces the legacy per-query path; ``True``
+    insists on the engine and is rejected for engines with no CSR
+    builder (the M-tree, whose per-query node-access accounting is the
+    paper's cost metric).
     """
-    points, resolved_metric = _resolve(data, metric)
-    engine, _, accelerate, engine_options = _validate_engine_request(
-        engine, engine_options
+    points, resolved_metric = resolve_data(data, metric)
+    spec = EngineSpec(name=engine, options=engine_options).validate()
+    return spec.build(points, resolved_metric)
+
+
+def _empty_result(request: SelectRequest) -> DiscResult:
+    """The degenerate answer for an empty dataset (validated request)."""
+    return DiscResult(
+        selected=[],
+        radius=request.radius,
+        algorithm=request.empty_result_label(),
+        stats=IndexStats(),
+        meta={"empty_input": True},
     )
-    if engine in ("auto", "mtree"):
-        index = MTreeIndex(points, resolved_metric, **engine_options)
-    elif engine == "brute":
-        # Pass through the constructor so a ctor-time ``cache_radius``
-        # precompute already lands on the requested path.
-        index = BruteForceIndex(
-            points, resolved_metric, accelerate=accelerate, **engine_options
-        )
-    elif engine == "grid":
-        index = GridIndex(points, resolved_metric, **engine_options)
-    else:  # kdtree (the unknown-name case raised above)
-        index = KDTreeIndex(points, resolved_metric, **engine_options)
-    index.accelerate = accelerate
-    return index
+
+
+def execute_request(
+    data: Union[Dataset, np.ndarray],
+    request: Union[SelectRequest, dict],
+    *,
+    metric=None,
+) -> DiscResult:
+    """Run one :class:`~repro.requests.SelectRequest` end to end.
+
+    The service entry point: validates the request (radius, method,
+    method keywords, engine spec — all before touching the data),
+    resolves the engine through the registry, builds the index and runs
+    the heuristic.  An empty dataset returns an empty
+    :class:`~repro.core.result.DiscResult` carrying the same
+    variant-aware algorithm label a real run would have produced.
+
+    ``request`` may be a :class:`~repro.requests.SelectRequest` or its
+    ``to_dict()`` form (the wire format).
+    """
+    request = SelectRequest.coerce(request).validate()
+    points, resolved_metric = resolve_data(data, metric)
+    if points.shape[0] == 0:
+        # Nothing to cover: the unique r-DisC diverse subset is empty.
+        # The request was already validated in full above, so a typo'd
+        # engine, engine option or heuristic kwarg fails here exactly
+        # as it would on non-empty data.
+        return _empty_result(request)
+    index = request.engine.build(points, resolved_metric, radius=request.radius)
+    algorithm = METHODS[request.method]
+    return algorithm(index, request.radius, **dict(request.method_options))
 
 
 def disc_select(
@@ -234,61 +193,55 @@ def disc_select(
     engine_options: Optional[dict] = None,
     **method_options,
 ) -> DiscResult:
-    """One-shot DisC diversification.
+    """One-shot DisC diversification (thin :func:`execute_request` shim).
 
     ``method`` is one of ``"basic"``, ``"greedy"``, ``"greedy-c"``,
     ``"fast-c"``; remaining keyword arguments go to the heuristic
     (``prune=True``, ``update_variant="white"``, ``lazy=True``, ...).
 
-    The radius must be finite and non-negative (NaN used to sail
-    through the ``radius < 0`` guards and return the *entire dataset*
-    as "diverse"); an empty dataset yields an empty result, so service
-    callers need no special-casing on either side.
+    The radius must be finite and non-negative; an empty dataset yields
+    an empty result, so service callers need no special-casing on
+    either side.  Equivalent to building a
+    :class:`~repro.requests.SelectRequest` and calling
+    :func:`execute_request` — which is exactly what it does.
     """
-    try:
-        algorithm = _METHODS[method.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
-        ) from None
-    radius = validate_radius(radius)
-    points, _ = _resolve(data, metric)
-    if points.shape[0] == 0:
-        # Nothing to cover: the unique r-DisC diverse subset is empty.
-        # Still validate the whole request first — a typo'd engine,
-        # engine option or heuristic kwarg must fail here exactly as it
-        # would on non-empty data, not ship green until the first real
-        # request.
-        _validate_engine_request(engine, engine_options or {})
-        params = inspect.signature(algorithm).parameters
-        keyword_only = {
-            name
-            for name, param in params.items()
-            if param.kind == inspect.Parameter.KEYWORD_ONLY
-        }
-        unknown = sorted(set(method_options) - keyword_only)
-        if unknown:
-            raise TypeError(
-                f"{algorithm.__name__}() got unexpected keyword argument(s) "
-                f"{', '.join(map(repr, unknown))}"
-            )
-        return DiscResult(
-            selected=[],
-            radius=radius,
-            algorithm=_empty_input_label(method.lower(), method_options),
-            stats=IndexStats(),
-            meta={"empty_input": True},
-        )
-    index = build_index(data, metric, engine=engine, **(engine_options or {}))
-    return algorithm(index, radius, **method_options)
+    request = SelectRequest(
+        radius=radius,
+        method=method,
+        method_options=method_options,
+        engine=EngineSpec(name=engine, options=engine_options or {}),
+    )
+    return execute_request(data, request, metric=metric)
 
 
-class DiscDiversifier:
+class DiscSession:
     """Stateful façade: index once, then select / zoom / compare.
 
-    Keeps the last :class:`DiscResult` so that zooming picks up from the
-    solution the user is looking at, matching the paper's interactive
-    mode of operation (Section 3).
+    The paper's interactive mode (Section 3) is a session workload:
+    select once, then zoom in/out adaptively.  A session builds the
+    index a single time, keeps the last :class:`DiscResult` so zooming
+    picks up from the solution the user is looking at, and installs a
+    radius-keyed LRU adjacency cache (:class:`~repro.engines.cache.
+    AdjacencyCache`) on the index so repeated radii — the zoom
+    back-and-forth pattern — reuse the materialised CSR/blocked
+    adjacency instead of rebuilding it.
+
+    Parameters
+    ----------
+    data, metric:
+        A :class:`~repro.datasets.base.Dataset`, or a raw point array
+        plus a metric (name or :class:`~repro.distance.Metric`
+        instance — resolution is idempotent).
+    engine:
+        Registered engine name or ``"auto"`` (registry policy).
+    cache_radii:
+        LRU budget: how many radii worth of adjacency to keep
+        materialised at once (default 8; the cache is also installed
+        for engines that never materialise adjacency, where it is
+        simply never filled).
+    engine_options:
+        Engine constructor options; ``accelerate`` is extracted and
+        applied as the CSR gate.
     """
 
     def __init__(
@@ -297,25 +250,84 @@ class DiscDiversifier:
         metric=None,
         *,
         engine: str = "auto",
+        cache_radii: int = 8,
         **engine_options,
     ):
-        self.points, self.metric = _resolve(data, metric)
-        self.index = build_index(self.points, self.metric, engine=engine, **engine_options)
+        self.points, self.metric = resolve_data(data, metric)
+        self.spec = EngineSpec(name=engine, options=engine_options).validate()
+        entry, accelerate, options = self.spec.resolve(
+            n=int(self.points.shape[0]), metric=self.metric
+        )
+        self.index = entry.create(self.points, self.metric, accelerate, options)
+        self.engine = entry.name
+        self.index.set_adjacency_cache(AdjacencyCache(max_entries=cache_radii))
         self.last_result: Optional[DiscResult] = None
 
     # ------------------------------------------------------------------
-    def select(self, radius: float, *, method: str = "greedy", **options) -> DiscResult:
-        """Compute a fresh DisC diverse subset at ``radius``."""
-        try:
-            algorithm = _METHODS[method.lower()]
-        except KeyError:
+    # Selection
+    # ------------------------------------------------------------------
+    def execute(self, request: Union[SelectRequest, dict]) -> DiscResult:
+        """Run a :class:`~repro.requests.SelectRequest` on this session.
+
+        The session's index is the substrate, so the request's engine
+        spec must be satisfiable by it: the name must be ``"auto"`` or
+        the session's resolved engine, the ``accelerate`` gate must be
+        ``"auto"`` or the session's own, and any engine options must
+        match the session's — a session cannot silently honour a
+        request configured for a different substrate.  Method options
+        gain the session default ``track_closest_black=True`` (zooming
+        needs the closest-black distances of Section 5.2) unless the
+        request sets it.
+        """
+        request = SelectRequest.coerce(request).validate()
+        spec = request.engine  # already a validated EngineSpec
+        mismatches = []
+        if spec.name not in ("auto", self.engine):
+            mismatches.append(f"engine {spec.name!r} (session: {self.engine!r})")
+        if spec.accelerate != "auto" and spec.accelerate != self.spec.accelerate:
+            mismatches.append(
+                f"accelerate={spec.accelerate!r} "
+                f"(session: {self.spec.accelerate!r})"
+            )
+        if spec.options and dict(spec.options) != dict(self.spec.options):
+            mismatches.append(
+                f"options {dict(spec.options)!r} "
+                f"(session: {dict(self.spec.options)!r})"
+            )
+        if mismatches:
             raise ValueError(
-                f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
-            ) from None
-        options.setdefault("track_closest_black", True)
-        self.last_result = algorithm(self.index, radius, **options)
+                "request is not satisfiable by this session — "
+                + "; ".join(mismatches)
+                + "; use execute_request() for one-shot cross-engine requests"
+            )
+        request = request.with_options(track_closest_black=True)
+        algorithm = METHODS[request.method]
+        self.last_result = algorithm(
+            self.index, request.radius, **dict(request.method_options)
+        )
         return self.last_result
 
+    def select(self, radius: float, *, method: str = "greedy", **options) -> DiscResult:
+        """Compute a fresh DisC diverse subset at ``radius``."""
+        return self.execute(
+            SelectRequest(radius=radius, method=method, method_options=options)
+        )
+
+    def select_many(
+        self, radii: Sequence[float], *, method: str = "greedy", **options
+    ) -> List[DiscResult]:
+        """Batch selection over the shared index, one result per radius.
+
+        Repeated radii hit the session's adjacency cache, so a zoom
+        sequence like ``[r, r/2, r, r/2]`` builds each adjacency once.
+        ``last_result`` ends at the final radius, matching a sequence
+        of :meth:`select` calls.
+        """
+        return [self.select(r, method=method, **options) for r in radii]
+
+    # ------------------------------------------------------------------
+    # Zooming
+    # ------------------------------------------------------------------
     def _require_last(self) -> DiscResult:
         if self.last_result is None:
             raise RuntimeError("call select() before zooming")
@@ -343,6 +355,12 @@ class DiscDiversifier:
         return self.last_result
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters of the adjacency LRU."""
+        return self.index.adjacency_cache.info()
+
     def verify(self, result: Optional[DiscResult] = None):
         """Check Definition 1 on a result (defaults to the last one)."""
         result = result or self._require_last()
@@ -351,10 +369,31 @@ class DiscDiversifier:
     def compare_methods(self, radius: float, *, seed: int = 0) -> dict:
         """Run DisC + the Section 4 baselines at matched k (Figure 6).
 
-        DisC determines the subset size; MaxMin, MaxSum and k-medoids are
-        then run with that k so their quality metrics are comparable.
+        DisC determines the subset size; MaxMin, MaxSum and k-medoids
+        are then run with that k so their quality metrics are
+        comparable.  The DisC solution goes through the session path
+        (:meth:`select`, with its ``track_closest_black`` default), and
+        an existing ``last_result`` holding a (grey) Greedy-DisC
+        solution at this radius is reused instead of recomputed.  The
+        comparison is read-only with respect to the zoom state:
+        ``last_result`` is unchanged afterwards, so a follow-up zoom
+        still adapts the view the user was looking at.
         """
-        disc = greedy_disc(self.index, radius)
+        radius = validate_radius(radius)
+        previous = self.last_result
+        if (
+            previous is not None
+            and previous.radius == radius
+            # Only the grey update family selects the same subset as
+            # the reference Greedy-DisC (lazy/pruned variants are
+            # selection-identical by construction; the white variant
+            # is a different algorithm and must not stand in for it).
+            and "Grey-Greedy-DisC" in previous.algorithm
+        ):
+            disc = previous
+        else:
+            disc = self.select(radius)
+            self.last_result = previous
         k = max(disc.size, 1)
         rows = {
             "DisC": disc.selected,
@@ -367,3 +406,36 @@ class DiscDiversifier:
             name: solution_summary(self.points, self.metric, selected, radius)
             for name, selected in rows.items()
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{type(self).__name__}(n={self.points.shape[0]}, "
+            f"engine={self.engine!r}, metric={self.metric.name})"
+        )
+
+
+class DiscDiversifier(DiscSession):
+    """Deprecated alias of :class:`DiscSession` (pre-pipeline name).
+
+    Same constructor, same behaviour; emits a ``DeprecationWarning`` so
+    service code migrates to the session vocabulary.
+    """
+
+    def __init__(
+        self,
+        data: Union[Dataset, np.ndarray],
+        metric=None,
+        *,
+        engine: str = "auto",
+        cache_radii: int = 8,
+        **engine_options,
+    ):
+        warnings.warn(
+            "DiscDiversifier has been renamed DiscSession; the old name is "
+            "a shim and will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            data, metric, engine=engine, cache_radii=cache_radii, **engine_options
+        )

@@ -44,7 +44,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro import __version__
-from repro.api import DiscDiversifier
+from repro.api import DiscSession
 from repro.baselines import jaccard_distance
 from repro.datasets import (
     cameras_dataset,
@@ -97,8 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n", type=int, default=None, help="dataset cardinality")
         p.add_argument("--seed", type=int, default=42)
 
+    def add_engine(p):
+        from repro.engines import registry
+
+        p.add_argument(
+            "--engine",
+            default="auto",
+            choices=["auto"] + registry.names(),
+            help="neighbor-index engine (auto = registry capability policy)",
+        )
+
     p_select = sub.add_parser("select", help="compute an r-DisC diverse subset")
     add_common(p_select)
+    add_engine(p_select)
     p_select.add_argument("--radius", type=float, required=True)
     p_select.add_argument(
         "--method", default="greedy", choices=["basic", "greedy", "greedy-c", "fast-c"]
@@ -108,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_zoom = sub.add_parser("zoom", help="select then zoom to another radius")
     add_common(p_zoom)
+    add_engine(p_zoom)
     p_zoom.add_argument("--radius", type=float, required=True, help="initial radius")
     p_zoom.add_argument("--to", type=float, required=True, help="target radius")
 
@@ -143,15 +155,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--out", default=None, help="JSON output path (default results/BENCH_perf.json)"
     )
+    p_bench.add_argument(
+        "--session", action="store_true",
+        help="session adjacency-cache benchmark instead of the engine "
+        "sweep (repeated-radius zoom sequence, session vs one-shot; "
+        "emits results/BENCH_session.json)",
+    )
     return parser
 
 
 def _cmd_info(_args) -> int:
+    from repro.engines import registry
+
     print(f"repro {__version__} — DisC diversity reproduction (VLDB 2013)")
     print("\ndatasets: " + ", ".join(sorted(_DATASETS)))
     print("heuristics: " + ", ".join(sorted(ALGORITHMS)))
-    print("engines: mtree (default), brute, grid, kdtree")
-    print("         (simple engines auto-enable the CSR neighborhood engine;")
+    print("engines (auto = capability policy):")
+    for entry in registry.entries():
+        print(f"  {entry.name:<8} {entry.capabilities.description}")
+    print("         (CSR-capable engines auto-enable the CSR neighborhood engine;")
     print("          `python -m repro bench --quick` times them)")
     print("\nsee DESIGN.md for the experiment index and EXPERIMENTS.md for")
     print("paper-vs-measured results; `pytest benchmarks/ --benchmark-only`")
@@ -160,16 +182,21 @@ def _cmd_info(_args) -> int:
 
 
 def _cmd_select(args) -> int:
+    from repro.requests import SelectRequest
+
     data = _load_dataset(args.dataset, args.n, args.seed)
-    diversifier = DiscDiversifier(data)
-    result = diversifier.select(args.radius, method=args.method)
-    report = diversifier.verify()
+    session = DiscSession(data, engine=args.engine)
+    request = SelectRequest(radius=args.radius, method=args.method)
+    result = session.execute(request)
+    report = session.verify()
     if args.json:
         print(json.dumps({
             "dataset": data.name,
             "n": data.n,
             "radius": args.radius,
             "method": args.method,
+            "engine": session.engine,
+            "request": request.validate().to_dict(),
             "size": result.size,
             "node_accesses": result.node_accesses,
             "selected": result.selected,
@@ -190,13 +217,13 @@ def _cmd_select(args) -> int:
 
 def _cmd_zoom(args) -> int:
     data = _load_dataset(args.dataset, args.n, args.seed)
-    diversifier = DiscDiversifier(data)
-    first = diversifier.select(args.radius)
+    session = DiscSession(data, engine=args.engine)
+    first = session.select(args.radius)
     if args.to < args.radius:
-        second = diversifier.zoom_in(args.to)
+        second = session.zoom_in(args.to)
         direction = "in"
     elif args.to > args.radius:
-        second = diversifier.zoom_out(args.to)
+        second = session.zoom_out(args.to)
         direction = "out"
     else:
         raise SystemExit("--to must differ from --radius")
@@ -207,7 +234,7 @@ def _cmd_zoom(args) -> int:
           f"{jaccard_distance(first.selected, second.selected):.3f}")
     print(f"zoom cost: {second.node_accesses} node accesses "
           f"(initial solution: {first.node_accesses})")
-    print(diversifier.verify())
+    print(session.verify())
     return 0
 
 
@@ -246,9 +273,28 @@ def _cmd_table3(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.experiments import (
         render_bench_table,
+        render_session_table,
+        run_session_bench,
         run_wallclock_bench,
         write_bench_json,
+        write_session_json,
     )
+
+    if args.session:
+        workloads = args.workload or ["clustered"]
+        if len(workloads) > 1:
+            raise SystemExit("bench --session takes a single --workload")
+        payload = run_session_bench(workload=workloads[0], quick=args.quick)
+        print(render_session_table(payload))
+        out = args.out
+        if out is None and (args.quick or args.workload):
+            # Partial runs must not clobber the committed full baseline.
+            from repro.experiments import results_dir
+
+            out = os.path.join(results_dir(), "BENCH_session_quick.json")
+        path = write_session_json(payload, out)
+        print(f"[saved to {path}]")
+        return 0
 
     payload = run_wallclock_bench(workloads=args.workload, quick=args.quick)
     print(render_bench_table(payload))

@@ -21,6 +21,25 @@ from repro.index.base import IndexStats
 __all__ = ["DiscResult", "closest_black_distances"]
 
 
+def _plain(value):
+    """Recursively strip NumPy types so the payload is JSON-safe.
+
+    Results accumulate NumPy scalars and arrays in ``selected`` /
+    ``meta`` / ``stats.extra``; the wire format wants plain Python.
+    Unknown object types pass through untouched (the caller owns their
+    serialisability, exactly like request options).
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
 @dataclass
 class DiscResult:
     """Output of a DisC heuristic (or zooming operation).
@@ -66,6 +85,47 @@ class DiscResult:
 
     def selected_set(self) -> set:
         return set(self.selected)
+
+    # ------------------------------------------------------------------
+    # Wire format (the response side of repro.requests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form: JSON-serialisable for JSON-safe ``meta``.
+
+        ``coloring`` is deliberately not serialised — it is a live
+        index-subscribed object meaningful only in the producing
+        process; a result rebuilt via :meth:`from_dict` carries
+        ``coloring=None`` (zooming recomputes what it needs from
+        ``selected`` + ``closest_black``).
+        """
+        return {
+            "selected": [int(i) for i in self.selected],
+            "radius": float(self.radius),
+            "algorithm": self.algorithm,
+            "stats": self.stats.to_dict(),
+            "closest_black": (
+                None
+                if self.closest_black is None
+                else [float(d) for d in self.closest_black]
+            ),
+            "meta": _plain(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DiscResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        closest = payload.get("closest_black")
+        return cls(
+            selected=[int(i) for i in payload["selected"]],
+            radius=float(payload["radius"]),
+            algorithm=payload["algorithm"],
+            stats=IndexStats.from_dict(payload.get("stats", {})),
+            coloring=None,
+            closest_black=(
+                None if closest is None else np.asarray(closest, dtype=float)
+            ),
+            meta=dict(payload.get("meta", {})),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,29 @@
+"""Engine infrastructure: the capability registry and adjacency cache.
+
+``repro.engines`` is the pluggable-engine layer behind the public API:
+index engines self-register with :func:`register_engine` and an
+:class:`EngineCapabilities` descriptor, the request pipeline
+(:mod:`repro.requests`) resolves names and ``auto`` policy through
+:data:`registry`, and :class:`AdjacencyCache` is the radius-keyed LRU
+every index stores its materialised adjacencies in.
+"""
+
+from repro.engines.cache import AdjacencyCache
+from repro.engines.registry import (
+    AUTO_FIDELITY_MAX_N,
+    EngineCapabilities,
+    EngineEntry,
+    EngineRegistry,
+    register_engine,
+    registry,
+)
+
+__all__ = [
+    "AdjacencyCache",
+    "AUTO_FIDELITY_MAX_N",
+    "EngineCapabilities",
+    "EngineEntry",
+    "EngineRegistry",
+    "register_engine",
+    "registry",
+]

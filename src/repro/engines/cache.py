@@ -1,0 +1,129 @@
+"""Radius-keyed LRU cache for materialised adjacencies.
+
+Every :class:`~repro.index.base.NeighborIndex` keeps its built
+CSR/blocked adjacencies in an :class:`AdjacencyCache`.  The default is
+unbounded (one-shot requests build at most one radius, so there is
+nothing to evict); a :class:`~repro.api.DiscSession` installs a bounded
+instance so interactive zoom/select sequences reuse the adjacency at
+repeated radii while the total footprint stays capped.
+
+Reuse is sound because the adjacencies are immutable once built
+(:mod:`repro.graph.csr`: algorithms carry their mutable state — colors,
+counts — in separate dense arrays), so a cache hit feeds a selection
+byte-identical to a fresh build.
+
+Eviction is LRU over both an entry budget and an optional byte budget;
+entry sizes come from the ``nbytes`` hook on
+:class:`~repro.graph.csr.CSRNeighborhood` and
+:class:`~repro.graph.blocked.BlockedNeighborhood`.  The most recently
+inserted entry is never evicted, so a single adjacency larger than the
+byte budget still serves its own request.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["AdjacencyCache"]
+
+
+def _entry_bytes(value) -> int:
+    return int(getattr(value, "nbytes", 0))
+
+
+class AdjacencyCache:
+    """LRU mapping ``radius -> adjacency`` with hit/miss accounting.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached radii (None = unbounded).
+    max_bytes:
+        Soft byte budget over all cached adjacencies (None = unbounded);
+        sizes come from each entry's ``nbytes``.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[float, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: float):
+        """The cached adjacency for ``key``, or None (counts hit/miss)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: float, value) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past budget."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > 1 and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self.total_bytes > self.max_bytes)
+        ):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def adopt(self, other: "AdjacencyCache") -> None:
+        """Take over another cache's entries (oldest first), then apply
+        this cache's budgets.  Used when a session installs a bounded
+        cache on an index that may already hold adjacencies."""
+        for key, value in other._entries.items():
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+        self._evict()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(_entry_bytes(v) for v in self._entries.values())
+
+    def info(self) -> dict:
+        """Counters + footprint snapshot (plain JSON-serialisable dict)."""
+        return {
+            "entries": len(self._entries),
+            "radii": [float(k) for k in self._entries],
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.total_bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AdjacencyCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

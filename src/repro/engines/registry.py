@@ -1,0 +1,368 @@
+"""Engine registry: capability descriptors + the data-driven ``auto`` policy.
+
+Every neighbor-index engine self-registers here with an
+:class:`EngineCapabilities` descriptor stating what it can do — which
+metric family it indexes, whether it can materialise a CSR adjacency
+(the ``accelerate`` engine), whether its grid plan upgrades to the
+implicit blocked adjacency, and what cost-accounting fidelity it
+offers.  The public request pipeline (:mod:`repro.requests`,
+:mod:`repro.api`) resolves engine names, validates engine options and
+performs ``auto`` selection *through the registry*, so
+
+* adding an engine is one decorator on its class — no edits to
+  ``api.py`` dispatch tables;
+* unknown engines / unknown options fail with messages derived from
+  the registered capabilities and constructor signatures;
+* ``auto`` is a policy over capabilities and workload shape
+  (cardinality, metric family, radius hint) instead of a hard-coded
+  "auto means M-tree".
+
+The registry holds *classes*, not instances; engine construction goes
+through :meth:`EngineEntry.create`, which also applies the
+``accelerate`` gate uniformly.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.distance import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+)
+
+__all__ = [
+    "EngineCapabilities",
+    "EngineEntry",
+    "EngineRegistry",
+    "register_engine",
+    "registry",
+    "AUTO_FIDELITY_MAX_N",
+]
+
+#: ``auto`` keeps the paper's M-tree substrate (exact node-access
+#: accounting) up to this cardinality; beyond it the policy switches to
+#: a CSR-capable engine — the M-tree's per-query path is infeasible at
+#: 100k+ (see ROADMAP perf trajectory).
+AUTO_FIDELITY_MAX_N = 10_000
+
+_MINKOWSKI_FAMILY = (
+    EuclideanMetric,
+    ManhattanMetric,
+    ChebyshevMetric,
+    MinkowskiMetric,
+)
+
+#: Modules whose import registers the built-in engines.  Resolved
+#: lazily on first lookup so the registry module itself stays
+#: dependency-free (the index modules import *us* for the decorator).
+_BUILTIN_MODULES = (
+    "repro.index.bruteforce",
+    "repro.index.grid",
+    "repro.index.kdtree",
+    "repro.mtree.index",
+)
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What one engine can do — the data the ``auto`` policy reads.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"brute"``, ``"grid"``, ``"kdtree"``,
+        ``"mtree"``).
+    description:
+        One-line human summary used in error messages and ``info``.
+    metrics:
+        ``"any"`` or ``"minkowski"`` — the metric family the engine can
+        index (the grid and KD-tree need coordinate geometry).
+    supports_csr:
+        Whether the engine can materialise the fixed-radius adjacency
+        (the ``accelerate`` CSR engine of :mod:`repro.graph.csr`).
+    supports_blocked:
+        Whether its CSR build upgrades to the implicit dense-block
+        adjacency of :mod:`repro.graph.blocked` on clustered data.
+    cost_fidelity:
+        ``"node-access"`` (the paper's exact M-tree accounting),
+        ``"counters"`` (range-query/distance counters only) or
+        ``"none"`` (no traversal counts — SciPy KD-tree).
+    radius_option:
+        Name of a constructor option the ``auto`` policy should seed
+        with the request radius when one is known (the grid's
+        ``cell_size``), or None.
+    csr_unsupported_reason:
+        For ``supports_csr=False`` engines: the message explaining why
+        ``accelerate=True`` is rejected.
+    auto_priority:
+        Last-resort tie-breaker among equally-capable candidates on the
+        ``auto`` scale path (higher wins); lets a metric-restricted
+        specialist outrank the always-applicable oracle.
+    """
+
+    name: str
+    description: str
+    metrics: str = "any"
+    supports_csr: bool = False
+    supports_blocked: bool = False
+    cost_fidelity: str = "counters"
+    radius_option: Optional[str] = None
+    csr_unsupported_reason: Optional[str] = None
+    auto_priority: int = 0
+
+
+@dataclass
+class EngineEntry:
+    """A registered engine: its class plus capabilities."""
+
+    capabilities: EngineCapabilities
+    cls: type
+    _valid_options: Optional[frozenset] = field(default=None, repr=False)
+    _takes_accelerate: Optional[bool] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.capabilities.name
+
+    def _signature_options(self) -> Tuple[frozenset, bool]:
+        params = inspect.signature(self.cls.__init__).parameters
+        names = frozenset(
+            name
+            for name, param in params.items()
+            if name not in ("self", "points", "metric")
+            and param.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        )
+        return names - {"accelerate"}, "accelerate" in names
+
+    @property
+    def valid_options(self) -> frozenset:
+        """Constructor keyword options (``accelerate`` handled apart)."""
+        if self._valid_options is None:
+            self._valid_options, self._takes_accelerate = self._signature_options()
+        return self._valid_options
+
+    @property
+    def takes_accelerate(self) -> bool:
+        """Whether the constructor accepts ``accelerate`` directly."""
+        if self._takes_accelerate is None:
+            self._valid_options, self._takes_accelerate = self._signature_options()
+        return self._takes_accelerate
+
+    def supports_metric(self, metric) -> bool:
+        if self.capabilities.metrics == "any":
+            return True
+        return isinstance(metric, _MINKOWSKI_FAMILY)
+
+    def validate_options(self, options: dict) -> None:
+        """Reject unknown constructor options, naming the valid ones."""
+        unknown = sorted(set(options) - self.valid_options)
+        if unknown:
+            raise ValueError(
+                f"unknown engine option(s) {', '.join(map(repr, unknown))} for "
+                f"engine {self.name!r} ({self.cls.__name__}); valid options: "
+                f"{', '.join(sorted(self.valid_options | {'accelerate'}))}"
+            )
+
+    def validate_accelerate(self, accelerate) -> None:
+        """Capability check: ``accelerate=True`` needs a CSR builder."""
+        if accelerate is True and not self.capabilities.supports_csr:
+            raise ValueError(
+                self.capabilities.csr_unsupported_reason
+                or f"engine {self.name!r} cannot materialise a CSR adjacency; "
+                'use accelerate="auto" or pick a CSR-capable engine'
+            )
+
+    def create(self, points, metric, accelerate, options: dict):
+        """Construct the index with the ``accelerate`` gate applied.
+
+        Engines whose constructor takes ``accelerate`` (the brute-force
+        index, whose ctor-time ``cache_radius`` precompute must land on
+        the requested path) receive it directly; everything else gets
+        the attribute set after construction.
+        """
+        self.validate_options(options)
+        self.validate_accelerate(accelerate)
+        if self.takes_accelerate:
+            index = self.cls(points, metric, accelerate=accelerate, **options)
+        else:
+            index = self.cls(points, metric, **options)
+        index.accelerate = accelerate
+        return index
+
+
+class EngineRegistry:
+    """Name → :class:`EngineEntry` mapping with the ``auto`` policy."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, EngineEntry] = {}
+        self._builtins_loaded = False
+
+    # ------------------------------------------------------------------
+    def register(self, capabilities: EngineCapabilities):
+        """Class decorator: ``@registry.register(EngineCapabilities(...))``."""
+
+        def decorator(cls):
+            name = capabilities.name.lower()
+            self._entries[name] = EngineEntry(capabilities=capabilities, cls=cls)
+            return cls
+
+        return decorator
+
+    def _ensure_builtins(self) -> None:
+        if not self._builtins_loaded:
+            self._builtins_loaded = True
+            for module in _BUILTIN_MODULES:
+                importlib.import_module(module)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Registered engine names, sorted."""
+        self._ensure_builtins()
+        return sorted(self._entries)
+
+    def entries(self) -> List[EngineEntry]:
+        self._ensure_builtins()
+        return [self._entries[name] for name in sorted(self._entries)]
+
+    def get(self, name: str) -> EngineEntry:
+        """Resolve a concrete engine name (``auto`` is a policy, not an
+        entry — see :meth:`resolve`)."""
+        self._ensure_builtins()
+        try:
+            return self._entries[name.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {name!r}; registered engines: "
+                f"{', '.join(['auto'] + sorted(self._entries))}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # The auto policy
+    # ------------------------------------------------------------------
+    def _auto_candidates(self, metric, options: dict) -> List[EngineEntry]:
+        """Engines compatible with the metric family and option names."""
+        self._ensure_builtins()
+        option_names = set(options)
+        out = [
+            entry
+            for entry in self.entries()
+            if (metric is None or entry.supports_metric(metric))
+            and option_names <= entry.valid_options
+        ]
+        if not out:
+            per_engine = "; ".join(
+                f"{entry.name} ({entry.cls.__name__}): "
+                f"{', '.join(sorted(entry.valid_options | {'accelerate'}))}"
+                for entry in self.entries()
+            )
+            metric_note = (
+                f" for metric {getattr(metric, 'name', metric)!r}"
+                if metric is not None
+                else ""
+            )
+            raise ValueError(
+                f"no engine matches engine='auto' with option(s) "
+                f"{', '.join(map(repr, sorted(option_names)))}{metric_note}; "
+                f"valid options per engine — {per_engine}"
+            )
+        return out
+
+    def resolve(
+        self,
+        name: str,
+        *,
+        accelerate="auto",
+        options: Optional[dict] = None,
+        n: Optional[int] = None,
+        metric=None,
+        radius: Optional[float] = None,
+    ) -> Tuple[EngineEntry, dict]:
+        """Resolve ``name`` (possibly ``"auto"``) to an entry + options.
+
+        A concrete name validates its options and ``accelerate``
+        capability and returns as-is.  ``auto`` runs the policy:
+
+        1. keep engines compatible with the metric family and the given
+           option names (options are a constraint, so legacy
+           ``engine="auto", capacity=...`` still lands on the M-tree);
+        2. ``accelerate=True`` keeps only CSR-capable engines;
+        3. at paper scale (``n <= AUTO_FIDELITY_MAX_N``) and without an
+           insisted CSR engine, the highest cost fidelity wins — the
+           M-tree, the paper's instrument;
+        4. beyond that (or with ``accelerate=True``) the policy prefers
+           CSR-capable engines: when the request radius is known, a
+           blocked-capable engine seeded with it (the grid, whose
+           builder exploits radius-sized cells); otherwise a
+           tuning-free engine (KD-tree for coordinate data, brute
+           force for anything else).
+
+        Returns ``(entry, options)`` where ``options`` may have gained
+        the radius seed (:attr:`EngineCapabilities.radius_option`).
+        """
+        options = dict(options or {})
+        if name.lower() != "auto":
+            entry = self.get(name)
+            entry.validate_options(options)
+            entry.validate_accelerate(accelerate)
+            return entry, options
+
+        candidates = self._auto_candidates(metric, options)
+        if accelerate is True:
+            candidates = [
+                e for e in candidates if e.capabilities.supports_csr
+            ]
+            if not candidates:
+                raise ValueError(
+                    "accelerate=True requires a CSR-capable engine, but no "
+                    "registered engine matches the request; use "
+                    'accelerate="auto" or name an engine explicitly'
+                )
+        if accelerate is not True and (n is None or n <= AUTO_FIDELITY_MAX_N):
+            exact = [
+                e for e in candidates
+                if e.capabilities.cost_fidelity == "node-access"
+            ]
+            if exact:
+                return exact[0], options
+
+        def scale_rank(entry: EngineEntry):
+            caps = entry.capabilities
+            # Must mirror the seeding guard below: r=0 (a valid
+            # degenerate radius) cannot seed a cell size, so it must
+            # not out-rank the tuning-free engines either.
+            radius_seeded = (
+                radius is not None and radius > 0 and caps.radius_option is not None
+            )
+            return (
+                caps.supports_csr,
+                caps.supports_blocked and radius_seeded,
+                caps.radius_option is None,  # tuning-free wins without a hint
+                caps.auto_priority,
+            )
+
+        best = max(candidates, key=scale_rank)
+        caps = best.capabilities
+        if (
+            caps.radius_option is not None
+            and radius is not None
+            and radius > 0
+            and caps.radius_option not in options
+        ):
+            options[caps.radius_option] = float(radius)
+        return best, options
+
+
+#: The process-wide registry every built-in engine registers with.
+registry = EngineRegistry()
+
+
+def register_engine(capabilities: EngineCapabilities):
+    """Decorator registering an engine class with the global registry."""
+    return registry.register(capabilities)

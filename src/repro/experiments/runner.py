@@ -171,16 +171,18 @@ def _fresh_index(
 def _fresh_csr_index(dataset: Dataset, radius: float):
     """A CSR-engine index for solution-size runs (no node accesses).
 
-    Grid-backed for coordinate metrics (its builder exploits the
-    cell-pair pruning), brute-force for Hamming-coded categoricals.
+    Resolved through the engine registry's ``auto`` policy with
+    ``accelerate=True`` and the run radius as hint: grid (radius-sized
+    cells, cell-pair pruning) for coordinate metrics, brute force for
+    Hamming-coded categoricals — the same single policy every other
+    entry point uses.
     """
-    from repro.distance import HammingMetric
-    from repro.index import BruteForceIndex, GridIndex
+    from repro.requests import EngineSpec
 
-    if isinstance(dataset.metric, HammingMetric):
-        return BruteForceIndex(dataset.points, dataset.metric)
-    cell = float(radius) if radius > 0 else 0.05
-    return GridIndex(dataset.points, dataset.metric, cell_size=cell)
+    entry, accelerate, options = EngineSpec(accelerate=True).resolve(
+        n=dataset.n, metric=dataset.metric, radius=radius
+    )
+    return entry.create(dataset.points, dataset.metric, accelerate, options)
 
 
 def run_algorithm(

@@ -188,6 +188,27 @@ class BlockedNeighborhood:
         return self._dense_nnz / total if total else 0.0
 
     @property
+    def nbytes(self) -> int:
+        """Resident footprint: sparse remainder + block/side id arrays.
+
+        The cache hook read by :class:`~repro.engines.cache.
+        AdjacencyCache` — this is the *stored* size (the whole point of
+        the blocked form is that it is far below the logical ``nnz``).
+        """
+        total = self.sparse.nbytes + (
+            self.side_ptr.nbytes
+            + self.side_members.nbytes
+            + self.side_partner.nbytes
+            + self.side_is_clique.nbytes
+            + self._mem_indptr.nbytes
+            + self._mem_side.nbytes
+            + self._clique_members.nbytes
+        )
+        if self._degrees is not None:
+            total += self._degrees.nbytes
+        return int(total)
+
+    @property
     def degrees(self) -> np.ndarray:
         """``|N_r(p_i)|`` for every object (self excluded; cached)."""
         if self._degrees is None:

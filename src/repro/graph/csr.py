@@ -174,6 +174,20 @@ class CSRNeighborhood:
         return int(self.indptr[-1])
 
     @property
+    def nbytes(self) -> int:
+        """Resident footprint of the adjacency arrays.
+
+        The cache hook read by :class:`~repro.engines.cache.
+        AdjacencyCache` when a byte budget bounds how many radii a
+        session keeps materialised; includes the lazily-built row-id
+        companion when present.
+        """
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self._row_ids is not None:
+            total += self._row_ids.nbytes
+        return int(total)
+
+    @property
     def degrees(self) -> np.ndarray:
         """``|N_r(p_i)|`` for every object (self excluded)."""
         return np.diff(self.indptr)

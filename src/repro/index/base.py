@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.distance import Metric, get_metric
+from repro.engines.cache import AdjacencyCache
 from repro.graph.csr import CSRNeighborhood
 
 __all__ = ["IndexStats", "NeighborIndex", "validate_accelerate"]
@@ -95,6 +96,27 @@ class IndexStats:
             extra=dict(self.extra),
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for the result wire format (JSON-safe for
+        JSON-safe ``extra``)."""
+        return {
+            "range_queries": int(self.range_queries),
+            "distance_computations": int(self.distance_computations),
+            "node_accesses": int(self.node_accesses),
+            "build_node_accesses": int(self.build_node_accesses),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IndexStats":
+        return cls(
+            range_queries=int(payload.get("range_queries", 0)),
+            distance_computations=int(payload.get("distance_computations", 0)),
+            node_accesses=int(payload.get("node_accesses", 0)),
+            build_node_accesses=int(payload.get("build_node_accesses", 0)),
+            extra=dict(payload.get("extra", {})),
+        )
+
     def __sub__(self, other: "IndexStats") -> "IndexStats":
         return IndexStats(
             range_queries=self.range_queries - other.range_queries,
@@ -125,7 +147,10 @@ class NeighborIndex(abc.ABC):
         self.stats = IndexStats()
         #: CSR-engine gate: "auto" | True | False (see module docstring).
         self.accelerate = "auto"
-        self._csr_cache: Dict[float, CSRNeighborhood] = {}
+        #: Radius-keyed adjacency store.  Unbounded by default (one-shot
+        #: requests build one radius); sessions install a bounded LRU
+        #: via :meth:`set_adjacency_cache`.
+        self._csr_cache = AdjacencyCache()
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -209,7 +234,7 @@ class NeighborIndex(abc.ABC):
         if csr is None and build:
             csr = self._build_csr(key)
             if csr is not None:
-                self._csr_cache[key] = csr
+                self._csr_cache.put(key, csr)
             elif self.accelerate is True:
                 raise RuntimeError(
                     f"{type(self).__name__} cannot materialise a CSR "
@@ -225,6 +250,21 @@ class NeighborIndex(abc.ABC):
         an implicit :class:`~repro.graph.blocked.BlockedNeighborhood`.
         """
         return None
+
+    @property
+    def adjacency_cache(self) -> AdjacencyCache:
+        """The radius-keyed adjacency store (see :meth:`csr_neighborhood`)."""
+        return self._csr_cache
+
+    def set_adjacency_cache(self, cache: AdjacencyCache) -> None:
+        """Install a replacement adjacency cache (e.g. a bounded LRU).
+
+        Entries already built are carried over (then the new cache's
+        budgets apply), so swapping caches never discards a paid-for
+        adjacency prematurely.
+        """
+        cache.adopt(self._csr_cache)
+        self._csr_cache = cache
 
     # ------------------------------------------------------------------
     # Bulk helpers used by the greedy heuristics

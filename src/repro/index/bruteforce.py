@@ -23,6 +23,7 @@ from repro.distance import (
     ManhattanMetric,
     MinkowskiMetric,
 )
+from repro.engines.registry import EngineCapabilities, register_engine
 from repro.graph.blocked import build_grid_auto
 from repro.graph.csr import build_csr_pairwise, pairwise_row_chunk
 from repro.index.base import NeighborIndex, validate_accelerate
@@ -45,6 +46,14 @@ _GRID_BUILD_MAX_DIM = 4
 __all__ = ["BruteForceIndex"]
 
 
+@register_engine(EngineCapabilities(
+    name="brute",
+    description="exact linear scan; works for any metric (the oracle)",
+    metrics="any",
+    supports_csr=True,
+    supports_blocked=True,  # grid-binned Lp builds upgrade; others stay flat
+    cost_fidelity="counters",
+))
 class BruteForceIndex(NeighborIndex):
     """Exact linear-scan index.
 

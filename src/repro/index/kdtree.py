@@ -25,6 +25,7 @@ from repro.distance import (
     ManhattanMetric,
     MinkowskiMetric,
 )
+from repro.engines.registry import EngineCapabilities, register_engine
 from repro.graph.csr import CSRNeighborhood
 from repro.index.base import NeighborIndex
 
@@ -37,6 +38,16 @@ _MINKOWSKI_P = {
 }
 
 
+@register_engine(EngineCapabilities(
+    name="kdtree",
+    description="compiled SciPy KD-tree; tuning-free default for "
+    "coordinate data at scale (no node-access counts)",
+    metrics="minkowski",
+    supports_csr=True,
+    supports_blocked=False,
+    cost_fidelity="none",
+    auto_priority=1,
+))
 class KDTreeIndex(NeighborIndex):
     """SciPy cKDTree adapter implementing the NeighborIndex protocol."""
 

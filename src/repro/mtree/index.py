@@ -24,12 +24,27 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from repro.core.coloring import Color, Coloring
+from repro.engines.registry import EngineCapabilities, register_engine
 from repro.index.base import NeighborIndex
 from repro.mtree.tree import MTree
 
 __all__ = ["MTreeIndex"]
 
 
+@register_engine(EngineCapabilities(
+    name="mtree",
+    description="the paper's substrate: any metric, pruning/zooming "
+    "accelerations, exact node-access accounting",
+    metrics="any",
+    supports_csr=False,
+    supports_blocked=False,
+    cost_fidelity="node-access",
+    csr_unsupported_reason=(
+        "the M-tree has no CSR engine (its per-query node-access "
+        "accounting is the paper's cost metric); pick a simple "
+        'engine for accelerate=True or use accelerate="auto"'
+    ),
+))
 class MTreeIndex(NeighborIndex):
     """Neighbor index backed by an M-tree.
 

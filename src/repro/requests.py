@@ -1,0 +1,283 @@
+"""Typed, validated, serialisable request objects for the DisC pipeline.
+
+The service story of the ROADMAP needs requests that can be validated
+once, shipped over a wire and replayed deterministically.  This module
+is the single definition of what a diversification request *is*:
+
+* :class:`EngineSpec` — which neighbor-index engine to use (possibly
+  ``"auto"``), the ``accelerate`` gate and constructor options.
+  Validation and ``auto`` resolution go through the engine registry
+  (:mod:`repro.engines.registry`), so unknown engines and unknown
+  options fail with capability-derived messages.
+* :class:`SelectRequest` — a full selection request: radius, method,
+  method options and an :class:`EngineSpec`.  ``validate()`` checks
+  everything that can be checked without data — radius finiteness,
+  method name, method keyword names, engine spec — so a bad request
+  fails identically whether the dataset is empty or not, and exactly
+  once (no duplicated empty-path validation).
+
+Both objects round-trip through plain dicts (``to_dict``/``from_dict``)
+whose values are JSON-serialisable as long as the caller's options are;
+:class:`~repro.core.result.DiscResult` offers the matching pair on the
+response side.
+
+Every front end — :func:`repro.api.disc_select`,
+:class:`repro.api.DiscSession`, the CLI and the experiment runner —
+funnels through these objects, so request semantics cannot drift
+between entry points.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.core import basic_disc, fast_c, greedy_c, greedy_disc
+from repro.engines.registry import EngineEntry, registry
+from repro.validation import validate_radius
+
+__all__ = ["EngineSpec", "SelectRequest", "METHODS", "METHOD_NAMES"]
+
+#: method name -> heuristic callable.  The registry of *algorithms*
+#: (engines live in :mod:`repro.engines.registry`).
+METHODS = {
+    "basic": basic_disc,
+    "greedy": greedy_disc,
+    "greedy-c": greedy_c,
+    "fast-c": fast_c,
+}
+
+#: Algorithm labels used when a heuristic is answered degenerately
+#: (empty input) without running; match each heuristic's default name.
+METHOD_NAMES = {
+    "basic": "Basic-DisC",
+    "greedy": "Grey-Greedy-DisC",
+    "greedy-c": "Greedy-C",
+    "fast-c": "Fast-C",
+}
+
+_METHOD_KEYWORDS: Dict[str, frozenset] = {}
+
+
+def _method_keywords(method: str) -> frozenset:
+    """Keyword-only parameter names of one heuristic (cached)."""
+    found = _METHOD_KEYWORDS.get(method)
+    if found is None:
+        params = inspect.signature(METHODS[method]).parameters
+        found = frozenset(
+            name
+            for name, param in params.items()
+            if param.kind == inspect.Parameter.KEYWORD_ONLY
+        )
+        _METHOD_KEYWORDS[method] = found
+    return found
+
+
+def _validate_accelerate(value):
+    """``accelerate`` must be exactly ``"auto"``, True or False (the
+    engine gates use identity checks, so ``1``/``np.True_`` look-alikes
+    would silently pick the wrong path)."""
+    from repro.index.base import validate_accelerate
+
+    return validate_accelerate(value)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which engine to run a request on, and how.
+
+    ``name`` is a registered engine (``"brute"``, ``"grid"``,
+    ``"kdtree"``, ``"mtree"``) or ``"auto"`` (the registry's
+    capability/workload policy).  ``options`` go to the engine
+    constructor; ``accelerate`` gates the CSR adjacency engine.
+    """
+
+    name: str = "auto"
+    accelerate: Union[str, bool] = "auto"
+    options: Mapping = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "EngineSpec":
+        """Normalise + validate against the registry; returns a new spec.
+
+        Checks everything that does not need the data: the engine name
+        exists (or is ``auto``), ``accelerate`` is well-formed, option
+        names are valid for the engine (for ``auto``: for at least one
+        registered engine) and ``accelerate=True`` is not requested
+        from an engine with no CSR builder.
+        """
+        name = self.name.lower()
+        options = dict(self.options)
+        accelerate = self.accelerate
+        if "accelerate" in options:
+            # Legacy callers route the gate through engine_options; that
+            # is honoured only while the typed field is at its default —
+            # a spec saying both accelerate=True and
+            # options={"accelerate": False} is a contradiction, not a
+            # precedence question.
+            from_options = options.pop("accelerate")
+            if accelerate != "auto" and from_options != accelerate:
+                raise ValueError(
+                    f"conflicting accelerate values: spec says "
+                    f"{accelerate!r}, options say {from_options!r}"
+                )
+            accelerate = from_options
+        accelerate = _validate_accelerate(accelerate)
+        # Resolution with no workload shape performs exactly the checks
+        # that are data-independent (known name/options, accelerate
+        # capability, auto satisfiability) — single-sourced in the
+        # registry so validate() and resolve() can never disagree.
+        registry.resolve(name, accelerate=accelerate, options=options)
+        return EngineSpec(name=name, accelerate=accelerate, options=options)
+
+    def resolve(
+        self,
+        *,
+        n: Optional[int] = None,
+        metric=None,
+        radius: Optional[float] = None,
+    ) -> Tuple[EngineEntry, Union[str, bool], dict]:
+        """Resolve to ``(entry, accelerate, options)`` for a workload.
+
+        ``auto`` runs the registry policy over the workload shape
+        (cardinality, metric family, radius hint); concrete names just
+        validate.  The returned options may have gained the policy's
+        radius seed (e.g. the grid's ``cell_size``).
+        """
+        spec = self.validate()
+        entry, options = registry.resolve(
+            spec.name,
+            accelerate=spec.accelerate,
+            options=dict(spec.options),
+            n=n,
+            metric=metric,
+            radius=radius,
+        )
+        return entry, spec.accelerate, options
+
+    def build(self, points, metric, *, radius: Optional[float] = None):
+        """Construct the index this spec describes for ``points``."""
+        entry, accelerate, options = self.resolve(
+            n=int(points.shape[0]), metric=metric, radius=radius
+        )
+        return entry.create(points, metric, accelerate, options)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "accelerate": self.accelerate,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Union[str, Mapping, "EngineSpec"]) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a bare name)."""
+        if isinstance(payload, EngineSpec):
+            return payload
+        if isinstance(payload, str):
+            return cls(name=payload)
+        return cls(
+            name=payload.get("name", "auto"),
+            accelerate=payload.get("accelerate", "auto"),
+            options=dict(payload.get("options", {})),
+        )
+
+
+@dataclass(frozen=True)
+class SelectRequest:
+    """One DisC diversification request, fully specified and portable.
+
+    ``method_options`` are the heuristic's keyword arguments
+    (``prune=True``, ``lazy=True``, ``update_variant="white"``,
+    ``track_closest_black=True``, ...).  ``validate()`` raises
+    ``ValueError`` for bad radii/methods/engines and ``TypeError`` for
+    unknown method keywords — the same exceptions, with the same
+    messages, on empty and non-empty data.
+    """
+
+    radius: float
+    method: str = "greedy"
+    method_options: Mapping = field(default_factory=dict)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "SelectRequest":
+        """Validate everything data-independent; returns a new request."""
+        radius = validate_radius(self.radius)
+        method = self.method.lower()
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; expected one of {sorted(METHODS)}"
+            )
+        unknown = sorted(set(self.method_options) - _method_keywords(method))
+        if unknown:
+            raise TypeError(
+                f"{METHODS[method].__name__}() got unexpected keyword "
+                f"argument(s) {', '.join(map(repr, unknown))}"
+            )
+        return SelectRequest(
+            radius=radius,
+            method=method,
+            method_options=dict(self.method_options),
+            engine=EngineSpec.from_dict(self.engine).validate(),
+        )
+
+    def with_options(self, **defaults) -> "SelectRequest":
+        """A copy whose method options gain ``defaults`` where unset."""
+        merged = {**defaults, **dict(self.method_options)}
+        return replace(self, method_options=merged)
+
+    def empty_result_label(self) -> str:
+        """The algorithm label the heuristic itself would have reported.
+
+        Callers key logs on ``result.algorithm``, so the degenerate
+        empty-input answer must carry the same variant-aware name as a
+        real run of the identical request.
+        """
+        method = self.method.lower()
+        options = self.method_options
+        if method == "greedy":
+            from repro.core.greedy import _variant_name
+
+            update_variant = options.get("update_variant", "grey")
+            if update_variant not in ("grey", "white"):
+                raise ValueError(f"unknown update_variant {update_variant!r}")
+            return _variant_name(
+                update_variant,
+                bool(options.get("lazy", False)),
+                bool(options.get("prune", False)),
+            )
+        if method == "basic" and options.get("prune"):
+            return "Basic-DisC (Pruned)"
+        return METHOD_NAMES[method]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "radius": float(self.radius),
+            "method": self.method,
+            "method_options": dict(self.method_options),
+            "engine": EngineSpec.from_dict(self.engine).to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SelectRequest":
+        if "radius" not in payload:
+            raise ValueError(
+                "select request payload is missing the required 'radius' field"
+            )
+        return cls(
+            radius=payload["radius"],
+            method=payload.get("method", "greedy"),
+            method_options=dict(payload.get("method_options", {})),
+            engine=EngineSpec.from_dict(payload.get("engine", "auto")),
+        )
+
+    @classmethod
+    def coerce(cls, request: Union["SelectRequest", Mapping]) -> "SelectRequest":
+        """Accept a request object or its dict form uniformly."""
+        if isinstance(request, SelectRequest):
+            return request
+        return cls.from_dict(request)

@@ -10,7 +10,7 @@ answer empty datasets instead of crashing.
 import numpy as np
 import pytest
 
-from repro.api import DiscDiversifier, build_index, disc_select
+from repro.api import DiscSession, build_index, disc_select
 from repro.core.extensions import StreamingDisC
 from repro.datasets import Dataset
 from repro.distance import EUCLIDEAN
@@ -191,7 +191,7 @@ class TestRadiusValidation:
         from repro.core import zoom_in, zoom_out
 
         index = BruteForceIndex(small_uniform, EUCLIDEAN)
-        diversifier = DiscDiversifier(small_uniform, EUCLIDEAN, engine="brute")
+        diversifier = DiscSession(small_uniform, EUCLIDEAN, engine="brute")
         previous = diversifier.select(0.2)
         for zoom, direction in ((zoom_in, "in"), (zoom_out, "out")):
             with pytest.raises(ValueError):

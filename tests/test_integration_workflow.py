@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import (
-    DiscDiversifier,
+    DiscSession,
     cameras_dataset,
     clustered_dataset,
     disc_select,
@@ -20,7 +20,7 @@ class TestReadmeQuickstart:
     def test_quickstart_snippet_holds(self):
         """The exact contract the README promises."""
         data = uniform_dataset(n=500, seed=1)
-        diversifier = DiscDiversifier(data)
+        diversifier = DiscSession(data)
         result = diversifier.select(radius=0.1)
         finer = diversifier.zoom_in(0.05)
         assert set(result.selected) <= set(finer.selected)
@@ -38,7 +38,7 @@ class TestInteractiveSession:
 
     def test_session(self):
         data = clustered_dataset(n=800, dim=2, seed=9)
-        diversifier = DiscDiversifier(data)
+        diversifier = DiscSession(data)
 
         overview = diversifier.select(radius=0.15)
         assert diversifier.verify().is_disc_diverse
@@ -54,14 +54,14 @@ class TestInteractiveSession:
         # Back out two steps; continuity beats a fresh computation.
         coarse = diversifier.zoom_out(0.15)
         assert diversifier.verify().is_disc_diverse
-        fresh = DiscDiversifier(data).select(0.15)
+        fresh = DiscSession(data).select(0.15)
         assert jaccard_distance(refined.selected, coarse.selected) <= (
             jaccard_distance(refined.selected, fresh.selected) + 1e-9
         )
 
     def test_local_session(self):
         data = clustered_dataset(n=600, dim=2, seed=4)
-        diversifier = DiscDiversifier(data)
+        diversifier = DiscSession(data)
         overview = diversifier.select(radius=0.2)
         focus = overview.selected[0]
         local = diversifier.local_zoom(focus, 0.05)
@@ -73,7 +73,7 @@ class TestInteractiveSession:
 
     def test_mixed_methods_share_index(self):
         data = clustered_dataset(n=500, dim=2, seed=5)
-        diversifier = DiscDiversifier(data)
+        diversifier = DiscSession(data)
         greedy = diversifier.select(0.15, method="greedy")
         basic = diversifier.select(0.15, method="basic")
         cover = diversifier.select(0.15, method="greedy-c")

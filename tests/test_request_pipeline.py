@@ -1,0 +1,350 @@
+"""The typed request pipeline: parity, JSON round-trips, registry errors.
+
+The redesign's contract (ISSUE 4): selections through the new
+``SelectRequest``/``DiscSession`` pipeline are byte-identical to the
+legacy ``disc_select``/direct-heuristic calls across every engine and
+``accelerate`` gate, requests and results survive a JSON round-trip,
+and the engine registry produces the capability-derived errors that
+replaced the old ``inspect.signature`` hacks.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscSession,
+    EngineSpec,
+    SelectRequest,
+    disc_select,
+    execute_request,
+    uniform_dataset,
+)
+from repro.core import DiscResult, basic_disc, greedy_c, greedy_disc
+from repro.distance import EUCLIDEAN, HAMMING
+from repro.engines import AdjacencyCache, registry
+from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
+from repro.index.base import IndexStats
+from repro.mtree import MTreeIndex
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(n=250, seed=11)
+
+
+RADIUS = 0.15
+
+#: (engine name, accelerate, legacy index factory) — the parity matrix.
+ENGINES = [
+    ("brute", "auto", lambda d: BruteForceIndex(d.points, d.metric)),
+    ("brute", False, lambda d: BruteForceIndex(d.points, d.metric, accelerate=False)),
+    ("grid", "auto", lambda d: GridIndex(d.points, d.metric)),
+    ("grid", False, lambda d: _legacy(GridIndex(d.points, d.metric))),
+    ("kdtree", "auto", lambda d: KDTreeIndex(d.points, d.metric)),
+    ("kdtree", False, lambda d: _legacy(KDTreeIndex(d.points, d.metric))),
+    ("mtree", "auto", lambda d: MTreeIndex(d.points, d.metric)),
+    ("mtree", False, lambda d: _legacy(MTreeIndex(d.points, d.metric))),
+]
+
+
+def _legacy(index):
+    index.accelerate = False
+    return index
+
+
+METHOD_FUNCS = {"basic": basic_disc, "greedy": greedy_disc, "greedy-c": greedy_c}
+
+
+# ----------------------------------------------------------------------
+# Parity: pipeline == legacy, across engines x accelerate x methods
+# ----------------------------------------------------------------------
+class TestPipelineParity:
+    @pytest.mark.parametrize("engine,accelerate,factory", ENGINES)
+    @pytest.mark.parametrize("method", sorted(METHOD_FUNCS))
+    def test_request_pipeline_matches_legacy(
+        self, dataset, engine, accelerate, factory, method
+    ):
+        legacy = METHOD_FUNCS[method](factory(dataset), RADIUS)
+
+        spec = EngineSpec(name=engine, accelerate=accelerate)
+        request = SelectRequest(radius=RADIUS, method=method, engine=spec)
+        via_request = execute_request(dataset, request)
+        assert via_request.selected == legacy.selected
+        assert via_request.algorithm == legacy.algorithm
+
+        via_shim = disc_select(
+            dataset, RADIUS, method=method, engine=engine,
+            engine_options={"accelerate": accelerate},
+        )
+        assert via_shim.selected == legacy.selected
+
+        session = DiscSession(dataset, engine=engine, accelerate=accelerate)
+        via_session = session.select(RADIUS, method=method)
+        assert via_session.selected == legacy.selected
+
+    @pytest.mark.parametrize("engine,accelerate,factory", ENGINES)
+    def test_wire_format_round_trip_preserves_selection(
+        self, dataset, engine, accelerate, factory
+    ):
+        """A request serialised to JSON and replayed gives the same answer."""
+        request = SelectRequest(
+            radius=RADIUS,
+            method="greedy",
+            method_options={"lazy": True},
+            engine=EngineSpec(name=engine, accelerate=accelerate),
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        replayed = execute_request(dataset, SelectRequest.from_dict(wire))
+        direct = execute_request(dataset, request)
+        assert replayed.selected == direct.selected
+
+
+# ----------------------------------------------------------------------
+# JSON round-trips of requests and results
+# ----------------------------------------------------------------------
+class TestJsonRoundTrip:
+    def test_request_round_trip_is_lossless(self):
+        request = SelectRequest(
+            radius=0.2,
+            method="greedy",
+            method_options={"prune": True, "update_variant": "white"},
+            engine=EngineSpec(
+                name="grid", accelerate=False, options={"cell_size": 0.1}
+            ),
+        ).validate()
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert SelectRequest.from_dict(wire).validate() == request
+
+    def test_result_round_trip_with_closest_black_and_meta(self, dataset):
+        result = disc_select(
+            dataset, RADIUS, engine="grid", track_closest_black=True
+        )
+        assert result.closest_black is not None
+        assert result.meta  # greedy records its variant flags
+        wire = json.loads(json.dumps(result.to_dict()))
+        back = DiscResult.from_dict(wire)
+        assert back.selected == [int(i) for i in result.selected]
+        assert back.radius == result.radius
+        assert back.algorithm == result.algorithm
+        assert isinstance(back.closest_black, np.ndarray)
+        np.testing.assert_array_equal(back.closest_black, result.closest_black)
+        assert back.meta == json.loads(json.dumps(result.to_dict()))["meta"]
+        assert back.coloring is None  # documented: not serialised
+
+    def test_result_stats_survive(self, dataset):
+        result = disc_select(dataset, RADIUS, engine="mtree")
+        back = DiscResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.stats.node_accesses == result.stats.node_accesses
+        assert back.node_accesses == result.node_accesses
+        assert isinstance(back.stats, IndexStats)
+
+    def test_payload_missing_radius_is_a_validation_error(self, dataset):
+        """Malformed wire payloads fail with the documented error
+        family, not a bare KeyError."""
+        with pytest.raises(ValueError, match="radius"):
+            execute_request(dataset, {"method": "greedy"})
+
+    def test_empty_input_result_round_trips(self):
+        result = disc_select(
+            np.empty((0, 2)), 0.1, metric=EUCLIDEAN, method="greedy", lazy=True
+        )
+        back = DiscResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.selected == []
+        assert back.algorithm == "Lazy-Grey-Greedy-DisC"
+        assert back.meta["empty_input"] is True
+
+
+# ----------------------------------------------------------------------
+# Registry: capabilities, auto policy, error messages
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert registry.names() == ["brute", "grid", "kdtree", "mtree"]
+
+    def test_unknown_engine_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            registry.get("rtree")
+        message = str(excinfo.value)
+        assert "unknown engine 'rtree'" in message
+        for name in ("auto", "brute", "grid", "kdtree", "mtree"):
+            assert name in message
+
+    def test_unknown_option_names_valid_options(self, dataset):
+        with pytest.raises(ValueError) as excinfo:
+            disc_select(
+                dataset, RADIUS, engine="kdtree", engine_options={"leafsizes": 4}
+            )
+        message = str(excinfo.value)
+        assert "'leafsizes'" in message
+        assert "KDTreeIndex" in message
+        assert "leafsize" in message and "accelerate" in message
+
+    def test_auto_with_impossible_options_lists_per_engine(self):
+        with pytest.raises(ValueError) as excinfo:
+            EngineSpec(name="auto", options={"warp_factor": 9}).validate()
+        message = str(excinfo.value)
+        assert "'warp_factor'" in message
+        assert "valid options" in message
+        assert "MTreeIndex" in message and "GridIndex" in message
+
+    def test_mtree_rejects_accelerate_true_with_reason(self, dataset):
+        with pytest.raises(ValueError, match="M-tree has no CSR engine"):
+            EngineSpec(name="mtree", accelerate=True).validate()
+        with pytest.raises(ValueError, match="M-tree"):
+            disc_select(
+                dataset, RADIUS, engine="mtree",
+                engine_options={"accelerate": True},
+            )
+
+    def test_auto_policy_paper_scale_prefers_fidelity(self):
+        entry, _ = registry.resolve("auto", n=500, metric=EUCLIDEAN)
+        assert entry.name == "mtree"
+
+    def test_auto_policy_scale_prefers_csr_engines(self):
+        entry, options = registry.resolve("auto", n=200_000, metric=EUCLIDEAN)
+        assert entry.name == "kdtree"
+        entry, options = registry.resolve(
+            "auto", n=200_000, metric=EUCLIDEAN, radius=0.05
+        )
+        assert entry.name == "grid"
+        assert options == {"cell_size": 0.05}
+        entry, _ = registry.resolve("auto", n=200_000, metric=HAMMING)
+        assert entry.name == "brute"
+
+    def test_auto_policy_degenerate_radius_is_not_a_seed(self):
+        """r=0 is a valid degenerate radius but cannot seed a cell
+        size, so it must rank like no radius at all (tuning-free
+        engine, no arbitrary default cell_size)."""
+        entry, options = registry.resolve(
+            "auto", n=200_000, metric=EUCLIDEAN, radius=0.0
+        )
+        assert entry.name == "kdtree"
+        assert options == {}
+
+    def test_conflicting_accelerate_values_rejected(self):
+        with pytest.raises(ValueError, match="conflicting accelerate"):
+            EngineSpec(
+                name="grid", accelerate=True, options={"accelerate": False}
+            ).validate()
+        # Agreement and the legacy options-only route both stay valid.
+        spec = EngineSpec(
+            name="grid", accelerate=True, options={"accelerate": True}
+        ).validate()
+        assert spec.accelerate is True
+        spec = EngineSpec(name="grid", options={"accelerate": False}).validate()
+        assert spec.accelerate is False
+
+    def test_auto_policy_accelerate_true_skips_mtree(self):
+        entry, _ = registry.resolve(
+            "auto", accelerate=True, n=100, metric=EUCLIDEAN
+        )
+        assert entry.capabilities.supports_csr
+
+    def test_options_constrain_auto(self):
+        entry, options = registry.resolve(
+            "auto", options={"capacity": 25}, n=100, metric=EUCLIDEAN
+        )
+        assert entry.name == "mtree"
+        assert options == {"capacity": 25}
+
+    def test_explicit_engine_keeps_its_defaults(self):
+        """Radius seeding is an auto-policy courtesy, never an override
+        of an explicitly requested engine's options."""
+        entry, options = registry.resolve("grid", n=100, metric=EUCLIDEAN, radius=0.2)
+        assert options == {}
+
+
+# ----------------------------------------------------------------------
+# Session adjacency cache (LRU)
+# ----------------------------------------------------------------------
+class TestSessionCache:
+    def test_repeated_radius_hits_cache(self, dataset):
+        session = DiscSession(dataset, engine="grid")
+        session.select(0.1)
+        built = session.cache_info()["misses"]
+        session.select(0.1)
+        info = session.cache_info()
+        assert info["misses"] == built  # no rebuild
+        assert info["hits"] > 0
+        assert info["entries"] == 1
+
+    def test_lru_evicts_oldest_radius(self, dataset):
+        session = DiscSession(dataset, engine="grid", cache_radii=2)
+        session.select_many([0.1, 0.15, 0.2])
+        info = session.cache_info()
+        assert info["entries"] == 2
+        assert info["evictions"] >= 1
+        assert 0.1 not in info["radii"]  # oldest radius evicted
+        # Evicted radius rebuilds and still selects identically.
+        fresh = DiscSession(dataset, engine="grid")
+        assert session.select(0.1).selected == fresh.select(0.1).selected
+
+    def test_cache_respects_byte_budget(self, dataset):
+        index = GridIndex(dataset.points, dataset.metric)
+        index.set_adjacency_cache(AdjacencyCache(max_bytes=1))
+        first = index.csr_neighborhood(0.1)
+        assert first.nbytes > 1
+        # Over budget, but the newest entry survives (never evict the
+        # adjacency serving the current request).
+        assert index.adjacency_cache.info()["entries"] == 1
+        index.csr_neighborhood(0.2)
+        assert index.adjacency_cache.info()["entries"] == 1
+        assert 0.2 in index.adjacency_cache
+
+    def test_session_cross_engine_request_rejected(self, dataset):
+        session = DiscSession(dataset, engine="grid")
+        with pytest.raises(ValueError, match="session"):
+            session.execute(
+                SelectRequest(radius=0.1, engine=EngineSpec(name="mtree"))
+            )
+        # auto and the session's own engine are both fine.
+        session.execute(SelectRequest(radius=0.1))
+        session.execute(SelectRequest(radius=0.1, engine=EngineSpec(name="grid")))
+
+    def test_session_rejects_conflicting_accelerate_and_options(self, dataset):
+        """A session must not silently run a request configured for a
+        different substrate (accelerate gate or engine options)."""
+        session = DiscSession(dataset, engine="grid", cell_size=0.5)
+        with pytest.raises(ValueError, match="accelerate"):
+            session.execute(
+                SelectRequest(
+                    radius=0.1, engine=EngineSpec(name="grid", accelerate=False)
+                )
+            )
+        with pytest.raises(ValueError, match="options"):
+            session.execute(
+                SelectRequest(
+                    radius=0.1,
+                    engine=EngineSpec(name="grid", options={"cell_size": 0.01}),
+                )
+            )
+        # Matching configuration is accepted.
+        session.execute(
+            SelectRequest(
+                radius=0.1,
+                engine=EngineSpec(name="grid", options={"cell_size": 0.5}),
+            )
+        )
+        legacy = DiscSession(dataset, engine="grid", accelerate=False)
+        legacy.execute(
+            SelectRequest(radius=0.1, engine=EngineSpec(name="grid", accelerate=False))
+        )
+
+
+# ----------------------------------------------------------------------
+# Validation parity between empty and non-empty data
+# ----------------------------------------------------------------------
+class TestValidationParity:
+    @pytest.mark.parametrize("points", [np.empty((0, 2)), None])
+    def test_same_errors_on_empty_and_real_data(self, dataset, points):
+        data = dataset if points is None else points
+        with pytest.raises(ValueError, match="unknown engine"):
+            disc_select(data, 0.1, metric=EUCLIDEAN, engine="bogus")
+        with pytest.raises(TypeError, match="quantum_flag"):
+            disc_select(data, 0.1, metric=EUCLIDEAN, quantum_flag=True)
+        with pytest.raises(ValueError, match="accelerate"):
+            disc_select(
+                data, 0.1, metric=EUCLIDEAN, engine_options={"accelerate": 1}
+            )
