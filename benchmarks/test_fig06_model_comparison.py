@@ -23,10 +23,16 @@ TARGET_K = 15
 
 
 def test_fig06(benchmark, suite, register):
+    # Figure 6 compares selections only (no access counts), so the CSR
+    # engine is sound — and fast enough for REPRO_SCALE=paper.
     dataset = suite["Clustered"].dataset
-    radius = radius_for_target_size(dataset, TARGET_K, low=0.05, high=0.6, tolerance=1)
+    radius = radius_for_target_size(
+        dataset, TARGET_K, low=0.05, high=0.6, tolerance=1, engine="csr"
+    )
     table = benchmark.pedantic(
-        lambda: model_comparison(dataset, radius), rounds=1, iterations=1
+        lambda: model_comparison(dataset, radius, engine="csr"),
+        rounds=1,
+        iterations=1,
     )
 
     headers = ["method", "k", "fMin", "fSum", "coverage", "repr. error"]

@@ -1,0 +1,39 @@
+"""Serving-layer load benchmark: multi-client zoom trace over HTTP.
+
+Regenerates ``results/BENCH_service.json`` — the record behind the
+serving claims: shared-cache hit rate, request coalescing (computations
+< requests), byte-parity with direct ``disc_select`` calls, and the
+throughput win over the stateless no-cache baseline.  Runs in the
+``bench`` lane (the CI fast lane smokes the same harness via
+``python -m repro bench --service --quick``).
+"""
+
+from repro.service.load import (
+    render_service_table,
+    run_service_bench,
+    write_service_json,
+)
+
+
+def test_service_load_records_win(register):
+    payload = run_service_bench()
+
+    # Every served selection matched a direct disc_select call.
+    assert payload["parity"] is True
+    shared = payload["phases"]["shared"]
+    no_cache = payload["phases"]["no_cache"]
+    assert shared["requests"] == no_cache["requests"] == payload["requests_per_phase"]
+    # Coalescing: strictly fewer computations than requests arrived.
+    assert payload["coalesced"] is True
+    assert shared["computations"] < shared["requests"]
+    # The stateless baseline computes every request.
+    assert no_cache["computations"] == no_cache["requests"]
+    # Shared-cache effectiveness on a repeated-radius zoom trace.
+    assert payload["cache_hit_rate"] >= 0.5
+    assert shared["cache"]["builds"] == payload["unique_radii"]
+    # The acceptance bar for the serving layer.
+    assert payload["speedup"] >= 1.5
+
+    register("BENCH_service", render_service_table(payload))
+    path = write_service_json(payload)
+    print(f"[saved to {path}]")

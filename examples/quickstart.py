@@ -44,6 +44,15 @@ def main() -> None:
           f"({overlap} shared with the previous view)")
     print(f"verification: {session.verify()}")
 
+    # 5. The same loop as a multi-user HTTP service (shared dataset
+    #    registry, cross-session adjacency cache, request coalescing):
+    #
+    #        python -m repro serve --datasets uniform,cities
+    #        curl -s localhost:8722/select -d \
+    #            '{"dataset": "uniform", "radius": 0.1}'
+    #
+    #    See repro.service and `python -m repro bench --service`.
+
 
 if __name__ == "__main__":
     main()

@@ -9,6 +9,9 @@ Public surface:
 * :mod:`repro.requests` — ``SelectRequest`` / ``EngineSpec`` request
   objects with JSON round-trip.
 * :mod:`repro.engines` — engine capability registry + adjacency LRU.
+* :mod:`repro.service` — the async multi-user serving layer (``repro
+  serve``): shared dataset registry, process-wide cross-session
+  adjacency cache, request coalescing.
 * :mod:`repro.core` — the DisC heuristics, zooming, verification, bounds.
 * :mod:`repro.mtree` — the M-tree substrate with node-access accounting.
 * :mod:`repro.index` — brute-force / grid / KD-tree neighbor indexes.

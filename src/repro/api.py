@@ -239,6 +239,14 @@ class DiscSession:
         materialised at once (default 8; the cache is also installed
         for engines that never materialise adjacency, where it is
         simply never filled).
+    adjacency_cache:
+        An :class:`~repro.engines.cache.AdjacencyCache` to install
+        instead of the session-private LRU — in particular a
+        :class:`~repro.service.cache.SharedCacheView`, which lets many
+        sessions over the same dataset share one process-wide
+        adjacency store (the multi-user serving pattern of
+        :mod:`repro.service`).  When given, ``cache_radii`` is
+        ignored; the cache's own budgets apply.
     engine_options:
         Engine constructor options; ``accelerate`` is extracted and
         applied as the CSR gate.
@@ -251,6 +259,7 @@ class DiscSession:
         *,
         engine: str = "auto",
         cache_radii: int = 8,
+        adjacency_cache: Optional[AdjacencyCache] = None,
         **engine_options,
     ):
         self.points, self.metric = resolve_data(data, metric)
@@ -260,7 +269,9 @@ class DiscSession:
         )
         self.index = entry.create(self.points, self.metric, accelerate, options)
         self.engine = entry.name
-        self.index.set_adjacency_cache(AdjacencyCache(max_entries=cache_radii))
+        if adjacency_cache is None:
+            adjacency_cache = AdjacencyCache(max_entries=cache_radii)
+        self.index.set_adjacency_cache(adjacency_cache)
         self.last_result: Optional[DiscResult] = None
 
     # ------------------------------------------------------------------
@@ -428,6 +439,7 @@ class DiscDiversifier(DiscSession):
         *,
         engine: str = "auto",
         cache_radii: int = 8,
+        adjacency_cache: Optional[AdjacencyCache] = None,
         **engine_options,
     ):
         warnings.warn(
@@ -437,5 +449,10 @@ class DiscDiversifier(DiscSession):
             stacklevel=2,
         )
         super().__init__(
-            data, metric, engine=engine, cache_radii=cache_radii, **engine_options
+            data,
+            metric,
+            engine=engine,
+            cache_radii=cache_radii,
+            adjacency_cache=adjacency_cache,
+            **engine_options,
         )

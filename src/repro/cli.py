@@ -18,7 +18,14 @@ Commands
     Wall-clock benchmark of index build + Greedy-DisC selection across
     dataset families, cardinalities and engines; emits
     ``results/BENCH_perf.json``.  ``--quick`` restricts to n=2000 for a
-    seconds-scale smoke run.
+    seconds-scale smoke run.  ``--session`` benchmarks the session
+    adjacency cache; ``--service`` replays a multi-client zoom trace
+    against the HTTP serving layer (emits ``results/BENCH_service.json``).
+``serve``
+    The asyncio JSON-over-HTTP serving layer (:mod:`repro.service`):
+    shared dataset registry, process-wide adjacency cache, request
+    coalescing.  ``--port 0`` binds an ephemeral port and prints it;
+    SIGINT/SIGTERM shut down cleanly (exit 0).
 
 Performance & engines
 ---------------------
@@ -161,6 +168,64 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep (repeated-radius zoom sequence, session vs one-shot; "
         "emits results/BENCH_session.json)",
     )
+    p_bench.add_argument(
+        "--service", action="store_true",
+        help="serving-layer load benchmark: multi-client zoom trace "
+        "over HTTP, shared cache + coalescing vs stateless baseline "
+        "(emits results/BENCH_service.json)",
+    )
+    p_bench.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients for --service (default 4)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="asyncio JSON-over-HTTP serving layer (repro.service)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8722,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    p_serve.add_argument(
+        "--datasets", default="uniform,clustered,cities,cameras",
+        help="comma-separated built-in datasets to register (loaded "
+        "lazily on first request)",
+    )
+    p_serve.add_argument(
+        "--n", type=int, default=None,
+        help="cardinality for the synthetic datasets (default per dataset)",
+    )
+    p_serve.add_argument("--seed", type=int, default=42)
+    add_engine(p_serve)
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="selection thread-pool size (the compute admission bound)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="queued+running computation cap before 503 (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--cache-entries", type=int, default=64,
+        help="shared adjacency cache entry budget",
+    )
+    p_serve.add_argument(
+        "--cache-mb", type=float, default=None,
+        help="shared adjacency cache byte budget in MiB (default unbounded)",
+    )
+    p_serve.add_argument(
+        "--ttl", type=float, default=None,
+        help="seconds a cached adjacency stays valid (default forever)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared adjacency cache (stateless baseline)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable single-flighting of identical concurrent requests",
+    )
     return parser
 
 
@@ -280,6 +345,32 @@ def _cmd_bench(args) -> int:
         write_session_json,
     )
 
+    if args.session and args.service:
+        raise SystemExit("--session and --service are mutually exclusive")
+    if args.service:
+        from repro.service.load import (
+            render_service_table,
+            run_service_bench,
+            write_service_json,
+        )
+
+        workloads = args.workload or ["clustered"]
+        if len(workloads) > 1:
+            raise SystemExit("bench --service takes a single --workload")
+        payload = run_service_bench(
+            workload=workloads[0], quick=args.quick, clients=args.clients
+        )
+        print(render_service_table(payload))
+        out = args.out
+        if out is None and (args.quick or args.workload):
+            # Partial runs must not clobber the committed full baseline.
+            from repro.experiments import results_dir
+
+            out = os.path.join(results_dir(), "BENCH_service_quick.json")
+        path = write_service_json(payload, out)
+        print(f"[saved to {path}]")
+        return 0
+
     if args.session:
         workloads = args.workload or ["clustered"]
         if len(workloads) > 1:
@@ -309,6 +400,77 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import (
+        DatasetRegistry,
+        DiscServer,
+        ServiceState,
+        SharedCacheManager,
+    )
+
+    names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--datasets must name at least one dataset")
+    registry = DatasetRegistry()
+    for name in names:
+        try:
+            registry.register_builtin(name, n=args.n, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    cache = None
+    if not args.no_cache:
+        cache = SharedCacheManager(
+            max_entries=args.cache_entries,
+            max_bytes=(
+                None if args.cache_mb is None else int(args.cache_mb * 2**20)
+            ),
+            ttl_s=args.ttl,
+        )
+    state = ServiceState(
+        registry,
+        cache=cache,
+        engine=args.engine,
+        workers=args.workers,
+        max_inflight=args.max_inflight or None,
+        coalesce=not args.no_coalesce,
+    )
+
+    async def _main() -> None:
+        server = DiscServer(state, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"[serve] listening on http://{args.host}:{server.port} "
+            f"(datasets: {', '.join(registry.names())}; engine={args.engine}; "
+            f"workers={args.workers}; cache="
+            f"{'off' if cache is None else 'shared'})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loop; KeyboardInterrupt still works
+        try:
+            await stop.wait()
+        except KeyboardInterrupt:  # pragma: no cover - signal-handler path
+            pass
+        print("[serve] shutting down", flush=True)
+        await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - windows fallback
+        pass
+    finally:
+        state.close()
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "select": _cmd_select,
@@ -316,6 +478,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "table3": _cmd_table3,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

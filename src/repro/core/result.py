@@ -97,12 +97,22 @@ class DiscResult:
         process; a result rebuilt via :meth:`from_dict` carries
         ``coloring=None`` (zooming recomputes what it needs from
         ``selected`` + ``closest_black``).
+
+        The payload is *canonical*: selection ids are Python ints no
+        matter which dtype the producing engine used (the CSR paths
+        select int32 ids, the per-query paths int64 — and the platform
+        default integer differs across OSes), and ``stats.extra`` /
+        ``meta`` are stripped of NumPy scalars.  Serialising the same
+        logical result therefore yields the same bytes everywhere, and
+        ``from_dict(r.to_dict()).to_dict() == r.to_dict()`` exactly —
+        the service layer relies on this to coalesce and cache
+        responses.
         """
         return {
             "selected": [int(i) for i in self.selected],
             "radius": float(self.radius),
             "algorithm": self.algorithm,
-            "stats": self.stats.to_dict(),
+            "stats": _plain(self.stats.to_dict()),
             "closest_black": (
                 None
                 if self.closest_black is None

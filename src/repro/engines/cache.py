@@ -18,10 +18,17 @@ entry sizes come from the ``nbytes`` hook on
 :class:`~repro.graph.blocked.BlockedNeighborhood`.  The most recently
 inserted entry is never evicted, so a single adjacency larger than the
 byte budget still serves its own request.
+
+All mutating operations (and the counter reads of :meth:`info`) take an
+internal re-entrant lock, so a cache may be shared by concurrent
+sessions: the serving layer (:mod:`repro.service`) runs selections on a
+thread pool and its ``/stats`` endpoint snapshots counters while
+requests are in flight.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -56,6 +63,7 @@ class AdjacencyCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[float, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -63,58 +71,91 @@ class AdjacencyCache:
     # ------------------------------------------------------------------
     def get(self, key: float):
         """The cached adjacency for ``key``, or None (counts hit/miss)."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: float):
+        """Like :meth:`get`, but promises no follow-up :meth:`put`.
+
+        Identical for the private LRU; the shared serving cache
+        overrides it to answer without claiming a single-flight build
+        slot (``csr_neighborhood(..., build=False)`` goes through
+        here).
+        """
+        return self.get(key)
 
     def put(self, key: float, value) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries past budget."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        self._evict()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._evict()
+
+    def abandon(self, key: float) -> None:
+        """A miss that will never be followed by :meth:`put` (no-op here).
+
+        The shared serving cache single-flights builds: a miss claims a
+        build slot that concurrent readers wait on, so a build that
+        produces nothing (or raises) must release it.  The private LRU
+        has no waiters; the hook exists so ``csr_neighborhood`` can
+        treat both caches uniformly.
+        """
 
     def _evict(self) -> None:
-        while len(self._entries) > 1 and (
-            (self.max_entries is not None and len(self._entries) > self.max_entries)
-            or (self.max_bytes is not None and self.total_bytes > self.max_bytes)
-        ):
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            while len(self._entries) > 1 and (
+                (self.max_entries is not None and len(self._entries) > self.max_entries)
+                or (self.max_bytes is not None and self.total_bytes > self.max_bytes)
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def adopt(self, other: "AdjacencyCache") -> None:
         """Take over another cache's entries (oldest first), then apply
         this cache's budgets.  Used when a session installs a bounded
         cache on an index that may already hold adjacencies."""
-        for key, value in other._entries.items():
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-        self._evict()
+        with self._lock, other._lock:
+            for key, value in other._entries.items():
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+            self._evict()
 
     # ------------------------------------------------------------------
     @property
     def total_bytes(self) -> int:
-        return sum(_entry_bytes(v) for v in self._entries.values())
+        with self._lock:
+            return sum(_entry_bytes(v) for v in self._entries.values())
 
     def info(self) -> dict:
         """Counters + footprint snapshot (plain JSON-serialisable dict)."""
-        return {
-            "entries": len(self._entries),
-            "radii": [float(k) for k in self._entries],
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "bytes": self.total_bytes,
-            "max_entries": self.max_entries,
-            "max_bytes": self.max_bytes,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "radii": [float(k) for k in self._entries],
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bytes": self.total_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
+
+    def cache_info(self) -> dict:
+        """Alias of :meth:`info` matching the session/service vocabulary
+        (``DiscSession.cache_info`` and the ``/stats`` endpoint both
+        serialise this dict verbatim)."""
+        return self.info()
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

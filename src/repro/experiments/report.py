@@ -58,8 +58,112 @@ def collect_results(directory: Optional[str] = None) -> Dict[str, str]:
     return out
 
 
+#: Hand-written architecture sections appended after the generated
+#: blocks.  They live *here* (not only in the committed REPORT.md)
+#: because ``write_report`` regenerates the whole file at the end of
+#: every benchmark run — prose kept only in the output would be lost on
+#: the next regeneration.
+_EPILOGUE = """\
+## Public API — the typed request pipeline (PR 4)
+
+The public surface is a typed, serialisable request pipeline backed by
+an engine capability registry:
+
+* **`SelectRequest` / `EngineSpec`** (`repro.requests`) describe a
+  diversification request — radius, method + method options, engine
+  name + `accelerate` gate + engine options.  `validate()` runs once,
+  up front (bad radii/methods/engines/options fail identically on empty
+  and non-empty data), and both objects round-trip through JSON
+  (`to_dict`/`from_dict`).  `DiscResult` has the matching pair on the
+  response side (`coloring` stays process-local by design; selection
+  ids are canonicalised to plain ints so the wire bytes are
+  platform-independent).
+* **`execute_request(data, request)`** is the one-shot service entry
+  point; `disc_select` / `build_index` are thin shims over it.
+* **Engine registry** (`repro.engines`): engines self-register with an
+  `EngineCapabilities` descriptor (metric family, CSR/blocked support,
+  cost fidelity).  `engine="auto"` is a policy over capabilities and
+  workload shape: the M-tree (paper fidelity) up to n=10k, a
+  CSR-capable engine beyond it — the grid seeded with the request
+  radius when one is known, the KD-tree otherwise, brute force for
+  non-coordinate metrics.  Options constrain the policy
+  (`engine="auto", capacity=10` still lands on the M-tree).
+* **`DiscSession`** (né `DiscDiversifier`, which remains as a
+  deprecated shim) is the interactive-mode façade: index once, then
+  `select` / `select_many` / zoom / `compare_methods`.  Sessions
+  install a radius-keyed LRU adjacency cache (`cache_radii` budget) so
+  repeated radii — the zoom back-and-forth pattern of the paper's
+  Section 3 — reuse the materialised CSR/blocked adjacency; pass
+  `adjacency_cache=` to attach a shared cross-session cache instead
+  (see Serving below).
+
+Session cache win on a repeated-radius zoom sequence (`python -m repro
+bench --session`, recorded in `results/BENCH_session.json`): 1.9x vs
+one-shot `disc_select` at n=20000 (3 adjacency builds instead of 8).
+
+Migration: `DiscDiversifier` → `DiscSession` (same constructor and
+methods; the old name warns).  `build_index` / `disc_select` keep their
+signatures unchanged.  The API surface is pinned by
+`tests/test_api_surface.py`; CI runs the shim-deprecation lane with
+warnings-as-errors.
+
+## Serving — the async multi-user layer (PR 5)
+
+`repro serve` hosts the pipeline as an asyncio JSON-over-HTTP service
+(`repro.service`, stdlib only) for the paper's interactive workload at
+multi-user scale: many users zooming over shared datasets, radii
+repeating constantly.
+
+* **Endpoints** — `POST /select`, `POST /zoom`, `GET /datasets`,
+  `GET /healthz`, `GET /stats`.  A select body is `{"dataset": name,
+  "radius": r, "method": "greedy", "method_options": {...}, "engine":
+  {"name": "grid", "options": {"cell_size": 0.05}}}` (request fields
+  may also nest under `"request"`); the response carries the request
+  echo plus a serialised `DiscResult` under `"result"`:
+  `{"dataset": ..., "request": {...}, "result": {"selected": [...],
+  "radius": ..., "algorithm": ..., "stats": {...}, "closest_black":
+  ..., "meta": {...}}, "elapsed_s": ..., "coalesced": false}`.
+  A zoom body adds `"to": r2` (and optionally `"greedy"` / `"variant"`)
+  and returns both the base and the adapted result.  Errors: unknown
+  dataset → 404, validation → 400, overload → 503.
+* **Shared dataset registry** — datasets load once per process and are
+  handed out as immutable handles (`DatasetRegistry`); `/select` on an
+  unknown name is a 404, never an implicit load of arbitrary data.
+* **Cross-session cache** — `SharedCacheManager` is the process-wide
+  evolution of the session LRU, keyed `(dataset_id, metric,
+  radius_bucket)` (radii quantised to 12 significant digits; the key is
+  deliberately engine-agnostic because `N_r` is a property of the data,
+  and engine parity is pinned by tests).  Budgets: entry count + bytes
+  (LRU), optional TTL.  Concurrent misses of one key *single-flight*:
+  the first thread builds, the rest block briefly and reuse
+  (`builds == unique radii` under any concurrency).  Sessions attach
+  via `DiscSession(..., adjacency_cache=manager.view(dataset_id,
+  metric))`.
+* **Request coalescing** — identical concurrent requests (same
+  canonical dataset + validated request JSON) share one computation;
+  followers are counted in `/stats` `coalesced_requests` and marked
+  `"coalesced": true`.  Selections run on a bounded thread pool
+  (`--workers`), with admission control returning 503 past
+  `--max-inflight`.
+* **Parity** — every served selection is byte-identical to a direct
+  `disc_select` call (pinned by `tests/test_service.py` and re-checked
+  inside the load harness before anything is reported).
+
+Load evidence (`python -m repro bench --service`, recorded in
+`results/BENCH_service.json`): a 4-client repeated-radius zoom trace
+(8 steps, 3 unique radii, n=20000 clustered) against the stateless
+no-cache baseline — see the `BENCH_service` block above for the
+committed numbers (shared-cache hit rate >= 50%, computations <
+requests, throughput >= 1.5x).  CI smoke: `tests/test_service.py`
+starts `repro serve` as a subprocess, replays a 2-client trace,
+asserts 200s + cache hits + clean SIGTERM shutdown, and `repro bench
+--service --quick` runs in the fast lane.
+"""
+
+
 def render_report(results: Optional[Dict[str, str]] = None) -> str:
-    """Render all collected results as one markdown document."""
+    """Render all collected results as one markdown document, ending
+    with the hand-maintained architecture epilogue."""
     if results is None:
         results = collect_results()
     lines = [
@@ -88,6 +192,7 @@ def render_report(results: Optional[Dict[str, str]] = None) -> str:
             lines.append(remaining[stem].rstrip("\n"))
             lines.append("```")
             lines.append("")
+    lines.append(_EPILOGUE)
     return "\n".join(lines)
 
 

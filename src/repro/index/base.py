@@ -230,17 +230,28 @@ class NeighborIndex(abc.ABC):
         if self.accelerate is False:
             return None
         key = float(radius)
+        if not build:
+            return self._csr_cache.peek(key)
         csr = self._csr_cache.get(key)
-        if csr is None and build:
-            csr = self._build_csr(key)
+        if csr is None:
+            try:
+                csr = self._build_csr(key)
+            except BaseException:
+                # A claimed-but-failed build must release the slot, or
+                # coalesced readers of a shared cache wait out their
+                # timeout for a value that will never arrive.
+                self._csr_cache.abandon(key)
+                raise
             if csr is not None:
                 self._csr_cache.put(key, csr)
-            elif self.accelerate is True:
-                raise RuntimeError(
-                    f"{type(self).__name__} cannot materialise a CSR "
-                    "neighborhood but accelerate=True insists on it; use "
-                    'accelerate="auto" to allow the per-query fallback'
-                )
+            else:
+                self._csr_cache.abandon(key)
+                if self.accelerate is True:
+                    raise RuntimeError(
+                        f"{type(self).__name__} cannot materialise a CSR "
+                        "neighborhood but accelerate=True insists on it; use "
+                        'accelerate="auto" to allow the per-query fallback'
+                    )
         return csr
 
     def _build_csr(self, radius: float):

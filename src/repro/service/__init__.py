@@ -1,0 +1,48 @@
+"""Multi-user serving layer: shared datasets, shared cache, async HTTP.
+
+The paper frames DisC diversity as an *interactive* operation — users
+tune the radius ``r`` by zooming in and out of a result set — which
+makes serving it an online, repeated-radius, shared-dataset workload.
+This package is that serving layer:
+
+* :class:`~repro.service.registry.DatasetRegistry` — named datasets
+  loaded once per process, handed out as immutable handles;
+* :class:`~repro.service.cache.SharedCacheManager` /
+  :class:`~repro.service.cache.SharedCacheView` — the process-wide,
+  thread-safe adjacency cache keyed ``(dataset, metric, radius
+  bucket)`` that sessions and serving indexes attach to instead of
+  owning private LRUs;
+* :class:`~repro.service.state.ServiceState` — datasets + indexes +
+  cache + a bounded thread pool behind one object;
+* :class:`~repro.service.server.DiscServer` — the stdlib asyncio
+  JSON-over-HTTP front end (``repro serve``) with single-flight
+  request coalescing;
+* :class:`~repro.service.client.ServiceClient` — a keep-alive stdlib
+  client;
+* :mod:`repro.service.load` — the multi-client zoom-trace load
+  harness behind ``repro bench --service`` and
+  ``results/BENCH_service.json``.
+"""
+
+from repro.service.cache import SharedCacheManager, SharedCacheView, radius_bucket
+from repro.service.client import ServiceClient, ServiceError, wait_until_healthy
+from repro.service.registry import BUILTIN_DATASETS, DatasetHandle, DatasetRegistry
+from repro.service.server import DiscServer, RunningService, start_in_thread
+from repro.service.state import ServiceState, canonical_key
+
+__all__ = [
+    "BUILTIN_DATASETS",
+    "DatasetHandle",
+    "DatasetRegistry",
+    "DiscServer",
+    "RunningService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceState",
+    "SharedCacheManager",
+    "SharedCacheView",
+    "canonical_key",
+    "radius_bucket",
+    "start_in_thread",
+    "wait_until_healthy",
+]

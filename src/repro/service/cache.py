@@ -1,0 +1,436 @@
+"""Process-wide shared adjacency cache for the serving layer.
+
+The per-session :class:`~repro.engines.cache.AdjacencyCache` answers
+"this user zoomed back to a radius they already looked at".  A server
+answers a stronger question: *some other user* already looked at this
+radius on this dataset — the adjacency they paid for should serve
+everyone.  :class:`SharedCacheManager` is that evolution: one
+process-wide, thread-safe store keyed by
+
+    ``(dataset_id, metric_name, radius_bucket)``
+
+deliberately **engine-agnostic**: the fixed-radius neighborhood
+``N_r`` is a property of (points, metric, radius), not of the index
+that materialised it, and the engine parity suites pin selections to
+be byte-identical across the CSR/blocked producers — so a grid-built
+adjacency can serve a KD-tree session.  Radii are bucketed to 12
+significant digits (:func:`radius_bucket`) so a radius that round-trips
+through JSON, or is recomputed as ``base * multiplier`` with different
+association, still lands on the same entry.
+
+Sessions and serving indexes attach through :class:`SharedCacheView`,
+an :class:`~repro.engines.cache.AdjacencyCache`-compatible adapter that
+namespaces one ``(dataset, metric)`` pair — so
+:meth:`repro.index.base.NeighborIndex.set_adjacency_cache` and every
+``csr_neighborhood`` call path work unchanged.
+
+Build coalescing
+----------------
+A cache miss makes the caller build the adjacency and ``put`` it back.
+With N concurrent sessions that is N identical builds.  The manager
+single-flights them: the first missing thread becomes the *builder*;
+later threads block (up to ``build_wait_s``) on the builder's event and
+receive the finished adjacency as a hit (counted in
+``coalesced_builds``).  If a builder dies without ``put`` (e.g. its
+engine cannot materialise CSR), waiters time out and build themselves —
+a liveness fallback, not the expected path.
+
+Budgets and TTL
+---------------
+Eviction is LRU over an entry budget and a byte budget (entry sizes
+from the ``nbytes`` hook, same as the session cache); the most recently
+inserted entry is never evicted.  ``ttl_s`` ages entries out so a
+long-lived server eventually drops radii nobody asks for anymore;
+expiry is checked on access (counted in ``expirations``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.engines.cache import AdjacencyCache
+
+__all__ = ["SharedCacheManager", "SharedCacheView", "radius_bucket"]
+
+#: Composite cache key: (dataset_id, metric_name, radius_bucket).
+CacheKey = Tuple[str, str, float]
+
+
+def radius_bucket(radius: float) -> float:
+    """Quantise a radius to 12 significant digits.
+
+    Wire round-trips and float re-association (``0.1 * 3`` vs ``0.3``)
+    perturb the last couple of ULPs; 12 significant digits absorbs that
+    while keeping genuinely different radii — anything a user could
+    tell apart — in distinct buckets.
+    """
+    return float(f"{float(radius):.12g}")
+
+
+def _entry_bytes(value) -> int:
+    return int(getattr(value, "nbytes", 0))
+
+
+@dataclass
+class _Entry:
+    value: object
+    expires_at: Optional[float]  # time.monotonic() deadline, None = never
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+class _PendingBuild:
+    """One in-flight adjacency build (the single-flight token)."""
+
+    __slots__ = ("owner", "event")
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self.event = threading.Event()
+
+
+class SharedCacheManager:
+    """Thread-safe, budgeted, TTL'd adjacency store shared by sessions.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU entry budget across all datasets (None = unbounded).
+    max_bytes:
+        Byte budget across all datasets (None = unbounded); entry sizes
+        come from each adjacency's ``nbytes``.
+    ttl_s:
+        Seconds an entry stays valid after insertion (None = forever).
+    build_wait_s:
+        How long a missing thread waits for a concurrent builder of the
+        same key before giving up and building itself.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 64,
+        max_bytes: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        build_wait_s: float = 60.0,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_s = ttl_s
+        self.build_wait_s = build_wait_s
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._pending: Dict[CacheKey, _PendingBuild] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.builds = 0
+        self.coalesced_builds = 0
+
+    # ------------------------------------------------------------------
+    def view(self, dataset_id: str, metric) -> "SharedCacheView":
+        """An adapter scoping this manager to one (dataset, metric)."""
+        return SharedCacheView(self, dataset_id, metric)
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey):
+        """The cached adjacency, or None — in which case the caller owns
+        the build and must :meth:`put` (or :meth:`abandon`) the key.
+
+        If another thread is already building this key, blocks up to
+        ``build_wait_s`` for its result instead of duplicating the
+        build.
+        """
+        deadline = time.monotonic() + self.build_wait_s
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    if entry.expired(time.monotonic()):
+                        del self._entries[key]
+                        self.expirations += 1
+                    else:
+                        self._entries.move_to_end(key)
+                        self.hits += 1
+                        return entry.value
+                pending = self._pending.get(key)
+                if pending is None:
+                    self._pending[key] = _PendingBuild(threading.get_ident())
+                    self.misses += 1
+                    return None
+                if pending.owner == threading.get_ident():
+                    # Re-entrant miss (builder probing again): keep
+                    # ownership, let it proceed with its build.
+                    self.misses += 1
+                    return None
+                event = pending.event
+            # Someone else is building: wait outside the lock.
+            if not event.wait(timeout=max(0.0, deadline - time.monotonic())):
+                # Builder stalled or abandoned without notice — take
+                # over ownership rather than deadlocking.
+                with self._lock:
+                    if self._pending.get(key) is pending:
+                        self._pending[key] = _PendingBuild(threading.get_ident())
+                        self.misses += 1
+                        return None
+                continue  # ownership changed hands; re-evaluate
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None and not entry.expired(time.monotonic()):
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self.coalesced_builds += 1
+                    return entry.value
+            # Built value already evicted/expired (tiny budget): build.
+            with self._lock:
+                if key not in self._pending:
+                    self._pending[key] = _PendingBuild(threading.get_ident())
+                    self.misses += 1
+                    return None
+            # Another thread re-registered first; wait for it in turn.
+
+    def peek(self, key: CacheKey):
+        """The cached adjacency or None — no build slot is claimed and
+        no waiting happens, so callers must not follow with ``put``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.expired(time.monotonic()):
+                    del self._entries[key]
+                    self.expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry.value
+            self.misses += 1
+            return None
+
+    def put(self, key: CacheKey, value) -> None:
+        """Insert a built adjacency; wakes any coalesced waiters."""
+        now = time.monotonic()
+        expires = None if self.ttl_s is None else now + self.ttl_s
+        with self._lock:
+            self._entries[key] = _Entry(value, expires)
+            self._entries.move_to_end(key)
+            self.builds += 1
+            pending = self._pending.pop(key, None)
+            self._evict()
+        if pending is not None:
+            pending.event.set()
+
+    def abandon(self, key: CacheKey) -> None:
+        """Give up a build slot claimed by a miss (nothing to cache).
+
+        Engines that cannot materialise an adjacency (``_build_csr``
+        returning None) never call :meth:`put`; releasing the pending
+        token here lets waiters proceed immediately instead of riding
+        out ``build_wait_s``.
+        """
+        with self._lock:
+            pending = self._pending.pop(key, None)
+        if pending is not None:
+            pending.event.set()
+
+    def _evict(self) -> None:
+        with self._lock:
+            while len(self._entries) > 1 and (
+                (
+                    self.max_entries is not None
+                    and len(self._entries) > self.max_entries
+                )
+                or (self.max_bytes is not None and self.total_bytes > self.max_bytes)
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(_entry_bytes(e.value) for e in self._entries.values())
+
+    def cache_info(self) -> dict:
+        """Counters + per-key footprint (plain JSON-serialisable dict)."""
+        with self._lock:
+            now = time.monotonic()
+            return {
+                "entries": len(self._entries),
+                "keys": [
+                    {
+                        "dataset": dataset,
+                        "metric": metric,
+                        "radius": bucket,
+                        "bytes": _entry_bytes(entry.value),
+                        "ttl_remaining_s": (
+                            None
+                            if entry.expires_at is None
+                            else round(max(0.0, entry.expires_at - now), 3)
+                        ),
+                    }
+                    for (dataset, metric, bucket), entry in self._entries.items()
+                ],
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "builds": self.builds,
+                "coalesced_builds": self.coalesced_builds,
+                "bytes": self.total_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "ttl_s": self.ttl_s,
+            }
+
+    info = cache_info
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for build in pending:
+            build.event.set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SharedCacheManager(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, builds={self.builds}, "
+            f"coalesced={self.coalesced_builds})"
+        )
+
+
+class SharedCacheView(AdjacencyCache):
+    """A per-(dataset, metric) window onto a :class:`SharedCacheManager`.
+
+    Implements the :class:`~repro.engines.cache.AdjacencyCache` protocol
+    (``get``/``put``/``adopt``/``info``/``clear`` keyed by radius), so a
+    :class:`~repro.index.base.NeighborIndex` — and therefore a
+    :class:`~repro.api.DiscSession` — attaches to the shared store with
+    ``set_adjacency_cache(manager.view(dataset_id, metric))`` and no
+    other change.  The view keeps its own hit/miss counters (what *this*
+    session saw) next to the manager-wide ones.
+    """
+
+    def __init__(self, manager: SharedCacheManager, dataset_id: str, metric) -> None:
+        super().__init__()
+        self.manager = manager
+        self.dataset_id = str(dataset_id)
+        self.metric_name = getattr(metric, "name", str(metric))
+
+    def _key(self, radius: float) -> CacheKey:
+        return (self.dataset_id, self.metric_name, radius_bucket(radius))
+
+    # ------------------------------------------------------------------
+    def get(self, key: float):
+        value = self.manager.get(self._key(key))
+        with self._lock:
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return value
+
+    def peek(self, key: float):
+        value = self.manager.peek(self._key(key))
+        with self._lock:
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return value
+
+    def put(self, key: float, value) -> None:
+        self.manager.put(self._key(key), value)
+
+    def abandon(self, key: float) -> None:
+        self.manager.abandon(self._key(key))
+
+    def adopt(self, other: AdjacencyCache) -> None:
+        """Carry a session-private cache's entries into the shared store
+        (called by ``set_adjacency_cache`` when a view replaces an
+        index's default cache)."""
+        if isinstance(other, SharedCacheView):
+            return  # already shared; nothing private to carry over
+        with other._lock:
+            items = list(other._entries.items())
+        for radius, value in items:
+            self.manager.put(self._key(radius), value)
+
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """This view's counters plus the shared keys it can see."""
+        shared = self.manager.cache_info()
+        mine = [
+            k
+            for k in shared["keys"]
+            if k["dataset"] == self.dataset_id and k["metric"] == self.metric_name
+        ]
+        with self._lock:
+            return {
+                "dataset": self.dataset_id,
+                "metric": self.metric_name,
+                "entries": len(mine),
+                "radii": [k["radius"] for k in mine],
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": shared["evictions"],
+                "bytes": sum(k["bytes"] for k in mine),
+                "max_entries": self.manager.max_entries,
+                "max_bytes": self.manager.max_bytes,
+                "shared": {
+                    key: shared[key]
+                    for key in (
+                        "entries",
+                        "hits",
+                        "misses",
+                        "builds",
+                        "coalesced_builds",
+                        "evictions",
+                        "expirations",
+                        "bytes",
+                    )
+                },
+            }
+
+    cache_info = info
+
+    def clear(self) -> None:
+        """Drop this view's keys from the shared store (others stay)."""
+        with self.manager._lock:
+            doomed = [
+                key
+                for key in self.manager._entries
+                if key[0] == self.dataset_id and key[1] == self.metric_name
+            ]
+            for key in doomed:
+                del self.manager._entries[key]
+
+    def __contains__(self, key) -> bool:
+        with self.manager._lock:
+            entry = self.manager._entries.get(self._key(key))
+            return entry is not None and not entry.expired(time.monotonic())
+
+    def __len__(self) -> int:
+        return len(self.info()["radii"])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SharedCacheView(dataset={self.dataset_id!r}, "
+            f"metric={self.metric_name!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

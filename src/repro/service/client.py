@@ -1,0 +1,170 @@
+"""Minimal stdlib client for the DisC serving layer.
+
+``http.client`` on a persistent keep-alive connection — used by the
+load harness, the CI smoke lane and the test suite, and small enough
+to lift into any consumer that doesn't want a dependency.  One
+:class:`ServiceClient` is one connection and is **not** thread-safe;
+multi-client load generation creates one per worker thread (which is
+also what a real fleet of users looks like to the server).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Optional
+
+__all__ = ["ServiceClient", "ServiceError", "wait_until_healthy"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and server payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """One keep-alive connection to a running DisC server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple:
+        """One round-trip; returns ``(status, decoded_json)``.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests); real errors propagate.
+        """
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.NotConnected,
+                http.client.CannotSendRequest,
+                http.client.BadStatusLine,
+                http.client.RemoteDisconnected,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        return response.status, decoded
+
+    def _checked(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        status, decoded = self.request(method, path, payload)
+        if status != 200:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoint wrappers
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        dataset: str,
+        radius: float,
+        *,
+        method: str = "greedy",
+        method_options: Optional[dict] = None,
+        engine=None,
+    ) -> dict:
+        payload = {
+            "dataset": dataset,
+            "radius": radius,
+            "method": method,
+            "method_options": dict(method_options or {}),
+        }
+        if engine is not None:
+            payload["engine"] = engine
+        return self._checked("POST", "/select", payload)
+
+    def zoom(
+        self,
+        dataset: str,
+        radius: float,
+        to: float,
+        *,
+        method: str = "greedy",
+        engine=None,
+        **zoom_options,
+    ) -> dict:
+        payload = {
+            "dataset": dataset,
+            "radius": radius,
+            "to": to,
+            "method": method,
+            **zoom_options,
+        }
+        if engine is not None:
+            payload["engine"] = engine
+        return self._checked("POST", "/zoom", payload)
+
+    def datasets(self) -> dict:
+        return self._checked("GET", "/datasets")
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/stats")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def wait_until_healthy(
+    host: str, port: int, *, timeout: float = 30.0, interval: float = 0.05
+) -> dict:
+    """Poll ``/healthz`` until it answers 200 (or raise ``TimeoutError``).
+
+    The subprocess smoke lane uses this to bound server start-up.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(host, port, timeout=interval * 40) as client:
+                return client.healthz()
+        except (OSError, ServiceError, socket.timeout) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(
+        f"service at {host}:{port} not healthy after {timeout}s "
+        f"(last error: {last_error})"
+    )

@@ -1,0 +1,332 @@
+"""Load-generation harness: multi-client zoom traces against the server.
+
+The serving claim is quantitative — a shared adjacency cache plus
+request coalescing should beat a stateless service on exactly the
+traffic the paper's interactive mode generates: many users zooming
+over the same dataset, radii repeating constantly.  This harness
+replays that trace and records the evidence in
+``results/BENCH_service.json``:
+
+* ``clients`` threads each replay the session zoom pattern
+  (:data:`~repro.experiments.perf.SESSION_ZOOM_PATTERN` multiples of
+  the workload's benchmark radius) through real HTTP ``/select``
+  calls, step-synchronised with a barrier so identical requests land
+  concurrently — the coalescing opportunity a popular view creates;
+* phase **no_cache** serves them statelessly (fresh index per request,
+  no shared cache, no coalescing) — the ``disc_select``-per-request
+  baseline;
+* phase **shared** serves them with the
+  :class:`~repro.service.cache.SharedCacheManager` and single-flight
+  enabled;
+* every response is checked byte-identical against a direct
+  :func:`repro.api.disc_select` call (``parity``), so the speedup is
+  never bought with a different answer.
+
+Reported per phase: wall-clock, throughput, latency percentiles, the
+server's ``/stats`` computation/coalescing counters and the shared
+cache's hit/miss/build accounting.  ``python -m repro bench --service``
+runs it from the CLI; ``benchmarks/test_service_load.py`` asserts the
+headline numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.experiments.perf import SESSION_ZOOM_PATTERN, _WORKLOADS, bench_radius
+from repro.experiments.tables import format_table, results_dir
+from repro.service.cache import SharedCacheManager
+from repro.service.client import ServiceClient
+from repro.service.registry import DatasetRegistry
+from repro.service.server import start_in_thread
+from repro.service.state import ServiceState
+
+__all__ = [
+    "run_service_bench",
+    "render_service_table",
+    "write_service_json",
+]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _latency_summary(latencies_s: List[float]) -> dict:
+    ordered = sorted(latencies_s)
+    return {
+        "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+        "p90_ms": round(_percentile(ordered, 0.90) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1e3, 3),
+        "max_ms": round((ordered[-1] if ordered else 0.0) * 1e3, 3),
+        "mean_ms": round(
+            (sum(ordered) / len(ordered) if ordered else 0.0) * 1e3, 3
+        ),
+    }
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    dataset: str,
+    radii: List[float],
+    engine_payload: dict,
+    barrier: threading.Barrier,
+    records: List[dict],
+    errors: List[BaseException],
+) -> None:
+    try:
+        with ServiceClient(host, port) as client:
+            for radius in radii:
+                barrier.wait()
+                t0 = time.perf_counter()
+                response = client.select(dataset, radius, engine=engine_payload)
+                elapsed = time.perf_counter() - t0
+                records.append(
+                    {
+                        "radius": radius,
+                        "latency_s": elapsed,
+                        "coalesced": bool(response.get("coalesced")),
+                        "selected": response["result"]["selected"],
+                    }
+                )
+    except BaseException as exc:  # surface in the main thread
+        errors.append(exc)
+        barrier.abort()
+
+
+def _run_phase(
+    *,
+    workload: str,
+    n: int,
+    radii: List[float],
+    clients: int,
+    engine_payload: dict,
+    shared: bool,
+    cache_entries: int,
+    ttl_s: Optional[float],
+) -> dict:
+    """One trace replay against a freshly started server."""
+    registry = DatasetRegistry()
+    # The perf-harness workload generators pin seed=42 internally, so
+    # the bench compares like for like with BENCH_perf/BENCH_session.
+    registry.register_spec(
+        workload,
+        lambda: _WORKLOADS[workload](n),
+        family=workload,
+        n=n,
+        seed=42,
+    )
+    cache = (
+        SharedCacheManager(max_entries=cache_entries, ttl_s=ttl_s)
+        if shared
+        else None
+    )
+    state = ServiceState(
+        registry,
+        cache=cache,
+        workers=clients,
+        coalesce=shared,
+        reuse_indexes=shared,
+    )
+    with start_in_thread(state) as running:
+        # Load the dataset + build the serving index outside the timed
+        # window in the shared phase (a warm server); the no-cache
+        # phase pays index builds per request by construction.
+        registry.get(workload)
+        barrier = threading.Barrier(clients)
+        records: List[dict] = []
+        errors: List[BaseException] = []
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    running.host,
+                    running.port,
+                    workload,
+                    radii,
+                    engine_payload,
+                    barrier,
+                    records,
+                    errors,
+                ),
+                name=f"disc-load-{i}",
+            )
+            for i in range(clients)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        with ServiceClient(running.host, running.port) as probe:
+            stats = probe.stats()
+    request_count = len(records)
+    cache_stats = stats.get("cache")
+    hit_rate = None
+    if cache_stats is not None:
+        seen = cache_stats["hits"] + cache_stats["misses"]
+        hit_rate = round(cache_stats["hits"] / seen, 4) if seen else None
+    return {
+        "mode": "shared" if shared else "no_cache",
+        "requests": request_count,
+        "duration_s": round(duration, 6),
+        "throughput_rps": round(request_count / duration, 3) if duration else None,
+        "latency": _latency_summary([r["latency_s"] for r in records]),
+        "computations": stats["computations"],
+        "coalesced_requests": stats["coalesced_requests"],
+        "cache": cache_stats,
+        "cache_hit_rate": hit_rate,
+        "_records": records,
+    }
+
+
+def run_service_bench(
+    workload: str = "clustered",
+    n: int = 20_000,
+    *,
+    clients: int = 4,
+    quick: bool = False,
+    pattern: Optional[List[float]] = None,
+    cache_entries: int = 16,
+    ttl_s: Optional[float] = None,
+) -> dict:
+    """Replay a multi-client repeated-radius zoom trace: shared vs stateless.
+
+    Both phases serve the identical trace over HTTP; the shared phase
+    turns on the cross-session cache + coalescing, the no-cache phase
+    is the stateless baseline.  Selections are verified against direct
+    :func:`repro.api.disc_select` calls before anything is reported.
+    """
+    from repro.api import disc_select
+
+    if workload not in _WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(_WORKLOADS)}"
+        )
+    if quick:
+        n = min(n, 4000)
+    base = bench_radius(workload, n)
+    multipliers = list(pattern or SESSION_ZOOM_PATTERN)
+    radii = [base * m for m in multipliers]
+    # The grid engine with radius-sized cells is the serving workhorse
+    # (same configuration as the session benchmark, so the two JSONs
+    # compare like for like).
+    engine_payload = {"name": "grid", "options": {"cell_size": base}}
+
+    data = _WORKLOADS[workload](n)
+    reference: Dict[float, List[int]] = {}
+    for radius in sorted(set(radii)):
+        reference[radius] = disc_select(
+            data, radius, engine="grid", engine_options={"cell_size": base}
+        ).selected
+
+    phases = {}
+    for shared in (False, True):
+        phase = _run_phase(
+            workload=workload,
+            n=n,
+            radii=radii,
+            clients=clients,
+            engine_payload=engine_payload,
+            shared=shared,
+            cache_entries=cache_entries,
+            ttl_s=ttl_s,
+        )
+        records = phase.pop("_records")
+        mismatches = [
+            r["radius"]
+            for r in records
+            if r["selected"] != [int(i) for i in reference[r["radius"]]]
+        ]
+        phase["parity"] = not mismatches
+        if mismatches:
+            raise AssertionError(
+                f"served selections diverged from disc_select at radii "
+                f"{sorted(set(mismatches))} ({phase['mode']} phase)"
+            )
+        phases[phase["mode"]] = phase
+
+    no_cache = phases["no_cache"]
+    shared_phase = phases["shared"]
+    speedup = (
+        round(no_cache["duration_s"] / shared_phase["duration_s"], 3)
+        if shared_phase["duration_s"]
+        else None
+    )
+    return {
+        "schema": "bench-service-v1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro": __version__,
+        "workload": workload,
+        "n": n,
+        "clients": clients,
+        "requests_per_phase": clients * len(radii),
+        "radii": [round(r, 6) for r in radii],
+        "unique_radii": len(set(radii)),
+        "engine": engine_payload,
+        "phases": phases,
+        "speedup": speedup,
+        "cache_hit_rate": shared_phase["cache_hit_rate"],
+        "coalesced": shared_phase["computations"] < shared_phase["requests"],
+        "parity": no_cache["parity"] and shared_phase["parity"],
+    }
+
+
+def render_service_table(payload: dict) -> str:
+    """Human-readable summary of one :func:`run_service_bench` payload."""
+    rows = []
+    for mode in ("no_cache", "shared"):
+        phase = payload["phases"][mode]
+        rows.append(
+            [
+                mode,
+                phase["duration_s"],
+                phase["throughput_rps"],
+                phase["latency"]["p50_ms"],
+                phase["latency"]["p99_ms"],
+                phase["computations"],
+                phase["coalesced_requests"],
+                "-" if phase["cache_hit_rate"] is None else phase["cache_hit_rate"],
+            ]
+        )
+    table = format_table(
+        f"Service load — {payload['workload']} (n={payload['n']}, "
+        f"{payload['clients']} clients x {len(payload['radii'])} zoom steps, "
+        f"{payload['unique_radii']} unique radii)",
+        ["phase", "seconds", "req/s", "p50 ms", "p99 ms", "computed",
+         "coalesced", "hit rate"],
+        rows,
+        float_fmt="{:.3f}",
+    )
+    table += (
+        f"\nspeedup (shared vs no-cache): {payload['speedup']}x | "
+        f"parity with disc_select: {payload['parity']}"
+    )
+    return table
+
+
+def write_service_json(payload: dict, path: Optional[str] = None) -> str:
+    """Persist the payload as ``results/BENCH_service.json`` (or ``path``)."""
+    if path is None:
+        path = os.path.join(results_dir(), "BENCH_service.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

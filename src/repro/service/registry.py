@@ -1,0 +1,208 @@
+"""Named-dataset registry: load once per process, hand out immutable handles.
+
+A serving process hosts a handful of datasets queried by many users.
+Loading (file parsing, synthetic generation) must happen once, the
+loaded arrays must be safe to share across request threads, and the
+``/datasets`` endpoint needs a catalogue it can describe without
+forcing loads.  :class:`DatasetRegistry` provides exactly that:
+
+* **specs** — a name bound to a zero-argument loader (built-in
+  generators via :meth:`register_builtin`, arbitrary callables via
+  :meth:`register_spec`), loaded lazily on first :meth:`get`;
+* **arrays** — user-uploaded points registered directly with
+  :meth:`register_array`;
+* **handles** — every load returns the same :class:`DatasetHandle`
+  (identity-stable, so ``handle.dataset_id`` can key the shared
+  adjacency cache), with the point matrix marked read-only so no
+  request can mutate data other sessions compute on.
+
+Loads are guarded per name: two first-requests for the same dataset
+coalesce into one load, while loads of *different* datasets proceed in
+parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets import (
+    Dataset,
+    cameras_dataset,
+    cities_dataset,
+    clustered_dataset,
+    uniform_dataset,
+)
+from repro.distance import get_metric
+
+__all__ = ["DatasetHandle", "DatasetRegistry", "BUILTIN_DATASETS"]
+
+#: Built-in generator families: name -> (loader(n, seed), default n).
+#: The defaults match the CLI so ``repro serve`` and ``repro select``
+#: agree on what plain "cities" means.
+BUILTIN_DATASETS: Dict[str, tuple] = {
+    "uniform": (lambda n, seed: uniform_dataset(n=n, seed=seed), 2500),
+    "clustered": (lambda n, seed: clustered_dataset(n=n, seed=seed), 2500),
+    "cities": (lambda n, seed: cities_dataset(n=n, seed=seed), 2000),
+    "cameras": (lambda n, seed: cameras_dataset(n=n, seed=seed), 579),
+}
+
+
+@dataclass(frozen=True)
+class DatasetHandle:
+    """An immutable reference to one loaded dataset.
+
+    ``dataset_id`` is the registry name — unique within the process and
+    stable across requests, which is what the shared adjacency cache
+    keys on.  ``dataset.points`` is marked read-only at load time.
+    """
+
+    dataset_id: str
+    dataset: Dataset
+    spec: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.dataset.n
+
+    @property
+    def metric(self):
+        return self.dataset.metric
+
+
+class DatasetRegistry:
+    """Name -> dataset catalogue with load-once semantics."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, dict] = {}
+        self._handles: Dict[str, DatasetHandle] = {}
+        self._lock = threading.Lock()
+        self._load_locks: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_spec(
+        self, name: str, loader: Callable[[], Dataset], **describe
+    ) -> None:
+        """Register a lazily-loaded dataset under ``name``.
+
+        ``loader`` takes no arguments and returns a
+        :class:`~repro.datasets.base.Dataset`; ``describe`` keywords
+        appear in the catalogue before the dataset is loaded.
+        """
+        with self._lock:
+            if name in self._specs:
+                raise ValueError(f"dataset {name!r} is already registered")
+            self._specs[name] = {"loader": loader, "describe": dict(describe)}
+            self._load_locks[name] = threading.Lock()
+
+    def register_builtin(
+        self, name: str, *, n: Optional[int] = None, seed: int = 42
+    ) -> None:
+        """Register one of the paper's generator families by name."""
+        try:
+            loader, default_n = BUILTIN_DATASETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown built-in dataset {name!r}; "
+                f"choose from {sorted(BUILTIN_DATASETS)}"
+            ) from None
+        size = default_n if n is None else int(n)
+        self.register_spec(
+            name, lambda: loader(size, seed), family=name, n=size, seed=seed
+        )
+
+    def register_array(self, name: str, points, metric) -> DatasetHandle:
+        """Register user-supplied points directly (loaded immediately)."""
+        import numpy as np
+
+        points = np.asarray(points)
+        dataset = Dataset(name=name, points=points, metric=get_metric(metric))
+        with self._lock:
+            if name in self._specs or name in self._handles:
+                raise ValueError(f"dataset {name!r} is already registered")
+            handle = self._freeze(name, dataset, spec={"family": "array"})
+            self._handles[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> DatasetHandle:
+        """The handle for ``name``, loading it on first request.
+
+        Raises ``KeyError`` for unregistered names (the server maps this
+        to a 404).
+        """
+        with self._lock:
+            handle = self._handles.get(name)
+            if handle is not None:
+                return handle
+            spec = self._specs.get(name)
+            if spec is None:
+                known = sorted(set(self._specs) | set(self._handles))
+                raise KeyError(f"unknown dataset {name!r}; registered: {known}")
+            load_lock = self._load_locks[name]
+        with load_lock:
+            # Double-checked: a concurrent first-request may have loaded
+            # while this thread waited on the per-name lock.
+            with self._lock:
+                handle = self._handles.get(name)
+                if handle is not None:
+                    return handle
+            dataset = spec["loader"]()
+            if not isinstance(dataset, Dataset):
+                raise TypeError(
+                    f"loader for {name!r} returned {type(dataset).__name__}, "
+                    "expected repro.datasets.Dataset"
+                )
+            handle = self._freeze(name, dataset, spec=dict(spec["describe"]))
+            with self._lock:
+                self._handles[name] = handle
+            return handle
+
+    @staticmethod
+    def _freeze(name: str, dataset: Dataset, spec: dict) -> DatasetHandle:
+        dataset.points.setflags(write=False)
+        return DatasetHandle(dataset_id=name, dataset=dataset, spec=spec)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(set(self._specs) | set(self._handles))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs or name in self._handles
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def describe(self) -> List[dict]:
+        """The ``/datasets`` catalogue (loaded and not-yet-loaded)."""
+        out = []
+        for name in self.names():
+            with self._lock:
+                handle = self._handles.get(name)
+                spec = self._specs.get(name)
+            if handle is not None:
+                out.append(
+                    {
+                        "id": name,
+                        "loaded": True,
+                        "n": handle.dataset.n,
+                        "dim": handle.dataset.dim,
+                        "metric": handle.dataset.metric.name,
+                        "spec": handle.spec,
+                    }
+                )
+            else:
+                out.append(
+                    {"id": name, "loaded": False, "spec": dict(spec["describe"])}
+                )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        loaded = sum(1 for n in self.names() if n in self._handles)
+        return f"DatasetRegistry({len(self)} datasets, {loaded} loaded)"

@@ -1,0 +1,408 @@
+"""Asyncio JSON-over-HTTP front end for the DisC serving layer.
+
+Stdlib-only (``asyncio`` streams + a minimal HTTP/1.1 reader): the
+container this runs in has NumPy/SciPy but no web framework, and the
+protocol surface is five endpoints of JSON — a framework would be the
+heavier dependency, not the simpler code.
+
+Endpoints
+---------
+``POST /select``
+    ``{"dataset": name, "radius": r, "method": ..., "method_options":
+    {...}, "engine": ...}`` (or the same fields nested under
+    ``"request"``) → ``{"dataset", "request", "result", "elapsed_s",
+    "coalesced"}`` with ``result`` a serialised
+    :class:`~repro.core.result.DiscResult`.
+``POST /zoom``
+    ``{"dataset": name, "radius": r, "to": r2, ...}`` → selects at
+    ``r`` (with closest-black tracking) and adapts to ``r2`` via
+    zoom-in/zoom-out; returns both results.
+``GET /datasets``
+    The registry catalogue.
+``GET /healthz``
+    Liveness: ``{"status": "ok", ...}``.
+``GET /stats``
+    Counters, shared-cache info, single-flight accounting.
+
+Concurrency model
+-----------------
+The event loop only parses/validates/serialises; every selection runs
+in the state's bounded thread pool (``run_in_executor``), so slow
+computations never block health checks.  Admission control: when
+``max_inflight`` computations are queued or running, new compute
+requests get ``503`` instead of joining an unbounded queue.
+
+**Single-flight**: concurrent requests with the same canonical key
+(endpoint + dataset + validated request) share one computation — the
+first becomes the leader, the rest await the leader's future and are
+counted in ``coalesced_requests``.  Combined with the shared adjacency
+cache this gives the multi-user zoom workload its throughput: N users
+asking for the same view cost one selection, and different radii on
+the same dataset still share the materialised adjacency.
+
+Error mapping: unknown dataset → 404; validation errors
+(``ValueError``/``TypeError``) → 400; overload → 503; everything else
+→ 500 with the exception name (no traceback leaks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro import __version__
+from repro.service.state import ServiceState, canonical_key
+
+__all__ = ["DiscServer", "ServiceUnavailable", "start_in_thread", "RunningService"]
+
+#: Hard cap on request body size (JSON) — 16 MiB is far beyond any
+#: legitimate request and keeps a misbehaving client from ballooning
+#: the process.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class ServiceUnavailable(RuntimeError):
+    """Raised internally when admission control rejects a request."""
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class DiscServer:
+    """One listening socket over one :class:`ServiceState`.
+
+    ``port=0`` binds an ephemeral port; the bound port is available as
+    ``self.port`` after :meth:`start` (and printed by ``repro serve``),
+    which is how tests and the load harness avoid port races.
+    """
+
+    def __init__(
+        self,
+        state: ServiceState,
+        host: str = "127.0.0.1",
+        port: int = 8722,
+    ) -> None:
+        self.state = state
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, keep_alive, body = parsed
+                status, payload = await self._dispatch(method, path, body)
+                self.state.count_response(status)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader
+    ) -> Optional[Tuple[str, str, bool, Optional[dict]]]:
+        """Parse one HTTP/1.1 request; None on clean EOF."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise asyncio.IncompleteReadError(request_line, None)
+        headers: Dict[str, str] = {}
+        total = len(request_line)
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise asyncio.LimitOverrunError("headers too large", total)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        if not version.endswith("1.1"):
+            keep_alive = headers.get("connection", "close").lower() == "keep-alive"
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0:
+            # Unparsable/negative Content-Length: answer 400 and drop
+            # the connection (the body framing is unknowable).
+            return method.upper(), "\x00bad-length", False, None
+        if length > MAX_BODY_BYTES:
+            # Drain enough to answer, then force-close the connection.
+            return method.upper(), "\x00too-large", False, None
+        body: Optional[dict] = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                body = {"\x00invalid-json": True}
+        path = target.split("?", 1)[0]
+        return method.upper(), path, keep_alive, body
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = _json_bytes(payload)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"Server: repro-disc/{__version__}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: Optional[dict]
+    ) -> Tuple[int, dict]:
+        if path == "\x00too-large":
+            return 413, {"error": "request body too large"}
+        if path == "\x00bad-length":
+            return 400, {"error": "invalid Content-Length header"}
+        if isinstance(body, dict) and body.get("\x00invalid-json"):
+            return 400, {"error": "request body is not valid JSON"}
+        endpoint = f"{method} {path}"
+        self.state.count_request(endpoint)
+        try:
+            if method == "GET":
+                if path == "/healthz":
+                    return 200, self._healthz()
+                if path == "/stats":
+                    return 200, self.state.stats()
+                if path == "/datasets":
+                    return 200, {"datasets": self.state.registry.describe()}
+                if path in ("/select", "/zoom"):
+                    return 405, {"error": f"{path} requires POST"}
+                return 404, {"error": f"unknown path {path!r}"}
+            if method == "POST":
+                if path == "/select":
+                    return await self._select(body or {})
+                if path == "/zoom":
+                    return await self._zoom(body or {})
+                if path in ("/healthz", "/stats", "/datasets"):
+                    return 405, {"error": f"{path} requires GET"}
+                return 404, {"error": f"unknown path {path!r}"}
+            return 405, {"error": f"unsupported method {method}"}
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0]) if exc.args else str(exc)}
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+        except ServiceUnavailable as exc:
+            return 503, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "datasets": self.state.registry.names(),
+            "inflight": self.state.inflight,
+            "uptime_s": round(time.time() - self.state.started_at, 3),
+        }
+
+    # ------------------------------------------------------------------
+    # Compute endpoints (single-flighted)
+    # ------------------------------------------------------------------
+    async def _select(self, payload: dict) -> Tuple[int, dict]:
+        handle, request = self.state.validate_select(payload)
+        key = canonical_key("select", handle.dataset_id, request.to_dict())
+        shared, coalesced = await self._single_flight(
+            key, lambda: self.state.run_select(handle, request)
+        )
+        response = dict(shared)
+        response["coalesced"] = coalesced
+        return 200, response
+
+    async def _zoom(self, payload: dict) -> Tuple[int, dict]:
+        handle, request, to_radius, zoom_options = self.state.validate_zoom(payload)
+        key = canonical_key(
+            "zoom",
+            handle.dataset_id,
+            {"request": request.to_dict(), "to": to_radius, **zoom_options},
+        )
+        shared, coalesced = await self._single_flight(
+            key,
+            lambda: self.state.run_zoom(handle, request, to_radius, zoom_options),
+        )
+        response = dict(shared)
+        response["coalesced"] = coalesced
+        return 200, response
+
+    async def _single_flight(self, key: str, thunk) -> Tuple[dict, bool]:
+        """Run ``thunk`` in the executor, sharing identical in-flight work.
+
+        Returns ``(result, coalesced)``.  The leader owns the executor
+        job; followers await the leader's future.  With coalescing
+        disabled every request is its own leader (the load harness
+        measures exactly this delta).
+        """
+        state = self.state
+        if state.coalesce:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                state.count_coalesced()
+                return await asyncio.shield(existing), True
+        if (
+            state.max_inflight is not None
+            and state.inflight >= state.max_inflight
+        ):
+            raise ServiceUnavailable(
+                f"server is at capacity ({state.max_inflight} computations "
+                "queued or running); retry shortly"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if state.coalesce:
+            self._inflight[key] = future
+        state.inflight += 1
+        try:
+            result = await loop.run_in_executor(state.executor, thunk)
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # A follower may or may not exist; if none ever awaits,
+                # silence the "exception never retrieved" warning.
+                future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result, False
+        finally:
+            state.inflight -= 1
+            if state.coalesce and self._inflight.get(key) is future:
+                del self._inflight[key]
+
+
+# ----------------------------------------------------------------------
+# In-process hosting (tests, load harness, notebooks)
+# ----------------------------------------------------------------------
+class RunningService:
+    """A server running on a daemon thread, stoppable from the caller."""
+
+    def __init__(self, state: ServiceState, server: DiscServer, loop, thread) -> None:
+        self.state = state
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stop(self) -> None:
+        """Stop accepting, drain the loop, join the thread, close state."""
+        if self._thread is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
+            timeout=30
+        )
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self.state.close()
+        self._thread = None
+
+    def __enter__(self) -> "RunningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    state: ServiceState, host: str = "127.0.0.1", port: int = 0
+) -> RunningService:
+    """Start a :class:`DiscServer` on a background event-loop thread.
+
+    Used by the load harness and the test suite; ``repro serve`` runs
+    the loop in the foreground instead (see :mod:`repro.cli`).
+    """
+    loop = asyncio.new_event_loop()
+    server = DiscServer(state, host=host, port=port)
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="disc-service-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):  # pragma: no cover - defensive
+        raise RuntimeError("service event loop failed to start")
+    return RunningService(state, server, loop, thread)

@@ -1,0 +1,358 @@
+"""Shared serving state: datasets + indexes + cache + execution.
+
+:class:`ServiceState` is the synchronous heart of the service — the
+asyncio front end (:mod:`repro.service.server`) validates requests on
+the event loop, then runs the heavy work on this object inside a
+bounded :class:`~concurrent.futures.ThreadPoolExecutor` so the loop
+stays responsive.  It owns:
+
+* a :class:`~repro.service.registry.DatasetRegistry` (datasets load
+  once, handles are immutable),
+* a :class:`~repro.service.cache.SharedCacheManager` (or None when
+  caching is disabled) that every serving index attaches to via a
+  :class:`~repro.service.cache.SharedCacheView`,
+* one :class:`~repro.index.base.NeighborIndex` per (dataset, engine
+  spec), built on first use behind a per-key lock — the serving
+  analogue of :class:`~repro.api.DiscSession`'s index-once contract,
+* request/computation counters for ``/stats``.
+
+Selections run the same heuristics as :func:`repro.api.disc_select`
+over the same validated :class:`~repro.requests.SelectRequest`, so a
+served response is byte-identical to a direct library call (pinned by
+``tests/test_service.py``).  Index cost counters are shared across
+concurrent requests and therefore only advisory here; the serving
+response deliberately reports wall-clock, not per-request counter
+deltas.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.core import zoom_in, zoom_out
+from repro.requests import METHODS, EngineSpec, SelectRequest
+from repro.service.cache import SharedCacheManager
+from repro.service.registry import DatasetHandle, DatasetRegistry
+from repro.validation import validate_radius
+
+__all__ = ["ServiceState", "canonical_key"]
+
+
+def canonical_key(kind: str, dataset_id: str, payload: dict) -> str:
+    """The single-flight identity of one request.
+
+    Two requests coalesce iff their canonical keys match: same
+    endpoint, same dataset, same *validated* request payload (so
+    ``method: "GREEDY"`` and ``method: "greedy"`` coalesce, while any
+    semantic difference — radius, method option, engine — keeps them
+    apart).
+    """
+    import json
+
+    return json.dumps(
+        {"kind": kind, "dataset": dataset_id, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class ServiceState:
+    """Process-wide serving state shared by every connection.
+
+    Parameters
+    ----------
+    registry:
+        Dataset catalogue (a fresh empty one by default).
+    cache:
+        A :class:`SharedCacheManager`, or None to serve without the
+        shared adjacency cache (every request rebuilds — the baseline
+        the load harness measures against).
+    engine:
+        Default engine spec for requests that do not name one.
+    workers:
+        Thread-pool size — the compute admission bound.
+    max_inflight:
+        Hard cap on queued + running computations; beyond it the server
+        answers 503 instead of buffering unboundedly.
+    coalesce:
+        Whether the server single-flights identical concurrent
+        requests (toggleable so the load harness can measure the win).
+    reuse_indexes:
+        When False, every computation builds a fresh index and nothing
+        is shared — the stateless "fresh ``disc_select`` per request"
+        baseline the load harness measures the shared-cache
+        configuration against.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        *,
+        cache: Optional[SharedCacheManager] = None,
+        engine: str = "auto",
+        engine_options: Optional[dict] = None,
+        workers: int = 4,
+        max_inflight: Optional[int] = 64,
+        coalesce: bool = True,
+        reuse_indexes: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.registry = registry if registry is not None else DatasetRegistry()
+        self.cache = cache
+        self.default_engine = EngineSpec(
+            name=engine, options=dict(engine_options or {})
+        ).validate()
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.coalesce = coalesce
+        self.reuse_indexes = reuse_indexes
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="disc-service"
+        )
+        self.started_at = time.time()
+        self._indexes: Dict[Tuple[str, str], object] = {}
+        self._index_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._lock = threading.Lock()
+        # ``/stats`` counters (server increments requests/coalesced on
+        # the event loop; computations increment in worker threads).
+        self.requests: Dict[str, int] = {}
+        self.responses: Dict[str, int] = {}
+        self.computations = 0
+        self.coalesced_requests = 0
+        self.inflight = 0
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def count_request(self, endpoint: str) -> None:
+        with self._counter_lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def count_response(self, status: int) -> None:
+        with self._counter_lock:
+            key = str(status)
+            self.responses[key] = self.responses.get(key, 0) + 1
+
+    def count_coalesced(self) -> None:
+        with self._counter_lock:
+            self.coalesced_requests += 1
+
+    def count_computation(self) -> None:
+        with self._counter_lock:
+            self.computations += 1
+
+    # ------------------------------------------------------------------
+    # Validation (cheap, runs on the event loop)
+    # ------------------------------------------------------------------
+    def validate_select(self, payload: dict) -> Tuple[DatasetHandle, SelectRequest]:
+        """Resolve dataset + request from a ``/select`` body.
+
+        The body is ``{"dataset": name, ...SelectRequest fields...}`` or
+        ``{"dataset": name, "request": {...}}``.  Raises ``KeyError``
+        for unknown datasets (→ 404) and ``ValueError``/``TypeError``
+        for malformed requests (→ 400), before any compute is queued.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        if "dataset" not in payload:
+            raise ValueError("request body is missing the 'dataset' field")
+        handle = self.registry.get(str(payload["dataset"]))
+        body = payload.get("request")
+        if body is None:
+            body = {
+                key: value
+                for key, value in payload.items()
+                if key != "dataset"
+            }
+        request = SelectRequest.coerce(body)
+        if "engine" not in (body or {}):
+            request = SelectRequest(
+                radius=request.radius,
+                method=request.method,
+                method_options=request.method_options,
+                engine=self.default_engine,
+            )
+        return handle, request.validate()
+
+    def validate_zoom(self, payload: dict) -> Tuple[DatasetHandle, SelectRequest, float, dict]:
+        """Resolve a ``/zoom`` body: select at ``radius``, adapt to ``to``.
+
+        Returns ``(handle, select_request, to_radius, zoom_options)``;
+        ``zoom_options`` carries ``greedy`` (zoom-in) / ``variant``
+        (zoom-out).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        if "to" not in payload:
+            raise ValueError("zoom body is missing the 'to' field")
+        to_radius = validate_radius(payload["to"], name="to")
+        if "request" in payload:
+            # Same nested form /select accepts.
+            select_payload = {
+                "dataset": payload.get("dataset"),
+                "request": payload["request"],
+            }
+            if select_payload["dataset"] is None:
+                select_payload.pop("dataset")
+        else:
+            select_payload = {
+                key: value
+                for key, value in payload.items()
+                if key in ("dataset", "radius", "method", "method_options", "engine")
+            }
+        handle, request = self.validate_select(select_payload)
+        if to_radius == request.radius:
+            raise ValueError(
+                f"'to' must differ from 'radius' (both {to_radius})"
+            )
+        zoom_options = {
+            "greedy": bool(payload.get("greedy", True)),
+            "variant": payload.get("variant", "a"),
+        }
+        # The closest-black distances of Section 5.2 are what makes the
+        # base solution zoomable.
+        request = request.with_options(track_closest_black=True).validate()
+        return handle, request, to_radius, zoom_options
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def _engine_key(self, spec: EngineSpec) -> str:
+        import json
+
+        return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def ensure_index(self, handle: DatasetHandle, spec: EngineSpec):
+        """The serving index for (dataset, engine spec), built once.
+
+        Resolution happens without a radius hint — one index serves all
+        radii of a dataset (exactly like a :class:`~repro.api.
+        DiscSession`); the per-radius artefact is the adjacency, which
+        lives in the shared cache.
+        """
+        if not self.reuse_indexes:
+            dataset = handle.dataset
+            entry, accelerate, options = spec.resolve(
+                n=dataset.n, metric=dataset.metric
+            )
+            return entry.create(
+                dataset.points, dataset.metric, accelerate, options
+            )
+        key = (handle.dataset_id, self._engine_key(spec))
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                return index
+            build_lock = self._index_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                index = self._indexes.get(key)
+                if index is not None:
+                    return index
+            dataset = handle.dataset
+            entry, accelerate, options = spec.resolve(
+                n=dataset.n, metric=dataset.metric
+            )
+            index = entry.create(dataset.points, dataset.metric, accelerate, options)
+            if self.cache is not None:
+                index.set_adjacency_cache(
+                    self.cache.view(handle.dataset_id, dataset.metric)
+                )
+            with self._lock:
+                self._indexes[key] = index
+            return index
+
+    # ------------------------------------------------------------------
+    # Execution (runs in worker threads)
+    # ------------------------------------------------------------------
+    def run_select(self, handle: DatasetHandle, request: SelectRequest) -> dict:
+        """One selection end to end; returns the JSON-ready response."""
+        self.count_computation()
+        t0 = time.perf_counter()
+        index = self.ensure_index(handle, request.engine)
+        algorithm = METHODS[request.method]
+        result = algorithm(index, request.radius, **dict(request.method_options))
+        return {
+            "dataset": handle.dataset_id,
+            "request": request.to_dict(),
+            "result": result.to_dict(),
+            "elapsed_s": round(time.perf_counter() - t0, 6),
+        }
+
+    def run_zoom(
+        self,
+        handle: DatasetHandle,
+        request: SelectRequest,
+        to_radius: float,
+        zoom_options: dict,
+    ) -> dict:
+        """Select at ``request.radius``, then adapt to ``to_radius``."""
+        self.count_computation()
+        t0 = time.perf_counter()
+        index = self.ensure_index(handle, request.engine)
+        algorithm = METHODS[request.method]
+        first = algorithm(index, request.radius, **dict(request.method_options))
+        if to_radius < request.radius:
+            direction = "in"
+            adapted = zoom_in(
+                index, first, to_radius, greedy=zoom_options.get("greedy", True)
+            )
+        else:
+            direction = "out"
+            adapted = zoom_out(
+                index, first, to_radius,
+                greedy_variant=zoom_options.get("variant", "a"),
+            )
+        return {
+            "dataset": handle.dataset_id,
+            "request": request.to_dict(),
+            "to": float(to_radius),
+            "direction": direction,
+            "from_result": first.to_dict(),
+            "result": adapted.to_dict(),
+            "elapsed_s": round(time.perf_counter() - t0, 6),
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``/stats`` payload (plain JSON-serialisable dict)."""
+        with self._counter_lock:
+            counters = {
+                "requests": dict(self.requests),
+                "responses": dict(self.responses),
+                "computations": self.computations,
+                "coalesced_requests": self.coalesced_requests,
+                "inflight": self.inflight,
+            }
+        with self._lock:
+            indexes = [
+                {"dataset": dataset, "engine": engine_key}
+                for dataset, engine_key in self._indexes
+            ]
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "workers": self.workers,
+            "max_inflight": self.max_inflight,
+            "coalesce": self.coalesce,
+            **counters,
+            "indexes": indexes,
+            "cache": None if self.cache is None else self.cache.cache_info(),
+            "datasets": self.registry.describe(),
+        }
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServiceState(datasets={len(self.registry)}, "
+            f"indexes={len(self._indexes)}, workers={self.workers}, "
+            f"cache={'on' if self.cache is not None else 'off'})"
+        )

@@ -71,7 +71,9 @@ EXPECTED_SIGNATURES = {
     ),
     DiscSession.__init__: (
         "(self, data: 'Union[Dataset, np.ndarray]', metric=None, *, "
-        "engine: 'str' = 'auto', cache_radii: 'int' = 8, **engine_options)"
+        "engine: 'str' = 'auto', cache_radii: 'int' = 8, "
+        "adjacency_cache: 'Optional[AdjacencyCache]' = None, "
+        "**engine_options)"
     ),
     DiscSession.select: (
         "(self, radius: 'float', *, method: 'str' = 'greedy', **options) "

@@ -155,6 +155,40 @@ class TestJsonRoundTrip:
         assert back.algorithm == "Lazy-Grey-Greedy-DisC"
         assert back.meta["empty_input"] is True
 
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_selection_id_dtype_is_canonicalised(self, dtype):
+        """Regression: results whose ids come from int32 CSR paths and
+        int64 per-query paths must serialise to identical bytes (the
+        platform default integer differs across OSes), and the wire
+        round trip must be exact — the service layer caches and
+        coalesces responses byte-wise."""
+        result = DiscResult(
+            selected=list(np.array([3, 1, 2], dtype=dtype)),
+            radius=np.float64(0.25),
+            algorithm="Grey-Greedy-DisC",
+            stats=IndexStats(extra={"stored_nnz": dtype(7)}),
+            meta={"frontier": np.array([5, 6], dtype=dtype)},
+        )
+        wire = result.to_dict()
+        # Canonical payload: Python ints only, down into stats.extra.
+        assert all(type(i) is int for i in wire["selected"])
+        assert type(wire["stats"]["extra"]["stored_nnz"]) is int
+        assert wire["meta"]["frontier"] == [5, 6]
+        encoded = json.dumps(wire, sort_keys=True)
+        # Identical bytes regardless of the producing dtype.
+        reference = DiscResult(
+            selected=[3, 1, 2],
+            radius=0.25,
+            algorithm="Grey-Greedy-DisC",
+            stats=IndexStats(extra={"stored_nnz": 7}),
+            meta={"frontier": [5, 6]},
+        )
+        assert encoded == json.dumps(reference.to_dict(), sort_keys=True)
+        # And the round trip is exact (from_dict . to_dict is identity
+        # on the wire form).
+        back = DiscResult.from_dict(json.loads(encoded))
+        assert json.dumps(back.to_dict(), sort_keys=True) == encoded
+
 
 # ----------------------------------------------------------------------
 # Registry: capabilities, auto policy, error messages

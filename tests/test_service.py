@@ -1,0 +1,483 @@
+"""Serving-layer tests: registry, shared cache, HTTP server, CLI smoke.
+
+Covers the :mod:`repro.service` subsystem end to end at small n so it
+stays in the tier-1 lane:
+
+* :class:`DatasetRegistry` — load-once handles, immutability, arrays;
+* :class:`SharedCacheManager` — keys/bucketing, TTL, byte budgets,
+  build coalescing;
+* the asyncio HTTP server — endpoint contracts, error mapping,
+  byte-parity of served selections with direct :func:`disc_select`
+  calls, single-flight coalescing;
+* the ``repro serve`` CLI as a real subprocess — multi-client zoom
+  trace, cache hits, clean SIGTERM shutdown (the CI smoke lane runs
+  this file explicitly).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import DiscSession, disc_select
+from repro.datasets import uniform_dataset
+from repro.service import (
+    DatasetRegistry,
+    ServiceClient,
+    ServiceError,
+    ServiceState,
+    SharedCacheManager,
+    start_in_thread,
+    wait_until_healthy,
+)
+
+N = 1200
+SEED = 7
+RADIUS = 0.1
+ENGINE = {"name": "grid", "options": {"cell_size": RADIUS}}
+
+
+# ----------------------------------------------------------------------
+# DatasetRegistry
+# ----------------------------------------------------------------------
+class TestDatasetRegistry:
+    def test_load_once_returns_identical_handles(self):
+        registry = DatasetRegistry()
+        registry.register_builtin("uniform", n=50, seed=1)
+        first = registry.get("uniform")
+        second = registry.get("uniform")
+        assert first is second
+        assert first.dataset_id == "uniform"
+        assert first.n == 50
+
+    def test_concurrent_first_loads_coalesce(self):
+        registry = DatasetRegistry()
+        loads = []
+        registry.register_spec(
+            "counted",
+            lambda: (loads.append(1), uniform_dataset(n=40, seed=2))[1],
+        )
+        handles = []
+        threads = [
+            threading.Thread(target=lambda: handles.append(registry.get("counted")))
+            for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(loads) == 1
+        assert all(h is handles[0] for h in handles)
+
+    def test_handles_are_immutable(self):
+        registry = DatasetRegistry()
+        registry.register_builtin("uniform", n=30, seed=1)
+        handle = registry.get("uniform")
+        with pytest.raises((ValueError, RuntimeError)):
+            handle.dataset.points[0, 0] = 99.0
+
+    def test_register_array_and_catalogue(self):
+        registry = DatasetRegistry()
+        points = np.random.default_rng(0).random((25, 2))
+        handle = registry.register_array("uploaded", points, "euclidean")
+        assert registry.get("uploaded") is handle
+        registry.register_builtin("cities")
+        catalogue = {row["id"]: row for row in registry.describe()}
+        assert catalogue["uploaded"]["loaded"] is True
+        assert catalogue["uploaded"]["metric"] == "euclidean"
+        assert catalogue["cities"]["loaded"] is False  # lazy until get()
+        assert json.dumps(registry.describe())  # JSON-serialisable
+
+    def test_duplicate_and_unknown_names(self):
+        registry = DatasetRegistry()
+        registry.register_builtin("uniform", n=30)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_builtin("uniform")
+        with pytest.raises(ValueError, match="unknown built-in"):
+            registry.register_builtin("nope")
+        with pytest.raises(KeyError, match="unknown dataset"):
+            registry.get("nope")
+
+
+# ----------------------------------------------------------------------
+# SharedCacheManager
+# ----------------------------------------------------------------------
+class _Sized:
+    """Stand-in adjacency with a declared byte size."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+
+class TestSharedCacheManager:
+    def test_bucketed_keys_hit_across_float_noise(self):
+        manager = SharedCacheManager()
+        view = manager.view("ds", "euclidean")
+        assert view.get(0.3) is None  # miss claims the build slot
+        view.put(0.3, _Sized(8))
+        # 0.1 * 3 != 0.3 exactly, but it is the same radius to a user.
+        assert view.get(0.1 * 3) is not None
+        assert manager.hits == 1 and manager.builds == 1
+
+    def test_views_namespace_datasets_and_metrics(self):
+        manager = SharedCacheManager()
+        a = manager.view("a", "euclidean")
+        b = manager.view("b", "euclidean")
+        a.get(RADIUS)
+        a.put(RADIUS, _Sized(8))
+        assert b.get(RADIUS) is None  # different dataset, different key
+        b.abandon(RADIUS)
+        assert a.get(RADIUS) is not None
+        info = a.cache_info()
+        assert info["dataset"] == "a" and info["entries"] == 1
+        assert json.dumps(manager.cache_info())  # /stats serialisability
+
+    def test_ttl_expires_entries(self):
+        manager = SharedCacheManager(ttl_s=0.05)
+        key = ("ds", "euclidean", 0.1)
+        assert manager.get(key) is None
+        manager.put(key, _Sized(8))
+        assert manager.get(key) is not None
+        time.sleep(0.08)
+        assert manager.get(key) is None  # expired -> miss, slot claimed
+        manager.abandon(key)
+        assert manager.expirations == 1
+
+    def test_byte_budget_evicts_lru(self):
+        manager = SharedCacheManager(max_entries=None, max_bytes=100)
+        for i, radius in enumerate((0.1, 0.2, 0.3)):
+            key = ("ds", "euclidean", radius)
+            manager.get(key)
+            manager.put(key, _Sized(60))
+        assert len(manager) == 1  # only the most recent survives 100B
+        assert manager.evictions == 2
+        assert manager.cache_info()["bytes"] <= 100
+
+    def test_concurrent_misses_coalesce_to_one_build(self):
+        manager = SharedCacheManager()
+        key = ("ds", "euclidean", 0.5)
+        outcomes = []
+
+        def builder():
+            value = manager.get(key)
+            assert value is None
+            time.sleep(0.1)  # simulate the adjacency build
+            manager.put(key, _Sized(8))
+            outcomes.append("built")
+
+        def waiter():
+            time.sleep(0.02)  # ensure the builder claimed the slot
+            value = manager.get(key)
+            outcomes.append("waited" if value is not None else "rebuilt")
+
+        threads = [threading.Thread(target=builder)] + [
+            threading.Thread(target=waiter) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("built") == 1
+        assert outcomes.count("waited") == 3
+        assert manager.builds == 1
+        assert manager.coalesced_builds == 3
+
+    def test_abandon_releases_waiters(self):
+        manager = SharedCacheManager(build_wait_s=5.0)
+        key = ("ds", "euclidean", 0.7)
+        assert manager.get(key) is None
+
+        seen = []
+
+        def waiter():
+            t0 = time.perf_counter()
+            value = manager.get(key)  # becomes the new owner post-abandon
+            seen.append((value, time.perf_counter() - t0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        manager.abandon(key)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        value, waited = seen[0]
+        assert value is None  # waiter takes over the (non-)build
+        assert waited < 2.0  # released by abandon, not by timeout
+
+
+# ----------------------------------------------------------------------
+# HTTP server
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service():
+    registry = DatasetRegistry()
+    registry.register_builtin("uniform", n=N, seed=SEED)
+    registry.register_builtin("clustered", n=N, seed=SEED)
+    state = ServiceState(
+        registry, cache=SharedCacheManager(max_entries=16), workers=3
+    )
+    with start_in_thread(state) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(service.host, service.port) as c:
+        yield c
+
+
+class TestServerEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "uniform" in health["datasets"]
+
+    def test_datasets_catalogue(self, client):
+        catalogue = {row["id"] for row in client.datasets()["datasets"]}
+        assert {"uniform", "clustered"} <= catalogue
+
+    def test_select_matches_direct_disc_select(self, client):
+        response = client.select("uniform", RADIUS, engine=ENGINE)
+        reference = disc_select(
+            uniform_dataset(n=N, seed=SEED),
+            RADIUS,
+            engine="grid",
+            engine_options={"cell_size": RADIUS},
+        )
+        assert response["result"]["selected"] == [int(i) for i in reference.selected]
+        assert response["result"]["algorithm"] == reference.algorithm
+        assert response["result"]["radius"] == RADIUS
+        # The whole result payload round-trips through the documented
+        # wire format.
+        from repro.core import DiscResult
+
+        back = DiscResult.from_dict(response["result"])
+        assert back.selected == [int(i) for i in reference.selected]
+
+    def test_nested_request_form_is_equivalent(self, client):
+        flat = client.select("uniform", RADIUS, engine=ENGINE)
+        status, nested = client.request(
+            "POST",
+            "/select",
+            {
+                "dataset": "uniform",
+                "request": {"radius": RADIUS, "method": "greedy", "engine": ENGINE},
+            },
+        )
+        assert status == 200
+        assert nested["result"]["selected"] == flat["result"]["selected"]
+
+    def test_zoom_in_and_out(self, client):
+        zoomed = client.zoom("uniform", RADIUS, RADIUS / 2, engine=ENGINE)
+        assert zoomed["direction"] == "in"
+        base = set(zoomed["from_result"]["selected"])
+        finer = set(zoomed["result"]["selected"])
+        assert base <= finer  # zoom-in keeps every black object
+        out = client.zoom("uniform", RADIUS, RADIUS * 2, engine=ENGINE)
+        assert out["direction"] == "out"
+        assert len(out["result"]["selected"]) <= len(out["from_result"]["selected"])
+
+    def test_zoom_accepts_nested_request_form(self, client):
+        flat = client.zoom("uniform", RADIUS, RADIUS / 2, engine=ENGINE)
+        status, nested = client.request(
+            "POST",
+            "/zoom",
+            {
+                "dataset": "uniform",
+                "to": RADIUS / 2,
+                "request": {"radius": RADIUS, "engine": ENGINE},
+            },
+        )
+        assert status == 200
+        assert nested["result"]["selected"] == flat["result"]["selected"]
+
+    def test_error_mapping(self, client):
+        assert client.request("POST", "/select", {"dataset": "missing", "radius": 0.1})[0] == 404
+        assert client.request("POST", "/select", {"dataset": "uniform"})[0] == 400
+        assert client.request(
+            "POST", "/select", {"dataset": "uniform", "radius": 0.1, "method": "nope"}
+        )[0] == 400
+        assert client.request(
+            "POST",
+            "/select",
+            {"dataset": "uniform", "radius": 0.1, "method_options": {"bogus": 1}},
+        )[0] == 400
+        assert client.request(
+            "POST", "/zoom", {"dataset": "uniform", "radius": 0.1, "to": 0.1}
+        )[0] == 400
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("GET", "/select")[0] == 405
+        assert client.request("POST", "/stats")[0] == 405
+        with pytest.raises(ServiceError) as excinfo:
+            client.select("missing", 0.1)
+        assert excinfo.value.status == 404
+
+    def test_invalid_json_body_is_400(self, service):
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/select",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "JSON" in payload["error"]
+        finally:
+            conn.close()
+
+    def test_malformed_content_length_is_400(self, service):
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=30)
+        try:
+            conn.putrequest("POST", "/select", skip_accept_encoding=True)
+            conn.putheader("Content-Length", "abc")
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "Content-Length" in payload["error"]
+        finally:
+            conn.close()
+
+    def test_stats_shape(self, client):
+        client.select("uniform", RADIUS, engine=ENGINE)
+        stats = client.stats()
+        assert stats["computations"] >= 1
+        assert "POST /select" in stats["requests"]
+        assert stats["cache"] is not None
+        assert {"hits", "misses", "builds", "coalesced_builds"} <= set(stats["cache"])
+        assert json.dumps(stats)  # fully serialisable
+
+    def test_identical_concurrent_requests_coalesce(self, service):
+        before = None
+        with ServiceClient(service.host, service.port) as probe:
+            before = probe.stats()["computations"]
+        barrier = threading.Barrier(4)
+        flags, selections, errors = [], [], []
+
+        def worker():
+            try:
+                with ServiceClient(service.host, service.port) as c:
+                    barrier.wait()
+                    # A fresh radius so nothing is pre-cached.
+                    response = c.select("clustered", 0.0625, engine=ENGINE)
+                    flags.append(response["coalesced"])
+                    selections.append(tuple(response["result"]["selected"]))
+            except BaseException as exc:  # pragma: no cover - surfacing
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(selections)) == 1
+        with ServiceClient(service.host, service.port) as probe:
+            after = probe.stats()
+        # 4 requests, strictly fewer computations (the leader's 1, plus
+        # at most a straggler that arrived after the leader finished).
+        computed = after["computations"] - before
+        assert computed < 4
+        assert flags.count(True) == 4 - computed
+        assert after["coalesced_requests"] >= flags.count(True)
+
+    def test_repeated_radii_hit_shared_cache(self, service, client):
+        hits_before = client.stats()["cache"]["hits"]
+        for _ in range(3):
+            client.select("uniform", 0.11, engine=ENGINE)
+        hits_after = client.stats()["cache"]["hits"]
+        assert hits_after > hits_before
+
+
+# ----------------------------------------------------------------------
+# `repro serve` subprocess: the CI smoke lane
+# ----------------------------------------------------------------------
+def test_serve_subprocess_smoke(tmp_path):
+    """Start the real CLI server, replay a short multi-client zoom
+    trace, assert 200s + cache hits + coalescing + clean shutdown."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--datasets",
+            "uniform",
+            "--n",
+            "800",
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listening line in: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+        wait_until_healthy(host, port, timeout=30)
+
+        radii = [0.1, 0.05, 0.1, 0.05]  # repeated-radius zoom trace
+        barrier = threading.Barrier(2)
+        statuses, errors = [], []
+
+        def worker():
+            try:
+                with ServiceClient(host, port) as c:
+                    for radius in radii:
+                        barrier.wait()
+                        status, payload = c.request(
+                            "POST",
+                            "/select",
+                            {"dataset": "uniform", "radius": radius,
+                             "engine": ENGINE},
+                        )
+                        statuses.append(status)
+            except BaseException as exc:  # pragma: no cover - surfacing
+                errors.append(exc)
+                barrier.abort()
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert statuses == [200] * (2 * len(radii))
+
+        with ServiceClient(host, port) as c:
+            stats = c.stats()
+        assert stats["cache"]["hits"] > 0
+        assert stats["computations"] <= 2 * len(radii)
+
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=30)
+        assert process.returncode == 0, out
+        assert "shutting down" in out
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup on failure
+            process.kill()
+            process.communicate()
