@@ -226,6 +226,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-coalesce", action="store_true",
         help="disable single-flighting of identical concurrent requests",
     )
+    p_serve.add_argument(
+        "--default-timeout-ms", type=float, default=None,
+        help="deadline applied to requests without their own timeout_ms "
+        "(default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-timeout-ms", type=float, default=None,
+        help="server cap on client timeout_ms budgets (expiry of a "
+        "capped budget answers 504, not 408)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to let in-flight requests finish on SIGTERM/SIGINT "
+        "before dropping connections",
+    )
+    p_serve.add_argument(
+        "--faults", default=None, metavar="JSON",
+        help="fault-injection config as JSON (see repro.service.faults."
+        "FaultConfig), e.g. '{\"seed\": 7, \"build_failure_rate\": 0.2}'",
+    )
     return parser
 
 
@@ -407,6 +427,8 @@ def _cmd_serve(args) -> int:
     from repro.service import (
         DatasetRegistry,
         DiscServer,
+        FaultConfig,
+        FaultInjector,
         ServiceState,
         SharedCacheManager,
     )
@@ -420,6 +442,14 @@ def _cmd_serve(args) -> int:
             registry.register_builtin(name, n=args.n, seed=args.seed)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    faults = None
+    if args.faults:
+        import json as _json
+
+        try:
+            faults = FaultInjector(FaultConfig.from_dict(_json.loads(args.faults)))
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"--faults: {exc}") from None
     cache = None
     if not args.no_cache:
         cache = SharedCacheManager(
@@ -428,6 +458,7 @@ def _cmd_serve(args) -> int:
                 None if args.cache_mb is None else int(args.cache_mb * 2**20)
             ),
             ttl_s=args.ttl,
+            faults=faults,
         )
     state = ServiceState(
         registry,
@@ -436,10 +467,15 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         max_inflight=args.max_inflight or None,
         coalesce=not args.no_coalesce,
+        default_timeout_ms=args.default_timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
+        faults=faults,
     )
 
     async def _main() -> None:
-        server = DiscServer(state, host=args.host, port=args.port)
+        server = DiscServer(
+            state, host=args.host, port=args.port, drain_s=args.drain_timeout
+        )
         await server.start()
         print(
             f"[serve] listening on http://{args.host}:{server.port} "

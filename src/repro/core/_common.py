@@ -13,6 +13,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cancellation import CHECKPOINT_EVERY, current_token
 from repro.core.coloring import Color, Coloring
 from repro.index.base import IndexStats, NeighborIndex
 
@@ -101,12 +102,18 @@ def scan_cover(
     """
     if selected is None:
         selected = []
+    token = current_token()
+    picks = 0
     if csr is not None:
         codes = coloring.codes_view()
         white_code = int(Color.WHITE)
         for object_id in index.ids():
             if codes[object_id] != white_code:
                 continue
+            if token is not None:
+                if picks % CHECKPOINT_EVERY == 0:
+                    token.checkpoint()
+                picks += 1
             coloring.set_black(object_id)
             selected.append(object_id)
             neighbors = csr.neighbors(object_id)
@@ -118,6 +125,10 @@ def scan_cover(
         for object_id in index.ids():
             if not coloring.is_white(object_id):
                 continue
+            if token is not None:
+                if picks % CHECKPOINT_EVERY == 0:
+                    token.checkpoint()
+                picks += 1
             coloring.set_black(object_id)
             selected.append(object_id)
             neighbors = query_neighbors(index, object_id, radius, prune=prune)

@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cancellation import CHECKPOINT_EVERY, current_token
 from repro.core._common import (
     ClosestBlackTracker,
     LazyMaxHeap,
@@ -171,7 +172,13 @@ def greedy_cover(
             return counts[object_id] > 0
         return False
 
+    token = current_token()
+    pops = 0
     while coloring.any_white():
+        if token is not None:
+            if pops % CHECKPOINT_EVERY == 0:
+                token.checkpoint()
+            pops += 1
         pick = heap.pop_valid(lambda i: int(counts[i]), eligible)
         if pick is None:
             raise RuntimeError(
@@ -328,8 +335,18 @@ def _greedy_cover_csr(
         start_at = indptr.item
         count_nonzero = np.count_nonzero
         any_white = coloring.any_white
+        token = current_token()
+        pops = 0
         while any_white():
             while True:
+                # Cancellation checkpoint counts *verified pops* — the
+                # inner lowering cascade is where the lazy strategy
+                # spends its time, so an outer-loop check alone could
+                # stall arbitrarily long inside one pick.
+                if token is not None:
+                    if pops % CHECKPOINT_EVERY == 0:
+                        token.checkpoint()
+                    pops += 1
                 pick = argmax()
                 stored = stored_at(leaf_base + pick)
                 if stored < 0:
@@ -369,7 +386,16 @@ def _greedy_cover_csr(
                 )
     else:
         pick_buf = np.empty(1, dtype=np.int64)
+        token = current_token()
+        pops = 0
         while coloring.any_white():
+            # One eager step is a whole CSR decrement sweep, so every
+            # segment-tree pop gets a checkpoint (still far cheaper
+            # than the vector work it gates).
+            if token is not None:
+                if pops % CHECKPOINT_EVERY == 0:
+                    token.checkpoint()
+                pops += 1
             pick = tree.argmax()
             if scores[pick] < 0:
                 raise RuntimeError(

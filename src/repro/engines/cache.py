@@ -108,6 +108,17 @@ class AdjacencyCache:
         treat both caches uniformly.
         """
 
+    def fail(self, key: float, exc: BaseException) -> None:
+        """A claimed build raised ``exc`` and will never :meth:`put`.
+
+        The private LRU just releases the (no-op) slot; the shared
+        serving cache overrides this to propagate the failure to every
+        coalesced waiter and to feed its circuit breaker — which is why
+        the exception travels with the release instead of callers
+        calling plain :meth:`abandon`.
+        """
+        self.abandon(key)
+
     def _evict(self) -> None:
         with self._lock:
             while len(self._entries) > 1 and (
@@ -158,10 +169,12 @@ class AdjacencyCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

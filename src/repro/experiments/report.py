@@ -122,10 +122,12 @@ repeating constantly.
   echo plus a serialised `DiscResult` under `"result"`:
   `{"dataset": ..., "request": {...}, "result": {"selected": [...],
   "radius": ..., "algorithm": ..., "stats": {...}, "closest_black":
-  ..., "meta": {...}}, "elapsed_s": ..., "coalesced": false}`.
+  ..., "meta": {...}}, "elapsed_s": ..., "coalesced": false,
+  "degraded": false}`.
   A zoom body adds `"to": r2` (and optionally `"greedy"` / `"variant"`)
-  and returns both the base and the adapted result.  Errors: unknown
-  dataset → 404, validation → 400, overload → 503.
+  and returns both the base and the adapted result.  Errors are
+  structured `{"error": {"code", "message"}}` bodies — see the
+  failure-modes table in the fault-tolerance section below.
 * **Shared dataset registry** — datasets load once per process and are
   handed out as immutable handles (`DatasetRegistry`); `/select` on an
   unknown name is a 404, never an implicit load of arbitrary data.
@@ -158,6 +160,78 @@ requests, throughput >= 1.5x).  CI smoke: `tests/test_service.py`
 starts `repro serve` as a subprocess, replays a 2-client trace,
 asserts 200s + cache hits + clean SIGTERM shutdown, and `repro bench
 --service --quick` runs in the fast lane.
+
+## Fault tolerance — deadlines, degraded modes, chaos (PR 6)
+
+The serving layer degrades predictably instead of hanging or lying.
+
+* **Deadline budgets** — a request may carry `timeout_ms`; the server
+  resolves it against `--default-timeout-ms` / `--max-timeout-ms` into
+  a `CancellationToken` (`repro.cancellation`) installed ambiently in
+  the worker thread.  The greedy segment-tree pop loops, the
+  Basic-DisC scan, and the chunked CSR/blocked adjacency builders
+  checkpoint every 256 iterations, so a timed-out request aborts
+  within one checkpoint interval and *frees its executor slot*
+  (`/stats` `inflight` returns to 0 — asserted by the chaos suite).
+  Expiry answers 408 when the client's own budget was the binding
+  constraint, 504 when the server default or cap was.
+* **Failure modes** — every non-200 body is `{"error": {"code":
+  ..., "message": ...}}`; unexpected exceptions answer 500 carrying
+  only the exception type name (raw `str(exc)` never reaches the
+  wire):
+
+  | status | code | meaning | retryable |
+  |--------|------|---------|-----------|
+  | 400 | `bad_request` | invalid body, radius, engine, `timeout_ms`... | no |
+  | 404 | `not_found` | unknown dataset or path | no |
+  | 405 | `method_not_allowed` | wrong HTTP verb | no |
+  | 408 | `deadline_exceeded` | the client's `timeout_ms` expired | yes, with a larger budget |
+  | 413 | `payload_too_large` | body over the 16 MiB cap | no |
+  | 500 | `internal` | unexpected server error | yes |
+  | 503 | `build_failed` | the adjacency build raised (propagated to all coalesced waiters) | yes |
+  | 503 | `circuit_open` | repeated build failures; no stale fallback on hand | yes, after backoff |
+  | 503 | `injected_fault` | a configured chaos fault fired | yes |
+  | 503 | `overloaded` | admission control past `--max-inflight` | yes |
+  | 504 | `server_deadline_exceeded` | the server default/cap expired | yes |
+
+* **Failure containment** — a failing build propagates to every
+  coalesced waiter *promptly* (never by riding out the build-wait
+  timeout); repeated failures trip a per-`(dataset, metric,
+  radius_bucket)` circuit breaker (closed → open → half-open, with
+  exactly one probe per half-open window).  TTL-expired cache entries
+  demote to a **stale tier** and are served — response marked
+  `"degraded": true`, counted in `/stats` `degraded_responses` — when
+  the breaker is open or the remaining deadline cannot fit a rebuild.
+  Datasets are immutable, so a stale adjacency still yields
+  byte-identical selections; "degraded" is about freshness accounting,
+  not accuracy.
+* **Client retries** — `ServiceClient(retry=RetryPolicy(...))` retries
+  connection failures and 503s with jittered exponential backoff under
+  a total sleep budget.  Every retried compute request reuses one
+  idempotency key: a retry whose original is still running joins it
+  via request-level single-flight; one whose original completed (the
+  response was lost on the wire) replays the stored response.
+  `wait_until_healthy` uses the same capped backoff and surfaces the
+  last underlying error on exhaustion.
+* **Graceful drain** — SIGTERM stops accepting new connections,
+  in-flight requests complete within `--drain-timeout`, exit 0
+  (pinned by a subprocess test with a request mid-flight).
+* **Fault injection + chaos** — `repro serve --faults '{"seed": 1,
+  "build_failure_rate": 0.2}'` enables deterministic, seeded injection
+  points (build raises, slow builds, cache corruption, connection
+  resets, worker stalls) baked into the production code paths — no
+  monkeypatching, every point draws from its own seeded stream and is
+  counted under `/stats` → `faults`.  The chaos suite
+  (`tests/test_resilience.py`, CI "Resilience lane") replays the
+  4-client zoom trace under fault mixes and asserts zero hung
+  requests, the in-flight gauge draining to 0, and byte-parity of
+  every success with the fault-free run.
+
+The **deadline** phase of `python -m repro bench --service` replays
+the shared trace under a per-request budget sized at the stateless
+p90 and records p99 <= `timeout_ms` + one checkpoint allowance
+(250 ms), with timed-out and degraded responses counted separately in
+`results/BENCH_service.json`.
 """
 
 

@@ -49,6 +49,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.cancellation import current_token
 from repro.graph.csr import (
     CSRNeighborhood,
     _PAIR_AUTO,
@@ -401,10 +402,13 @@ def _finish_blocked(
     sides: List[np.ndarray] = []
     partner: List[int] = []
     is_clique: List[bool] = []
-    for src, dst in zip(
+    token = current_token()
+    for pair_no, (src, dst) in enumerate(zip(
         plan.pair_src[np.flatnonzero(undirected)],
         plan.pair_dst[np.flatnonzero(undirected)],
-    ):
+    )):
+        if token is not None and pair_no % 256 == 0:
+            token.checkpoint()
         if src == dst:
             sides.append(plan.groups[src])
             partner.append(len(sides) - 1)

@@ -36,6 +36,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cancellation import current_token
 from repro.validation import validate_radius
 
 __all__ = [
@@ -318,7 +319,14 @@ def build_csr_pairwise(
     chunk = pairwise_row_chunk(n, dim)
     rows_acc: List[np.ndarray] = []
     cols_acc: List[np.ndarray] = []
+    token = current_token()
     for start in range(0, n, chunk):
+        # Adjacency builds dominate cold-cache request latency, so the
+        # chunk loop is a cancellation checkpoint: a deadline expiring
+        # mid-build frees the worker instead of finishing a matrix
+        # nobody will read.
+        if token is not None:
+            token.checkpoint()
         block = metric.pairwise(points[start : start + chunk], points)
         if stats is not None:
             stats.distance_computations += block.size
@@ -573,7 +581,12 @@ def _assemble_grid_csr(
         degrees[members] = lengths
         blocks.append((members, lengths, cols))
 
+    token = current_token()
     for i in range(plan.m):
+        # One cell is bounded work; checking every 64 keeps the
+        # cancellation latency tiny without touching the profile.
+        if token is not None and i % 64 == 0:
+            token.checkpoint()
         lo, hi = cell_ptr[i], cell_ptr[i + 1]
         members = groups[i]
         dsts = pair_dst[lo:hi]

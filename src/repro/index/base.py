@@ -236,11 +236,13 @@ class NeighborIndex(abc.ABC):
         if csr is None:
             try:
                 csr = self._build_csr(key)
-            except BaseException:
+            except BaseException as exc:
                 # A claimed-but-failed build must release the slot, or
                 # coalesced readers of a shared cache wait out their
-                # timeout for a value that will never arrive.
-                self._csr_cache.abandon(key)
+                # timeout for a value that will never arrive.  ``fail``
+                # carries the exception so a shared cache can hand it
+                # to every waiter and feed its circuit breaker.
+                self._csr_cache.fail(key, exc)
                 raise
             if csr is not None:
                 self._csr_cache.put(key, csr)

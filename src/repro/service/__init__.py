@@ -18,23 +18,49 @@ This package is that serving layer:
   JSON-over-HTTP front end (``repro serve``) with single-flight
   request coalescing;
 * :class:`~repro.service.client.ServiceClient` — a keep-alive stdlib
-  client;
+  client with jittered retry/backoff and idempotent retries;
+* :mod:`~repro.service.resilience` — deadline budgets, the per-key
+  circuit breaker, retry policies and the structured error contract;
+* :mod:`~repro.service.faults` — deterministic, seedable fault
+  injection (``repro serve --faults``) driving the chaos suite;
 * :mod:`repro.service.load` — the multi-client zoom-trace load
   harness behind ``repro bench --service`` and
   ``results/BENCH_service.json``.
 """
 
 from repro.service.cache import SharedCacheManager, SharedCacheView, radius_bucket
-from repro.service.client import ServiceClient, ServiceError, wait_until_healthy
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    wait_until_healthy,
+)
+from repro.service.faults import FaultConfig, FaultInjector, InjectedFault
 from repro.service.registry import BUILTIN_DATASETS, DatasetHandle, DatasetRegistry
+from repro.service.resilience import (
+    BuildFailed,
+    CancellationToken,
+    CircuitBreaker,
+    CircuitOpen,
+    OperationCancelled,
+)
 from repro.service.server import DiscServer, RunningService, start_in_thread
 from repro.service.state import ServiceState, canonical_key
 
 __all__ = [
     "BUILTIN_DATASETS",
+    "BuildFailed",
+    "CancellationToken",
+    "CircuitBreaker",
+    "CircuitOpen",
     "DatasetHandle",
     "DatasetRegistry",
     "DiscServer",
+    "FaultConfig",
+    "FaultInjector",
+    "InjectedFault",
+    "OperationCancelled",
+    "RetryPolicy",
     "RunningService",
     "ServiceClient",
     "ServiceError",

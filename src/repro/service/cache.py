@@ -31,17 +31,34 @@ With N concurrent sessions that is N identical builds.  The manager
 single-flights them: the first missing thread becomes the *builder*;
 later threads block (up to ``build_wait_s``) on the builder's event and
 receive the finished adjacency as a hit (counted in
-``coalesced_builds``).  If a builder dies without ``put`` (e.g. its
-engine cannot materialise CSR), waiters time out and build themselves —
-a liveness fallback, not the expected path.
+``coalesced_builds``).  A builder that **raises** calls :meth:`fail`
+(via ``csr_neighborhood``), which hands the exception to every waiter
+promptly as a :class:`~repro.service.resilience.BuildFailed` — waiting
+out ``build_wait_s`` for a value that will never arrive is reserved for
+a builder that silently dies, the liveness fallback.
+
+Failure containment
+-------------------
+Repeated build failures trip a per-key
+:class:`~repro.service.resilience.CircuitBreaker` (closed → open →
+half-open): while open, no build is attempted and callers either get a
+**stale** value or :class:`~repro.service.resilience.CircuitOpen`.
+TTL-expired entries are not dropped but demoted to the stale tier; a
+stale value is served — with the ambient
+:class:`~repro.cancellation.CancellationToken` marked degraded — when
+the breaker is open, or when the request's remaining deadline is
+smaller than the key's recorded build time (a rebuild could not finish
+anyway).  Entries carry a type stamp checked on every read (a cheap
+integrity check standing in for a checksum); a mismatching entry is
+dropped and rebuilt, never served.
 
 Budgets and TTL
 ---------------
 Eviction is LRU over an entry budget and a byte budget (entry sizes
 from the ``nbytes`` hook, same as the session cache); the most recently
-inserted entry is never evicted.  ``ttl_s`` ages entries out so a
-long-lived server eventually drops radii nobody asks for anymore;
-expiry is checked on access (counted in ``expirations``).
+inserted entry is never evicted.  ``ttl_s`` ages entries into the stale
+tier; expiry is checked on access (counted in ``expirations``).  The
+stale tier is LRU-bounded by the same entry budget.
 """
 
 from __future__ import annotations
@@ -52,12 +69,18 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.cancellation import OperationCancelled, current_token
 from repro.engines.cache import AdjacencyCache
+from repro.service.resilience import BuildFailed, CircuitBreaker, CircuitOpen
 
 __all__ = ["SharedCacheManager", "SharedCacheView", "radius_bucket"]
 
 #: Composite cache key: (dataset_id, metric_name, radius_bucket).
 CacheKey = Tuple[str, str, float]
+
+#: A rebuild is "too tight" when the remaining deadline is under this
+#: multiple of the key's last observed build time.
+REBUILD_SAFETY = 1.5
 
 
 def radius_bucket(radius: float) -> float:
@@ -79,19 +102,29 @@ def _entry_bytes(value) -> int:
 class _Entry:
     value: object
     expires_at: Optional[float]  # time.monotonic() deadline, None = never
+    stamp: str = ""  # type name recorded at put; integrity check on read
+
+    def __post_init__(self) -> None:
+        if not self.stamp:
+            self.stamp = type(self.value).__name__
 
     def expired(self, now: float) -> bool:
         return self.expires_at is not None and now >= self.expires_at
+
+    def intact(self) -> bool:
+        return type(self.value).__name__ == self.stamp
 
 
 class _PendingBuild:
     """One in-flight adjacency build (the single-flight token)."""
 
-    __slots__ = ("owner", "event")
+    __slots__ = ("owner", "event", "error", "claimed_at")
 
     def __init__(self, owner: int) -> None:
         self.owner = owner
         self.event = threading.Event()
+        self.error: Optional[BaseException] = None
+        self.claimed_at = time.monotonic()
 
 
 class SharedCacheManager:
@@ -100,15 +133,24 @@ class SharedCacheManager:
     Parameters
     ----------
     max_entries:
-        LRU entry budget across all datasets (None = unbounded).
+        LRU entry budget across all datasets (None = unbounded); also
+        bounds the stale tier.
     max_bytes:
         Byte budget across all datasets (None = unbounded); entry sizes
         come from each adjacency's ``nbytes``.
     ttl_s:
-        Seconds an entry stays valid after insertion (None = forever).
+        Seconds an entry stays fresh after insertion (None = forever);
+        expired entries demote to the stale tier.
     build_wait_s:
         How long a missing thread waits for a concurrent builder of the
         same key before giving up and building itself.
+    failure_threshold / breaker_reset_s:
+        Per-key circuit breaker: consecutive build failures before the
+        circuit opens, and the cooldown before a half-open probe.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`; hooks
+        fire at the miss-claim (build failures / slow builds) and at
+        ``put`` (entry corruption).
     """
 
     def __init__(
@@ -117,6 +159,10 @@ class SharedCacheManager:
         max_bytes: Optional[int] = None,
         ttl_s: Optional[float] = None,
         build_wait_s: float = 60.0,
+        *,
+        failure_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
+        faults=None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -128,15 +174,24 @@ class SharedCacheManager:
         self.max_bytes = max_bytes
         self.ttl_s = ttl_s
         self.build_wait_s = build_wait_s
+        self.failure_threshold = failure_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.faults = faults
         self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._stale: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._pending: Dict[CacheKey, _PendingBuild] = {}
+        self._breakers: Dict[CacheKey, CircuitBreaker] = {}
+        self._build_seconds: Dict[CacheKey, float] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
         self.builds = 0
         self.coalesced_builds = 0
+        self.build_failures = 0
+        self.stale_served = 0
+        self.corrupt_entries = 0
 
     # ------------------------------------------------------------------
     def view(self, dataset_id: str, metric) -> "SharedCacheView":
@@ -144,59 +199,154 @@ class SharedCacheManager:
         return SharedCacheView(self, dataset_id, metric)
 
     # ------------------------------------------------------------------
+    # Internal helpers (call with self._lock held)
+    # ------------------------------------------------------------------
+    def _fresh_value(self, key: CacheKey):
+        """The fresh, intact value for ``key`` or None.
+
+        Expired entries demote to the stale tier; corrupt entries are
+        dropped (never demoted — a failed integrity check means the
+        bytes cannot be trusted at any age).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if not entry.intact():
+            del self._entries[key]
+            self.corrupt_entries += 1
+            return None
+        if entry.expired(time.monotonic()):
+            del self._entries[key]
+            self.expirations += 1
+            self._stale[key] = entry
+            self._stale.move_to_end(key)
+            self._evict_stale()
+            return None
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def _stale_value(self, key: CacheKey):
+        entry = self._stale.get(key)
+        if entry is None:
+            return None
+        if not entry.intact():
+            del self._stale[key]
+            self.corrupt_entries += 1
+            return None
+        self._stale.move_to_end(key)
+        return entry.value
+
+    def _serve_stale(self, key: CacheKey, value, reason: str):
+        self.stale_served += 1
+        self.hits += 1
+        token = current_token()
+        if token is not None:
+            token.mark_degraded(f"stale-adjacency:{reason}")
+        return value
+
+    def _breaker(self, key: CacheKey) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.failure_threshold, self.breaker_reset_s)
+            self._breakers[key] = breaker
+        return breaker
+
+    def _claim(self, key: CacheKey) -> None:
+        self._pending[key] = _PendingBuild(threading.get_ident())
+        self.misses += 1
+
+    def _rebuild_too_tight(self, key: CacheKey) -> bool:
+        """Would a rebuild overshoot the ambient deadline?"""
+        estimate = self._build_seconds.get(key)
+        if estimate is None:
+            return False
+        token = current_token()
+        if token is None:
+            return False
+        remaining = token.remaining()
+        return remaining is not None and remaining < estimate * REBUILD_SAFETY
+
+    # ------------------------------------------------------------------
     def get(self, key: CacheKey):
         """The cached adjacency, or None — in which case the caller owns
-        the build and must :meth:`put` (or :meth:`abandon`) the key.
+        the build and must :meth:`put` (or :meth:`fail`/:meth:`abandon`)
+        the key.
 
         If another thread is already building this key, blocks up to
         ``build_wait_s`` for its result instead of duplicating the
-        build.
+        build; a builder that raised hands its exception over promptly
+        as :class:`BuildFailed`.  While the key's circuit breaker is
+        open — or the ambient deadline cannot fit a rebuild — a stale
+        value is served degraded instead of building.
         """
         deadline = time.monotonic() + self.build_wait_s
         while True:
             with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None:
-                    if entry.expired(time.monotonic()):
-                        del self._entries[key]
-                        self.expirations += 1
-                    else:
-                        self._entries.move_to_end(key)
-                        self.hits += 1
-                        return entry.value
+                value = self._fresh_value(key)
+                if value is not None:
+                    self.hits += 1
+                    return value
                 pending = self._pending.get(key)
-                if pending is None:
-                    self._pending[key] = _PendingBuild(threading.get_ident())
-                    self.misses += 1
-                    return None
-                if pending.owner == threading.get_ident():
+                if pending is not None and pending.owner == threading.get_ident():
                     # Re-entrant miss (builder probing again): keep
                     # ownership, let it proceed with its build.
                     self.misses += 1
                     return None
-                event = pending.event
+                if pending is None:
+                    # No build in flight: we would become the builder —
+                    # unless the breaker or the deadline says otherwise.
+                    breaker = self._breakers.get(key)
+                    if breaker is not None and not breaker.allow():
+                        stale = self._stale_value(key)
+                        if stale is not None:
+                            return self._serve_stale(key, stale, "circuit-open")
+                        raise CircuitOpen(key, breaker.retry_after_s())
+                    if self._rebuild_too_tight(key):
+                        stale = self._stale_value(key)
+                        if stale is not None:
+                            return self._serve_stale(key, stale, "deadline")
+                    self._claim(key)
+                else:
+                    event = pending.event
+            if pending is None:
+                # Claimed the build slot; injected faults fire here so a
+                # "build raises"/"slow build" exercises the exact path a
+                # real engine failure takes (fail() + propagation).
+                if self.faults is not None:
+                    try:
+                        self.faults.on_build()
+                    except BaseException as exc:
+                        self.fail(key, exc)
+                        raise
+                return None
             # Someone else is building: wait outside the lock.
             if not event.wait(timeout=max(0.0, deadline - time.monotonic())):
                 # Builder stalled or abandoned without notice — take
                 # over ownership rather than deadlocking.
                 with self._lock:
                     if self._pending.get(key) is pending:
-                        self._pending[key] = _PendingBuild(threading.get_ident())
-                        self.misses += 1
+                        self._claim(key)
                         return None
                 continue  # ownership changed hands; re-evaluate
+            if pending.error is not None:
+                # The builder raised: propagate promptly.  With the
+                # breaker open and a stale value on hand, degrade
+                # instead of failing the request.
+                with self._lock:
+                    breaker = self._breakers.get(key)
+                    if breaker is not None and not breaker.allow():
+                        stale = self._stale_value(key)
+                        if stale is not None:
+                            return self._serve_stale(key, stale, "circuit-open")
+                raise BuildFailed(key, pending.error)
             with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None and not entry.expired(time.monotonic()):
-                    self._entries.move_to_end(key)
+                value = self._fresh_value(key)
+                if value is not None:
                     self.hits += 1
                     self.coalesced_builds += 1
-                    return entry.value
-            # Built value already evicted/expired (tiny budget): build.
-            with self._lock:
+                    return value
                 if key not in self._pending:
-                    self._pending[key] = _PendingBuild(threading.get_ident())
-                    self.misses += 1
+                    self._claim(key)
                     return None
             # Another thread re-registered first; wait for it in turn.
 
@@ -204,15 +354,10 @@ class SharedCacheManager:
         """The cached adjacency or None — no build slot is claimed and
         no waiting happens, so callers must not follow with ``put``."""
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                if entry.expired(time.monotonic()):
-                    del self._entries[key]
-                    self.expirations += 1
-                else:
-                    self._entries.move_to_end(key)
-                    self.hits += 1
-                    return entry.value
+            value = self._fresh_value(key)
+            if value is not None:
+                self.hits += 1
+                return value
             self.misses += 1
             return None
 
@@ -220,11 +365,24 @@ class SharedCacheManager:
         """Insert a built adjacency; wakes any coalesced waiters."""
         now = time.monotonic()
         expires = None if self.ttl_s is None else now + self.ttl_s
+        stored = value
+        if self.faults is not None:
+            stored = self.faults.maybe_corrupt(value)
         with self._lock:
-            self._entries[key] = _Entry(value, expires)
+            # Stamp with the *real* value's type: an injected corrupt
+            # wrapper therefore fails the integrity check on first read.
+            self._entries[key] = _Entry(stored, expires, type(value).__name__)
             self._entries.move_to_end(key)
+            self._stale.pop(key, None)  # fresh build supersedes stale
             self.builds += 1
             pending = self._pending.pop(key, None)
+            if pending is not None:
+                self._build_seconds[key] = max(
+                    1e-6, now - pending.claimed_at
+                )
+            breaker = self._breakers.get(key)
+            if breaker is not None:
+                breaker.record_success()
             self._evict()
         if pending is not None:
             pending.event.set()
@@ -242,6 +400,25 @@ class SharedCacheManager:
         if pending is not None:
             pending.event.set()
 
+    def fail(self, key: CacheKey, exc: BaseException) -> None:
+        """A claimed build raised: propagate to waiters, feed the breaker.
+
+        Cooperative cancellations are *not* failures — the dependency
+        is healthy, the requester just ran out of budget — so they
+        release the slot like :meth:`abandon` and let a waiter take
+        over the build under its own deadline.
+        """
+        if isinstance(exc, OperationCancelled):
+            self.abandon(key)
+            return
+        with self._lock:
+            pending = self._pending.pop(key, None)
+            self.build_failures += 1
+            self._breaker(key).record_failure()
+        if pending is not None:
+            pending.error = exc  # must precede the wake-up
+            pending.event.set()
+
     def _evict(self) -> None:
         with self._lock:
             while len(self._entries) > 1 and (
@@ -254,11 +431,24 @@ class SharedCacheManager:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def _evict_stale(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._stale) > self.max_entries:
+            self._stale.popitem(last=False)
+            self.evictions += 1
+
     # ------------------------------------------------------------------
     @property
     def total_bytes(self) -> int:
         with self._lock:
             return sum(_entry_bytes(e.value) for e in self._entries.values())
+
+    def breaker_state(self, key: CacheKey) -> str:
+        """The breaker state for ``key`` (``"closed"`` if none exists)."""
+        with self._lock:
+            breaker = self._breakers.get(key)
+        return "closed" if breaker is None else breaker.state
 
     def cache_info(self) -> dict:
         """Counters + per-key footprint (plain JSON-serialisable dict)."""
@@ -286,6 +476,14 @@ class SharedCacheManager:
                 "expirations": self.expirations,
                 "builds": self.builds,
                 "coalesced_builds": self.coalesced_builds,
+                "build_failures": self.build_failures,
+                "stale_entries": len(self._stale),
+                "stale_served": self.stale_served,
+                "corrupt_entries": self.corrupt_entries,
+                "breakers": {
+                    f"{dataset}/{metric}@{bucket}": breaker.describe()
+                    for (dataset, metric, bucket), breaker in self._breakers.items()
+                },
                 "bytes": self.total_bytes,
                 "max_entries": self.max_entries,
                 "max_bytes": self.max_bytes,
@@ -297,6 +495,9 @@ class SharedCacheManager:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
+            self._breakers.clear()
+            self._build_seconds.clear()
             pending = list(self._pending.values())
             self._pending.clear()
         for build in pending:
@@ -318,12 +519,12 @@ class SharedCacheView(AdjacencyCache):
     """A per-(dataset, metric) window onto a :class:`SharedCacheManager`.
 
     Implements the :class:`~repro.engines.cache.AdjacencyCache` protocol
-    (``get``/``put``/``adopt``/``info``/``clear`` keyed by radius), so a
-    :class:`~repro.index.base.NeighborIndex` — and therefore a
-    :class:`~repro.api.DiscSession` — attaches to the shared store with
-    ``set_adjacency_cache(manager.view(dataset_id, metric))`` and no
-    other change.  The view keeps its own hit/miss counters (what *this*
-    session saw) next to the manager-wide ones.
+    (``get``/``put``/``fail``/``adopt``/``info``/``clear`` keyed by
+    radius), so a :class:`~repro.index.base.NeighborIndex` — and
+    therefore a :class:`~repro.api.DiscSession` — attaches to the shared
+    store with ``set_adjacency_cache(manager.view(dataset_id, metric))``
+    and no other change.  The view keeps its own hit/miss counters (what
+    *this* session saw) next to the manager-wide ones.
     """
 
     def __init__(self, manager: SharedCacheManager, dataset_id: str, metric) -> None:
@@ -359,6 +560,9 @@ class SharedCacheView(AdjacencyCache):
 
     def abandon(self, key: float) -> None:
         self.manager.abandon(self._key(key))
+
+    def fail(self, key: float, exc: BaseException) -> None:
+        self.manager.fail(self._key(key), exc)
 
     def adopt(self, other: AdjacencyCache) -> None:
         """Carry a session-private cache's entries into the shared store
@@ -400,6 +604,10 @@ class SharedCacheView(AdjacencyCache):
                         "misses",
                         "builds",
                         "coalesced_builds",
+                        "build_failures",
+                        "stale_entries",
+                        "stale_served",
+                        "corrupt_entries",
                         "evictions",
                         "expirations",
                         "bytes",
@@ -412,18 +620,23 @@ class SharedCacheView(AdjacencyCache):
     def clear(self) -> None:
         """Drop this view's keys from the shared store (others stay)."""
         with self.manager._lock:
-            doomed = [
-                key
-                for key in self.manager._entries
-                if key[0] == self.dataset_id and key[1] == self.metric_name
-            ]
-            for key in doomed:
-                del self.manager._entries[key]
+            for tier in (self.manager._entries, self.manager._stale):
+                doomed = [
+                    key
+                    for key in tier
+                    if key[0] == self.dataset_id and key[1] == self.metric_name
+                ]
+                for key in doomed:
+                    del tier[key]
 
     def __contains__(self, key) -> bool:
         with self.manager._lock:
             entry = self.manager._entries.get(self._key(key))
-            return entry is not None and not entry.expired(time.monotonic())
+            return (
+                entry is not None
+                and not entry.expired(time.monotonic())
+                and entry.intact()
+            )
 
     def __len__(self) -> int:
         return len(self.info()["radii"])

@@ -6,6 +6,16 @@ to lift into any consumer that doesn't want a dependency.  One
 :class:`ServiceClient` is one connection and is **not** thread-safe;
 multi-client load generation creates one per worker thread (which is
 also what a real fleet of users looks like to the server).
+
+Resilience: construct with a
+:class:`~repro.service.resilience.RetryPolicy` and compute requests
+retry on connection failures and retryable statuses (503 by default)
+with jittered exponential backoff under a total sleep budget.  Every
+retried compute request carries an ``idempotency_key``, so a retry
+whose original is still running server-side joins that computation via
+the request-level single-flight instead of doubling the work — and a
+retry whose original *completed* (the response was lost on the wire)
+replays the stored response.
 """
 
 from __future__ import annotations
@@ -16,25 +26,76 @@ import socket
 import time
 from typing import Optional
 
-__all__ = ["ServiceClient", "ServiceError", "wait_until_healthy"]
+from repro.service.resilience import RetryPolicy
+
+__all__ = ["ServiceClient", "ServiceError", "RetryPolicy", "wait_until_healthy"]
+
+#: Connection-level failures worth retrying (the server may have closed
+#: a keep-alive socket, reset mid-response, or not be up yet).
+_RETRYABLE_CONNECTION_ERRORS = (
+    http.client.NotConnected,
+    http.client.CannotSendRequest,
+    http.client.BadStatusLine,
+    http.client.RemoteDisconnected,
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionRefusedError,
+    socket.timeout,
+)
+
+
+def _error_message(payload: dict) -> str:
+    error = payload.get("error") if isinstance(payload, dict) else None
+    if isinstance(error, dict):
+        code = error.get("code", "error")
+        return f"{code}: {error.get('message', '')}"
+    if error is not None:
+        return str(error)
+    return str(payload)
 
 
 class ServiceError(RuntimeError):
     """A non-2xx response; carries the HTTP status and server payload."""
 
     def __init__(self, status: int, payload: dict) -> None:
-        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        super().__init__(f"HTTP {status}: {_error_message(payload)}")
         self.status = status
         self.payload = payload
 
+    @property
+    def code(self) -> Optional[str]:
+        """The structured error code, when the server sent one."""
+        error = self.payload.get("error") if isinstance(self.payload, dict) else None
+        if isinstance(error, dict):
+            return error.get("code")
+        return None
+
 
 class ServiceClient:
-    """One keep-alive connection to a running DisC server."""
+    """One keep-alive connection to a running DisC server.
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+    Parameters
+    ----------
+    timeout:
+        Socket timeout per round-trip.
+    retry:
+        Optional :class:`RetryPolicy`.  Without one, behavior is the
+        bare wire: one transparent reconnect on a stale keep-alive
+        socket, no status-based retries, no idempotency keys.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 120.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = retry
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -45,16 +106,10 @@ class ServiceClient:
             )
         return self._conn
 
-    def request(
-        self, method: str, path: str, payload: Optional[dict] = None
+    def _round_trip(
+        self, method: str, path: str, body: Optional[bytes], headers: dict
     ) -> tuple:
-        """One round-trip; returns ``(status, decoded_json)``.
-
-        Retries once on a stale keep-alive connection (the server may
-        have closed it between requests); real errors propagate.
-        """
-        body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if body else {}
+        """One wire exchange, reconnecting once on a stale keep-alive."""
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -62,19 +117,59 @@ class ServiceClient:
                 response = conn.getresponse()
                 raw = response.read()
                 break
-            except (
-                http.client.NotConnected,
-                http.client.CannotSendRequest,
-                http.client.BadStatusLine,
-                http.client.RemoteDisconnected,
-                BrokenPipeError,
-                ConnectionResetError,
-            ):
+            except _RETRYABLE_CONNECTION_ERRORS:
                 self.close()
                 if attempt:
                     raise
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
         return response.status, decoded
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple:
+        """One logical request; returns ``(status, decoded_json)``.
+
+        With a :class:`RetryPolicy`, connection failures and retryable
+        statuses back off and retry under the policy's budget; compute
+        retries reuse one idempotency key so the server coalesces them
+        with the original attempt.  The final status is returned even
+        when retries are exhausted; connection errors out of retries
+        propagate.
+        """
+        request_payload = payload
+        retry = self.retry
+        if (
+            retry is not None
+            and method == "POST"
+            and isinstance(payload, dict)
+            and "idempotency_key" not in payload
+        ):
+            request_payload = dict(payload)
+            request_payload["idempotency_key"] = retry.new_idempotency_key()
+        body = (
+            None
+            if request_payload is None
+            else json.dumps(request_payload).encode("utf-8")
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        if retry is None:
+            return self._round_trip(method, path, body, headers)
+        delays = retry.delays()
+        while True:
+            try:
+                status, decoded = self._round_trip(method, path, body, headers)
+            except _RETRYABLE_CONNECTION_ERRORS:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                time.sleep(delay)
+                continue
+            if retry.retryable_status(status):
+                delay = next(delays, None)
+                if delay is not None:
+                    time.sleep(delay)
+                    continue
+            return status, decoded
 
     def _checked(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         status, decoded = self.request(method, path, payload)
@@ -93,6 +188,7 @@ class ServiceClient:
         method: str = "greedy",
         method_options: Optional[dict] = None,
         engine=None,
+        timeout_ms: Optional[float] = None,
     ) -> dict:
         payload = {
             "dataset": dataset,
@@ -102,6 +198,8 @@ class ServiceClient:
         }
         if engine is not None:
             payload["engine"] = engine
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         return self._checked("POST", "/select", payload)
 
     def zoom(
@@ -112,6 +210,7 @@ class ServiceClient:
         *,
         method: str = "greedy",
         engine=None,
+        timeout_ms: Optional[float] = None,
         **zoom_options,
     ) -> dict:
         payload = {
@@ -123,6 +222,8 @@ class ServiceClient:
         }
         if engine is not None:
             payload["engine"] = engine
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         return self._checked("POST", "/zoom", payload)
 
     def datasets(self) -> dict:
@@ -133,6 +234,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._checked("GET", "/stats")
+
+    def wait_until_healthy(self, timeout: float = 30.0) -> dict:
+        """Poll ``/healthz`` on this client's address (see module fn)."""
+        return wait_until_healthy(self.host, self.port, timeout=timeout)
 
     def close(self) -> None:
         if self._conn is not None:
@@ -149,21 +254,34 @@ class ServiceClient:
 
 
 def wait_until_healthy(
-    host: str, port: int, *, timeout: float = 30.0, interval: float = 0.05
+    host: str,
+    port: int,
+    *,
+    timeout: float = 30.0,
+    interval: float = 0.05,
+    max_interval: float = 2.0,
 ) -> dict:
     """Poll ``/healthz`` until it answers 200 (or raise ``TimeoutError``).
+
+    ``interval`` seeds a capped exponential backoff (×2 per miss up to
+    ``max_interval``) under the ``timeout`` total budget — a server
+    that is up answers on the first cheap probe, one that is still
+    importing NumPy is not hammered 20 times a second.  On exhaustion
+    the raised ``TimeoutError`` carries the last underlying error.
 
     The subprocess smoke lane uses this to bound server start-up.
     """
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
+    delay = interval
     while time.monotonic() < deadline:
         try:
-            with ServiceClient(host, port, timeout=interval * 40) as client:
+            with ServiceClient(host, port, timeout=max(2.0, interval * 40)) as client:
                 return client.healthz()
         except (OSError, ServiceError, socket.timeout) as exc:
             last_error = exc
-            time.sleep(interval)
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(max_interval, delay * 2)
     raise TimeoutError(
         f"service at {host}:{port} not healthy after {timeout}s "
         f"(last error: {last_error})"

@@ -1,0 +1,222 @@
+"""Deterministic, seedable fault injection for the serving stack.
+
+Chaos testing without monkeypatching: the production code exposes a
+small number of *named injection points* and calls into the configured
+:class:`FaultInjector` at each one.  With no injector configured every
+hook is a no-op; with one, each point draws from its **own**
+``random.Random`` stream seeded by ``(seed, point name)`` — so the
+decision sequence at every point is reproducible for a given seed and
+call order, and enabling one fault never perturbs another's stream.
+
+Injection points
+----------------
+``build_failure``
+    The adjacency build raises (at the shared-cache miss-claim in
+    :class:`~repro.service.cache.SharedCacheManager`), exercising
+    single-flight error propagation and the circuit breaker.
+``slow_build``
+    A cooperative sleep before the build — slices of ~10 ms with a
+    cancellation checkpoint between them, so deadlines still fire.
+``corrupt_cache``
+    The value stored by ``put`` is swapped for a poisoned wrapper; the
+    cache's integrity check detects it on the next read and rebuilds.
+``connection_reset``
+    The server aborts the socket instead of writing a response.
+``worker_stall``
+    A cooperative stall inside the compute path (after validation),
+    exercising deadline expiry and executor-slot release.
+
+Configured via :class:`FaultConfig` (plain dict round-trip for the
+``repro serve --faults`` JSON flag).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from repro.cancellation import CancellationToken, current_token
+
+__all__ = ["FaultConfig", "FaultInjector", "InjectedFault", "CorruptedEntry"]
+
+
+class InjectedFault(RuntimeError):
+    """An injected failure (so tests can tell it from organic bugs)."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+class CorruptedEntry:
+    """A poisoned stand-in for a cached adjacency.
+
+    The shared cache stamps every entry with its value's type name at
+    ``put`` time and re-checks on read (a cheap stand-in for a
+    checksum); this wrapper never matches the stamp, so reads detect
+    the corruption and rebuild instead of serving garbage.
+    """
+
+    __slots__ = ("original",)
+
+    nbytes = 0
+
+    def __init__(self, original: object) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CorruptedEntry({type(self.original).__name__})"
+
+
+@dataclass
+class FaultConfig:
+    """Which faults fire, how often, and from which seed."""
+
+    seed: int = 0
+    build_failure_rate: float = 0.0
+    #: Stop injecting build failures after this many (None = no limit) —
+    #: lets breaker tests fail N builds then watch recovery.
+    build_failure_limit: Optional[int] = None
+    slow_build_rate: float = 0.0
+    slow_build_s: float = 0.0
+    corrupt_cache_rate: float = 0.0
+    connection_reset_rate: float = 0.0
+    worker_stall_rate: float = 0.0
+    worker_stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "build_failure_rate",
+            "slow_build_rate",
+            "corrupt_cache_rate",
+            "connection_reset_rate",
+            "worker_stall_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("slow_build_s", "worker_stall_s"):
+            duration = getattr(self, name)
+            if duration < 0:
+                raise ValueError(f"{name} must be >= 0, got {duration}")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault config keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        return cls(**payload)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def any_enabled(self) -> bool:
+        return any(
+            getattr(self, f.name) > 0
+            for f in fields(self)
+            if f.name.endswith("_rate")
+        )
+
+
+class FaultInjector:
+    """The runtime side of :class:`FaultConfig`: draws + counters.
+
+    Thread-safe; every injection point owns an independent seeded
+    stream and a fired-counter (surfaced under ``/stats`` → ``faults``).
+    """
+
+    _POINTS = (
+        "build_failure",
+        "slow_build",
+        "corrupt_cache",
+        "connection_reset",
+        "worker_stall",
+    )
+
+    def __init__(self, config: Optional[FaultConfig] = None) -> None:
+        self.config = config or FaultConfig()
+        self._lock = threading.Lock()
+        self._streams = {
+            point: random.Random(f"{self.config.seed}:{point}")
+            for point in self._POINTS
+        }
+        self.fired = {point: 0 for point in self._POINTS}
+        self._build_failures_injected = 0
+
+    # ------------------------------------------------------------------
+    def _fire(self, point: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            hit = self._streams[point].random() < rate
+            if hit:
+                self.fired[point] += 1
+            return hit
+
+    @staticmethod
+    def _cooperative_sleep(duration: float, token: Optional[CancellationToken]) -> None:
+        """Sleep in ~10 ms slices, checkpointing between them."""
+        deadline = time.monotonic() + duration
+        while True:
+            if token is not None:
+                token.checkpoint()
+            left = deadline - time.monotonic()
+            if left <= 0:
+                return
+            time.sleep(min(0.01, left))
+
+    # ------------------------------------------------------------------
+    # Injection points (each called from exactly one place in the stack)
+    # ------------------------------------------------------------------
+    def on_build(self) -> None:
+        """Cache miss-claim: maybe raise, maybe sleep (cooperatively)."""
+        config = self.config
+        if config.build_failure_rate > 0:
+            with self._lock:
+                limit = config.build_failure_limit
+                exhausted = (
+                    limit is not None and self._build_failures_injected >= limit
+                )
+            if not exhausted and self._fire(
+                "build_failure", config.build_failure_rate
+            ):
+                with self._lock:
+                    self._build_failures_injected += 1
+                raise InjectedFault("build_failure")
+        if config.slow_build_s > 0 and self._fire(
+            "slow_build", config.slow_build_rate
+        ):
+            self._cooperative_sleep(config.slow_build_s, current_token())
+
+    def maybe_corrupt(self, value: object) -> object:
+        """Cache put: maybe swap the stored value for a poisoned one."""
+        if self._fire("corrupt_cache", self.config.corrupt_cache_rate):
+            return CorruptedEntry(value)
+        return value
+
+    def should_reset_connection(self) -> bool:
+        """Server response path: abort the socket instead of answering?"""
+        return self._fire("connection_reset", self.config.connection_reset_rate)
+
+    def on_compute(self) -> None:
+        """Worker compute entry: maybe stall (cooperatively)."""
+        config = self.config
+        if config.worker_stall_s > 0 and self._fire(
+            "worker_stall", config.worker_stall_rate
+        ):
+            self._cooperative_sleep(config.worker_stall_s, current_token())
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        with self._lock:
+            return {"config": self.config.to_dict(), "fired": dict(self.fired)}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FaultInjector(fired={self.fired})"

@@ -18,15 +18,29 @@ replays that trace and records the evidence in
 * phase **shared** serves them with the
   :class:`~repro.service.cache.SharedCacheManager` and single-flight
   enabled;
-* every response is checked byte-identical against a direct
-  :func:`repro.api.disc_select` call (``parity``), so the speedup is
-  never bought with a different answer.
+* phase **deadline** replays the shared configuration with a
+  per-request ``timeout_ms`` budget sized from the no-cache latency
+  distribution — proving the cooperative-cancellation checkpoints
+  keep even timed-out requests' observed latency within
+  ``timeout_ms`` + :data:`DEADLINE_SLACK_MS`, and that degraded
+  (stale-tier) responses are counted separately;
+* every successful response is checked byte-identical against a
+  direct :func:`repro.api.disc_select` call (``parity``), so neither
+  the speedup nor the resilience is bought with a different answer.
+
+:func:`run_chaos_trace` is the fault-injection variant the resilience
+suite drives: the same 4-client zoom trace replayed against a server
+with a seeded :class:`~repro.service.faults.FaultInjector` (build
+failures, slow builds, connection resets, worker stalls) and
+retry-enabled clients — asserting zero hung requests, the in-flight
+gauge draining to zero, and byte-parity of every successful response
+with the fault-free run.
 
 Reported per phase: wall-clock, throughput, latency percentiles, the
-server's ``/stats`` computation/coalescing counters and the shared
-cache's hit/miss/build accounting.  ``python -m repro bench --service``
-runs it from the CLI; ``benchmarks/test_service_load.py`` asserts the
-headline numbers.
+server's ``/stats`` computation/coalescing/timeout counters and the
+shared cache's hit/miss/build accounting.  ``python -m repro bench
+--service`` runs it from the CLI; ``benchmarks/test_service_load.py``
+asserts the headline numbers.
 """
 
 from __future__ import annotations
@@ -36,7 +50,7 @@ import os
 import platform
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -44,16 +58,26 @@ from repro import __version__
 from repro.experiments.perf import SESSION_ZOOM_PATTERN, _WORKLOADS, bench_radius
 from repro.experiments.tables import format_table, results_dir
 from repro.service.cache import SharedCacheManager
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.faults import FaultConfig, FaultInjector
 from repro.service.registry import DatasetRegistry
 from repro.service.server import start_in_thread
 from repro.service.state import ServiceState
 
 __all__ = [
+    "DEADLINE_SLACK_MS",
+    "run_chaos_trace",
     "run_service_bench",
     "render_service_table",
     "write_service_json",
 ]
+
+#: Allowance on top of ``timeout_ms`` for the observed latency of a
+#: deadline-bounded request: one cooperative-cancellation checkpoint
+#: interval (the worst case between two ``token.checkpoint()`` calls in
+#: the greedy loops / CSR builders) plus response serialisation.  The
+#: acceptance bar is p99 <= timeout_ms + this slack.
+DEADLINE_SLACK_MS = 250.0
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -86,19 +110,47 @@ def _client_worker(
     barrier: threading.Barrier,
     records: List[dict],
     errors: List[BaseException],
+    timeout_ms: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> None:
+    """One simulated user: replay the zoom trace, record every outcome.
+
+    Non-200 responses (deadline 408/504, breaker/injected 503) are
+    recorded with their status instead of killing the worker — a load
+    phase under faults or deadlines must observe failures, not abort
+    on them.  Only transport errors that survive the client's retry
+    budget and truly unexpected exceptions escape to ``errors``.
+    """
     try:
-        with ServiceClient(host, port) as client:
+        with ServiceClient(host, port, retry=retry) as client:
             for radius in radii:
                 barrier.wait()
                 t0 = time.perf_counter()
-                response = client.select(dataset, radius, engine=engine_payload)
-                elapsed = time.perf_counter() - t0
+                try:
+                    response = client.select(
+                        dataset, radius, engine=engine_payload, timeout_ms=timeout_ms
+                    )
+                except ServiceError as exc:
+                    records.append(
+                        {
+                            "radius": radius,
+                            "latency_s": time.perf_counter() - t0,
+                            "status": exc.status,
+                            "code": exc.code,
+                            "coalesced": False,
+                            "degraded": False,
+                            "selected": None,
+                        }
+                    )
+                    continue
                 records.append(
                     {
                         "radius": radius,
-                        "latency_s": elapsed,
+                        "latency_s": time.perf_counter() - t0,
+                        "status": 200,
+                        "code": None,
                         "coalesced": bool(response.get("coalesced")),
+                        "degraded": bool(response.get("degraded")),
                         "selected": response["result"]["selected"],
                     }
                 )
@@ -117,6 +169,13 @@ def _run_phase(
     shared: bool,
     cache_entries: int,
     ttl_s: Optional[float],
+    mode: Optional[str] = None,
+    timeout_ms: Optional[float] = None,
+    fault_config: Optional[FaultConfig] = None,
+    client_retry: Optional[RetryPolicy] = None,
+    failure_threshold: int = 3,
+    breaker_reset_s: float = 30.0,
+    drain_wait_s: float = 10.0,
 ) -> dict:
     """One trace replay against a freshly started server."""
     registry = DatasetRegistry()
@@ -129,8 +188,15 @@ def _run_phase(
         n=n,
         seed=42,
     )
+    faults = FaultInjector(fault_config) if fault_config is not None else None
     cache = (
-        SharedCacheManager(max_entries=cache_entries, ttl_s=ttl_s)
+        SharedCacheManager(
+            max_entries=cache_entries,
+            ttl_s=ttl_s,
+            failure_threshold=failure_threshold,
+            breaker_reset_s=breaker_reset_s,
+            faults=faults,
+        )
         if shared
         else None
     )
@@ -140,6 +206,7 @@ def _run_phase(
         workers=clients,
         coalesce=shared,
         reuse_indexes=shared,
+        faults=faults,
     )
     with start_in_thread(state) as running:
         # Load the dataset + build the serving index outside the timed
@@ -161,6 +228,8 @@ def _run_phase(
                     barrier,
                     records,
                     errors,
+                    timeout_ms,
+                    client_retry,
                 ),
                 name=f"disc-load-{i}",
             )
@@ -174,26 +243,88 @@ def _run_phase(
         duration = time.perf_counter() - t0
         if errors:
             raise errors[0]
-        with ServiceClient(running.host, running.port) as probe:
+        # The stats probe retries through injected connection resets so
+        # a chaos run can still read its own evidence; it also waits
+        # for the in-flight gauge to drain — a timed-out request must
+        # release its executor slot within one checkpoint interval, so
+        # a gauge stuck above zero means a leaked computation.
+        probe_retry = RetryPolicy(
+            retries=8, base_s=0.01, cap_s=0.1, budget_s=2.0, statuses=(), seed=97
+        )
+        with ServiceClient(running.host, running.port, retry=probe_retry) as probe:
             stats = probe.stats()
+            drain_deadline = time.monotonic() + drain_wait_s
+            while stats["inflight"] > 0 and time.monotonic() < drain_deadline:
+                time.sleep(0.05)
+                stats = probe.stats()
     request_count = len(records)
     cache_stats = stats.get("cache")
     hit_rate = None
     if cache_stats is not None:
         seen = cache_stats["hits"] + cache_stats["misses"]
         hit_rate = round(cache_stats["hits"] / seen, 4) if seen else None
+    status_counts: Dict[str, int] = {}
+    for record in records:
+        key = str(record["status"])
+        status_counts[key] = status_counts.get(key, 0) + 1
     return {
-        "mode": "shared" if shared else "no_cache",
+        "mode": mode or ("shared" if shared else "no_cache"),
         "requests": request_count,
         "duration_s": round(duration, 6),
         "throughput_rps": round(request_count / duration, 3) if duration else None,
         "latency": _latency_summary([r["latency_s"] for r in records]),
         "computations": stats["computations"],
         "coalesced_requests": stats["coalesced_requests"],
+        "timeouts": stats["timeouts"],
+        "degraded_responses": stats["degraded_responses"],
+        "inflight_final": stats["inflight"],
+        "status_counts": status_counts,
         "cache": cache_stats,
         "cache_hit_rate": hit_rate,
+        "faults_fired": (stats.get("faults") or {}).get("fired"),
         "_records": records,
     }
+
+
+def _trace_setup(workload: str, n: int, pattern: Optional[List[float]]):
+    """Radii, engine payload and fault-free reference selections."""
+    from repro.api import disc_select
+
+    if workload not in _WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(_WORKLOADS)}"
+        )
+    base = bench_radius(workload, n)
+    multipliers = list(pattern or SESSION_ZOOM_PATTERN)
+    radii = [base * m for m in multipliers]
+    # The grid engine with radius-sized cells is the serving workhorse
+    # (same configuration as the session benchmark, so the two JSONs
+    # compare like for like).
+    engine_payload = {"name": "grid", "options": {"cell_size": base}}
+    data = _WORKLOADS[workload](n)
+    reference: Dict[float, List[int]] = {}
+    for radius in sorted(set(radii)):
+        reference[radius] = [
+            int(i)
+            for i in disc_select(
+                data, radius, engine="grid", engine_options={"cell_size": base}
+            ).selected
+        ]
+    return radii, engine_payload, reference
+
+
+def _check_parity(records: List[dict], reference: Dict[float, List[int]], mode: str):
+    """Every 200 must match the direct ``disc_select`` answer exactly."""
+    mismatches = [
+        r["radius"]
+        for r in records
+        if r["status"] == 200 and r["selected"] != reference[r["radius"]]
+    ]
+    if mismatches:
+        raise AssertionError(
+            f"served selections diverged from disc_select at radii "
+            f"{sorted(set(mismatches))} ({mode} phase)"
+        )
 
 
 def run_service_bench(
@@ -208,69 +339,65 @@ def run_service_bench(
 ) -> dict:
     """Replay a multi-client repeated-radius zoom trace: shared vs stateless.
 
-    Both phases serve the identical trace over HTTP; the shared phase
+    All phases serve the identical trace over HTTP; the shared phase
     turns on the cross-session cache + coalescing, the no-cache phase
-    is the stateless baseline.  Selections are verified against direct
-    :func:`repro.api.disc_select` calls before anything is reported.
+    is the stateless baseline, and the deadline phase re-runs the
+    shared configuration under a per-request ``timeout_ms`` sized at
+    the no-cache p90 — so the budget genuinely binds on the slowest
+    builds while most requests complete.  Successful selections are
+    verified against direct :func:`repro.api.disc_select` calls before
+    anything is reported.
     """
-    from repro.api import disc_select
-
-    if workload not in _WORKLOADS:
-        raise ValueError(
-            f"unknown workload {workload!r}; choose from {sorted(_WORKLOADS)}"
-        )
     if quick:
         n = min(n, 4000)
-    base = bench_radius(workload, n)
-    multipliers = list(pattern or SESSION_ZOOM_PATTERN)
-    radii = [base * m for m in multipliers]
-    # The grid engine with radius-sized cells is the serving workhorse
-    # (same configuration as the session benchmark, so the two JSONs
-    # compare like for like).
-    engine_payload = {"name": "grid", "options": {"cell_size": base}}
-
-    data = _WORKLOADS[workload](n)
-    reference: Dict[float, List[int]] = {}
-    for radius in sorted(set(radii)):
-        reference[radius] = disc_select(
-            data, radius, engine="grid", engine_options={"cell_size": base}
-        ).selected
+    radii, engine_payload, reference = _trace_setup(workload, n, pattern)
+    common = dict(
+        workload=workload,
+        n=n,
+        radii=radii,
+        clients=clients,
+        engine_payload=engine_payload,
+        cache_entries=cache_entries,
+        ttl_s=ttl_s,
+    )
 
     phases = {}
     for shared in (False, True):
-        phase = _run_phase(
-            workload=workload,
-            n=n,
-            radii=radii,
-            clients=clients,
-            engine_payload=engine_payload,
-            shared=shared,
-            cache_entries=cache_entries,
-            ttl_s=ttl_s,
-        )
+        phase = _run_phase(shared=shared, **common)
         records = phase.pop("_records")
-        mismatches = [
-            r["radius"]
-            for r in records
-            if r["selected"] != [int(i) for i in reference[r["radius"]]]
-        ]
-        phase["parity"] = not mismatches
-        if mismatches:
-            raise AssertionError(
-                f"served selections diverged from disc_select at radii "
-                f"{sorted(set(mismatches))} ({phase['mode']} phase)"
-            )
+        _check_parity(records, reference, phase["mode"])
+        phase["parity"] = True
         phases[phase["mode"]] = phase
 
     no_cache = phases["no_cache"]
     shared_phase = phases["shared"]
+
+    # Deadline phase: budget each request at the stateless p90 (floored
+    # so trivial quick-mode workloads are not all cancelled).  Timed-out
+    # requests must come back 408 within one checkpoint interval — the
+    # p99-over-everything bound below is the enforcement evidence.
+    timeout_ms = max(50.0, no_cache["latency"]["p90_ms"])
+    deadline_phase = _run_phase(shared=True, mode="deadline", timeout_ms=timeout_ms, **common)
+    records = deadline_phase.pop("_records")
+    _check_parity(records, reference, "deadline")
+    deadline_phase["parity"] = True
+    deadline_phase["timeout_ms"] = round(timeout_ms, 3)
+    deadline_phase["deadline_slack_ms"] = DEADLINE_SLACK_MS
+    deadline_phase["timed_out_requests"] = sum(
+        1 for r in records if r["status"] in (408, 504)
+    )
+    deadline_phase["within_budget"] = bool(
+        deadline_phase["latency"]["p99_ms"] <= timeout_ms + DEADLINE_SLACK_MS
+    )
+    phases["deadline"] = deadline_phase
+
     speedup = (
         round(no_cache["duration_s"] / shared_phase["duration_s"], 3)
         if shared_phase["duration_s"]
         else None
     )
     return {
-        "schema": "bench-service-v1",
+        "schema": "bench-service-v2",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "repro": __version__,
@@ -285,15 +412,117 @@ def run_service_bench(
         "speedup": speedup,
         "cache_hit_rate": shared_phase["cache_hit_rate"],
         "coalesced": shared_phase["computations"] < shared_phase["requests"],
-        "parity": no_cache["parity"] and shared_phase["parity"],
+        "parity": all(p["parity"] for p in phases.values()),
+        "deadline": {
+            "timeout_ms": deadline_phase["timeout_ms"],
+            "slack_ms": DEADLINE_SLACK_MS,
+            "p99_ms": deadline_phase["latency"]["p99_ms"],
+            "within_budget": deadline_phase["within_budget"],
+            "timed_out_requests": deadline_phase["timed_out_requests"],
+            "degraded_responses": deadline_phase["degraded_responses"],
+        },
+    }
+
+
+def run_chaos_trace(
+    fault_config: Optional[Union[FaultConfig, dict]] = None,
+    *,
+    workload: str = "clustered",
+    n: int = 2_000,
+    clients: int = 4,
+    pattern: Optional[List[float]] = None,
+    timeout_ms: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    cache_entries: int = 16,
+    ttl_s: Optional[float] = None,
+    failure_threshold: int = 3,
+    breaker_reset_s: float = 0.25,
+    drain_wait_s: float = 10.0,
+) -> dict:
+    """The 4-client zoom trace under injected faults, vs the clean run.
+
+    Starts a server with a seeded
+    :class:`~repro.service.faults.FaultInjector` wired into both the
+    shared cache (build failures, slow builds, corruption) and the
+    compute path (worker stalls, connection resets), replays the zoom
+    trace with retry-enabled clients, and reports:
+
+    * per-status outcome counts (a hung request would instead trip the
+      watchdog — every request resolves to *some* status);
+    * ``byte_identical`` — every 200, degraded or not, matched the
+      fault-free :func:`repro.api.disc_select` reference exactly;
+    * ``inflight_final`` — the ``/stats`` in-flight gauge after the
+      trace, which must drain to 0 (cancelled work released its slot).
+
+    ``breaker_reset_s`` defaults low so a tripped circuit half-opens
+    within the trace instead of failing everything for 30s.
+    """
+    if isinstance(fault_config, dict):
+        fault_config = FaultConfig.from_dict(fault_config)
+    if fault_config is None:
+        fault_config = FaultConfig()
+    if retry is None:
+        retry = RetryPolicy(
+            retries=4,
+            base_s=0.02,
+            cap_s=0.25,
+            budget_s=5.0,
+            statuses=(503,),
+            seed=fault_config.seed,
+        )
+    radii, engine_payload, reference = _trace_setup(workload, n, pattern)
+    phase = _run_phase(
+        workload=workload,
+        n=n,
+        radii=radii,
+        clients=clients,
+        engine_payload=engine_payload,
+        shared=True,
+        cache_entries=cache_entries,
+        ttl_s=ttl_s,
+        mode="chaos",
+        timeout_ms=timeout_ms,
+        fault_config=fault_config,
+        client_retry=retry,
+        failure_threshold=failure_threshold,
+        breaker_reset_s=breaker_reset_s,
+        drain_wait_s=drain_wait_s,
+    )
+    records = phase.pop("_records")
+    successes = [r for r in records if r["status"] == 200]
+    mismatched = sorted(
+        {
+            r["radius"]
+            for r in successes
+            if r["selected"] != reference[r["radius"]]
+        }
+    )
+    return {
+        "faults": fault_config.to_dict(),
+        "requests": len(records),
+        "expected_requests": clients * len(radii),
+        "successes": len(successes),
+        "failures": len(records) - len(successes),
+        "status_counts": phase["status_counts"],
+        "byte_identical": not mismatched,
+        "mismatched_radii": mismatched,
+        "degraded_responses": phase["degraded_responses"],
+        "timeouts": phase["timeouts"],
+        "inflight_final": phase["inflight_final"],
+        "faults_fired": phase["faults_fired"],
+        "duration_s": phase["duration_s"],
+        "latency": phase["latency"],
+        "cache": phase["cache"],
     }
 
 
 def render_service_table(payload: dict) -> str:
     """Human-readable summary of one :func:`run_service_bench` payload."""
     rows = []
-    for mode in ("no_cache", "shared"):
-        phase = payload["phases"][mode]
+    for mode in ("no_cache", "shared", "deadline"):
+        phase = payload["phases"].get(mode)
+        if phase is None:
+            continue
         rows.append(
             [
                 mode,
@@ -319,6 +548,15 @@ def render_service_table(payload: dict) -> str:
         f"\nspeedup (shared vs no-cache): {payload['speedup']}x | "
         f"parity with disc_select: {payload['parity']}"
     )
+    deadline = payload.get("deadline")
+    if deadline is not None:
+        table += (
+            f"\ndeadline phase: timeout {deadline['timeout_ms']}ms, "
+            f"p99 {deadline['p99_ms']}ms "
+            f"(within budget: {deadline['within_budget']}), "
+            f"{deadline['timed_out_requests']} timed out, "
+            f"{deadline['degraded_responses']} degraded"
+        )
     return table
 
 

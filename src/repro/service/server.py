@@ -11,7 +11,7 @@ Endpoints
     ``{"dataset": name, "radius": r, "method": ..., "method_options":
     {...}, "engine": ...}`` (or the same fields nested under
     ``"request"``) → ``{"dataset", "request", "result", "elapsed_s",
-    "coalesced"}`` with ``result`` a serialised
+    "degraded", "coalesced"}`` with ``result`` a serialised
     :class:`~repro.core.result.DiscResult`.
 ``POST /zoom``
     ``{"dataset": name, "radius": r, "to": r2, ...}`` → selects at
@@ -22,7 +22,14 @@ Endpoints
 ``GET /healthz``
     Liveness: ``{"status": "ok", ...}``.
 ``GET /stats``
-    Counters, shared-cache info, single-flight accounting.
+    Counters, shared-cache info, single-flight accounting, breaker and
+    fault-injection state.
+
+Compute bodies additionally accept two transport-level fields stripped
+before validation: ``timeout_ms`` (per-request deadline budget, capped
+by the server's ``max_timeout_ms``) and ``idempotency_key`` (retries
+carrying the same key join the original in-flight computation or
+replay its completed response instead of re-running).
 
 Concurrency model
 -----------------
@@ -40,9 +47,14 @@ cache this gives the multi-user zoom workload its throughput: N users
 asking for the same view cost one selection, and different radii on
 the same dataset still share the materialised adjacency.
 
-Error mapping: unknown dataset → 404; validation errors
-(``ValueError``/``TypeError``) → 400; overload → 503; everything else
-→ 500 with the exception name (no traceback leaks).
+Error contract
+--------------
+Every non-200 body is ``{"error": {"code": ..., "message": ...}}``.
+Unknown dataset → 404; validation errors → 400; client deadline
+(``timeout_ms``) expired → 408; server-imposed deadline expired → 504;
+overload / failed or circuit-broken builds / injected faults → 503;
+anything unexpected → 500 carrying only the exception *type* name —
+raw ``str(exc)`` of arbitrary exceptions never reaches the wire.
 """
 
 from __future__ import annotations
@@ -51,9 +63,18 @@ import asyncio
 import json
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro import __version__
+from repro.service.faults import InjectedFault
+from repro.service.resilience import (
+    BuildFailed,
+    CircuitOpen,
+    OperationCancelled,
+    error_body,
+    extract_request_meta,
+)
 from repro.service.state import ServiceState, canonical_key
 
 __all__ = ["DiscServer", "ServiceUnavailable", "start_in_thread", "RunningService"]
@@ -63,6 +84,9 @@ __all__ = ["DiscServer", "ServiceUnavailable", "start_in_thread", "RunningServic
 #: the process.
 MAX_BODY_BYTES = 16 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
+
+#: Completed responses replayable by idempotency key (LRU-bounded).
+IDEMPOTENCY_CACHE_SIZE = 128
 
 
 class ServiceUnavailable(RuntimeError):
@@ -78,9 +102,11 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -90,6 +116,11 @@ class DiscServer:
     ``port=0`` binds an ephemeral port; the bound port is available as
     ``self.port`` after :meth:`start` (and printed by ``repro serve``),
     which is how tests and the load harness avoid port races.
+
+    ``drain_s`` is the graceful-shutdown budget: :meth:`stop` first
+    closes the listener, then waits up to this long for in-flight
+    requests to answer before cancelling the remaining (idle
+    keep-alive) connections.
     """
 
     def __init__(
@@ -97,12 +128,19 @@ class DiscServer:
         state: ServiceState,
         host: str = "127.0.0.1",
         port: int = 8722,
+        *,
+        drain_s: float = 5.0,
     ) -> None:
         self.state = state
         self.host = host
         self.port = port
+        self.drain_s = float(drain_s)
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._idem_inflight: Dict[str, asyncio.Future] = {}
+        self._completed: "OrderedDict[str, dict]" = OrderedDict()
+        self._conn_tasks: set = set()
+        self._active_requests = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -113,11 +151,28 @@ class DiscServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
+    async def stop(self, drain_s: Optional[float] = None) -> None:
+        """Stop accepting, drain in-flight requests, drop connections.
+
+        The drain loop watches the event-loop-owned active-request
+        gauge: requests already dispatched (including their executor
+        work) get up to ``drain_s`` seconds to write their responses;
+        idle keep-alive connections are then cancelled.
+        """
+        if drain_s is None:
+            drain_s = self.drain_s
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain_s > 0 and self._active_requests > 0:
+            deadline = time.monotonic() + drain_s
+            while self._active_requests > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -127,15 +182,29 @@ class DiscServer:
     # HTTP plumbing
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 parsed = await self._read_request(reader)
                 if parsed is None:
                     break
                 method, path, keep_alive, body = parsed
-                status, payload = await self._dispatch(method, path, body)
-                self.state.count_response(status)
-                await self._write_response(writer, status, payload, keep_alive)
+                self._active_requests += 1
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                    faults = self.state.faults
+                    if faults is not None and faults.should_reset_connection():
+                        # Injected connection reset: the work happened,
+                        # the answer never leaves the socket (so it is
+                        # not counted as a response either).
+                        writer.transport.abort()
+                        return
+                    self.state.count_response(status)
+                    await self._write_response(writer, status, payload, keep_alive)
+                finally:
+                    self._active_requests -= 1
                 if not keep_alive:
                     break
         except (
@@ -145,11 +214,15 @@ class DiscServer:
             asyncio.LimitOverrunError,
         ):
             pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled an idle keep-alive connection
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
     async def _read_request(
@@ -220,11 +293,11 @@ class DiscServer:
         self, method: str, path: str, body: Optional[dict]
     ) -> Tuple[int, dict]:
         if path == "\x00too-large":
-            return 413, {"error": "request body too large"}
+            return 413, error_body("payload_too_large", "request body too large")
         if path == "\x00bad-length":
-            return 400, {"error": "invalid Content-Length header"}
+            return 400, error_body("bad_request", "invalid Content-Length header")
         if isinstance(body, dict) and body.get("\x00invalid-json"):
-            return 400, {"error": "request body is not valid JSON"}
+            return 400, error_body("bad_request", "request body is not valid JSON")
         endpoint = f"{method} {path}"
         self.state.count_request(endpoint)
         try:
@@ -236,32 +309,54 @@ class DiscServer:
                 if path == "/datasets":
                     return 200, {"datasets": self.state.registry.describe()}
                 if path in ("/select", "/zoom"):
-                    return 405, {"error": f"{path} requires POST"}
-                return 404, {"error": f"unknown path {path!r}"}
+                    return 405, error_body(
+                        "method_not_allowed", f"{path} requires POST"
+                    )
+                return 404, error_body("not_found", f"unknown path {path!r}")
             if method == "POST":
                 if path == "/select":
                     return await self._select(body or {})
                 if path == "/zoom":
                     return await self._zoom(body or {})
                 if path in ("/healthz", "/stats", "/datasets"):
-                    return 405, {"error": f"{path} requires GET"}
-                return 404, {"error": f"unknown path {path!r}"}
-            return 405, {"error": f"unsupported method {method}"}
+                    return 405, error_body(
+                        "method_not_allowed", f"{path} requires GET"
+                    )
+                return 404, error_body("not_found", f"unknown path {path!r}")
+            return 405, error_body(
+                "method_not_allowed", f"unsupported method {method}"
+            )
         except KeyError as exc:
-            return 404, {"error": str(exc.args[0]) if exc.args else str(exc)}
+            return 404, error_body(
+                "not_found", str(exc.args[0]) if exc.args else str(exc)
+            )
         except (ValueError, TypeError) as exc:
-            return 400, {"error": str(exc)}
+            return 400, error_body("bad_request", str(exc))
+        except OperationCancelled as exc:
+            if exc.source == "client":
+                return 408, error_body("deadline_exceeded", str(exc))
+            return 504, error_body("server_deadline_exceeded", str(exc))
+        except BuildFailed as exc:
+            return 503, error_body("build_failed", str(exc))
+        except CircuitOpen as exc:
+            return 503, error_body("circuit_open", str(exc))
+        except InjectedFault as exc:
+            return 503, error_body("injected_fault", str(exc))
         except ServiceUnavailable as exc:
-            return 503, {"error": str(exc)}
+            return 503, error_body("overloaded", str(exc))
         except Exception as exc:  # pragma: no cover - defensive
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            # Deliberately NOT str(exc): arbitrary exception text can
+            # embed paths, array reprs, anything — leak nothing.
+            return 500, error_body(
+                "internal", f"unexpected {type(exc).__name__}"
+            )
 
     def _healthz(self) -> dict:
         return {
             "status": "ok",
             "version": __version__,
             "datasets": self.state.registry.names(),
-            "inflight": self.state.inflight,
+            "inflight": self.state.current_inflight(),
             "uptime_s": round(time.time() - self.state.started_at, 3),
         }
 
@@ -269,47 +364,94 @@ class DiscServer:
     # Compute endpoints (single-flighted)
     # ------------------------------------------------------------------
     async def _select(self, payload: dict) -> Tuple[int, dict]:
+        payload, timeout_ms, idem = extract_request_meta(payload)
         handle, request = self.state.validate_select(payload)
+        token = self.state.deadline_token(timeout_ms)
         key = canonical_key("select", handle.dataset_id, request.to_dict())
         shared, coalesced = await self._single_flight(
-            key, lambda: self.state.run_select(handle, request)
+            key, idem, token,
+            lambda: self.state.run_select(handle, request, token),
         )
         response = dict(shared)
         response["coalesced"] = coalesced
         return 200, response
 
     async def _zoom(self, payload: dict) -> Tuple[int, dict]:
+        payload, timeout_ms, idem = extract_request_meta(payload)
         handle, request, to_radius, zoom_options = self.state.validate_zoom(payload)
+        token = self.state.deadline_token(timeout_ms)
         key = canonical_key(
             "zoom",
             handle.dataset_id,
             {"request": request.to_dict(), "to": to_radius, **zoom_options},
         )
         shared, coalesced = await self._single_flight(
-            key,
-            lambda: self.state.run_zoom(handle, request, to_radius, zoom_options),
+            key, idem, token,
+            lambda: self.state.run_zoom(
+                handle, request, to_radius, zoom_options, token
+            ),
         )
         response = dict(shared)
         response["coalesced"] = coalesced
         return 200, response
 
-    async def _single_flight(self, key: str, thunk) -> Tuple[dict, bool]:
+    async def _await_follower(self, future: asyncio.Future, token):
+        """Wait on another request's computation within our own budget.
+
+        A follower's deadline is its own: expiring here answers 408/504
+        without cancelling the leader (hence the shield).
+        """
+        remaining = token.remaining()
+        if remaining is None:
+            return await asyncio.shield(future)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout=remaining)
+        except asyncio.TimeoutError:
+            raise OperationCancelled(
+                "deadline exceeded awaiting shared computation",
+                source=token.source,
+            ) from None
+
+    def _remember(self, idem: str, result: dict) -> None:
+        self._completed[idem] = result
+        self._completed.move_to_end(idem)
+        while len(self._completed) > IDEMPOTENCY_CACHE_SIZE:
+            self._completed.popitem(last=False)
+
+    async def _single_flight(
+        self, key: str, idem: Optional[str], token, thunk
+    ) -> Tuple[dict, bool]:
         """Run ``thunk`` in the executor, sharing identical in-flight work.
 
         Returns ``(result, coalesced)``.  The leader owns the executor
-        job; followers await the leader's future.  With coalescing
-        disabled every request is its own leader (the load harness
-        measures exactly this delta).
+        job; followers await the leader's future.  Retries carrying an
+        ``idempotency_key`` land here twice: a key whose computation is
+        still in flight joins it (even with coalescing disabled — a
+        retry is by definition the same logical request), and a key
+        that already completed replays the stored response without
+        touching the executor.  With coalescing disabled every *new*
+        request is its own leader (the load harness measures exactly
+        this delta).
         """
         state = self.state
+        if idem is not None:
+            done = self._completed.get(idem)
+            if done is not None:
+                self._completed.move_to_end(idem)
+                state.count_coalesced()
+                return done, True
+            existing = self._idem_inflight.get(idem)
+            if existing is not None:
+                state.count_coalesced()
+                return await self._await_follower(existing, token), True
         if state.coalesce:
             existing = self._inflight.get(key)
             if existing is not None:
                 state.count_coalesced()
-                return await asyncio.shield(existing), True
+                return await self._await_follower(existing, token), True
         if (
             state.max_inflight is not None
-            and state.inflight >= state.max_inflight
+            and state.current_inflight() >= state.max_inflight
         ):
             raise ServiceUnavailable(
                 f"server is at capacity ({state.max_inflight} computations "
@@ -319,7 +461,9 @@ class DiscServer:
         future: asyncio.Future = loop.create_future()
         if state.coalesce:
             self._inflight[key] = future
-        state.inflight += 1
+        if idem is not None:
+            self._idem_inflight[idem] = future
+        state.adjust_inflight(1)
         try:
             result = await loop.run_in_executor(state.executor, thunk)
         except Exception as exc:
@@ -332,11 +476,15 @@ class DiscServer:
         else:
             if not future.done():
                 future.set_result(result)
+            if idem is not None:
+                self._remember(idem, result)
             return result, False
         finally:
-            state.inflight -= 1
+            state.adjust_inflight(-1)
             if state.coalesce and self._inflight.get(key) is future:
                 del self._inflight[key]
+            if idem is not None and self._idem_inflight.get(idem) is future:
+                del self._idem_inflight[idem]
 
 
 # ----------------------------------------------------------------------
@@ -363,13 +511,13 @@ class RunningService:
     def address(self) -> str:
         return f"http://{self.server.host}:{self.server.port}"
 
-    def stop(self) -> None:
+    def stop(self, drain_s: Optional[float] = None) -> None:
         """Stop accepting, drain the loop, join the thread, close state."""
         if self._thread is None:
             return
-        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
-            timeout=30
-        )
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain_s), self._loop
+        ).result(timeout=60)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=30)
         self._loop.close()

@@ -32,10 +32,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
+from repro.cancellation import CancellationToken, cancellation_scope
 from repro.core import zoom_in, zoom_out
 from repro.requests import METHODS, EngineSpec, SelectRequest
 from repro.service.cache import SharedCacheManager
 from repro.service.registry import DatasetHandle, DatasetRegistry
+from repro.service.resilience import resolve_deadline
 from repro.validation import validate_radius
 
 __all__ = ["ServiceState", "canonical_key"]
@@ -85,6 +87,16 @@ class ServiceState:
         is shared — the stateless "fresh ``disc_select`` per request"
         baseline the load harness measures the shared-cache
         configuration against.
+    default_timeout_ms:
+        Deadline applied to requests that carry no ``timeout_ms`` of
+        their own (None = such requests run unbounded).
+    max_timeout_ms:
+        Server-enforced cap on client deadlines (None = uncapped).  A
+        client budget cut by this cap expires as 504, not 408.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector` driving
+        the worker-stall and connection-reset injection points (the
+        cache-level points hang off the :class:`SharedCacheManager`).
     """
 
     def __init__(
@@ -98,9 +110,18 @@ class ServiceState:
         max_inflight: Optional[int] = 64,
         coalesce: bool = True,
         reuse_indexes: bool = True,
+        default_timeout_ms: Optional[float] = None,
+        max_timeout_ms: Optional[float] = None,
+        faults=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        for name, value in (
+            ("default_timeout_ms", default_timeout_ms),
+            ("max_timeout_ms", max_timeout_ms),
+        ):
+            if value is not None and not value > 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
         self.registry = registry if registry is not None else DatasetRegistry()
         self.cache = cache
         self.default_engine = EngineSpec(
@@ -110,6 +131,9 @@ class ServiceState:
         self.max_inflight = max_inflight
         self.coalesce = coalesce
         self.reuse_indexes = reuse_indexes
+        self.default_timeout_ms = default_timeout_ms
+        self.max_timeout_ms = max_timeout_ms
+        self.faults = faults
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="disc-service"
         )
@@ -123,6 +147,8 @@ class ServiceState:
         self.responses: Dict[str, int] = {}
         self.computations = 0
         self.coalesced_requests = 0
+        self.degraded_responses = 0
+        self.timeouts = 0
         self.inflight = 0
         self._counter_lock = threading.Lock()
 
@@ -137,6 +163,8 @@ class ServiceState:
         with self._counter_lock:
             key = str(status)
             self.responses[key] = self.responses.get(key, 0) + 1
+            if status in (408, 504):
+                self.timeouts += 1
 
     def count_coalesced(self) -> None:
         with self._counter_lock:
@@ -145,6 +173,37 @@ class ServiceState:
     def count_computation(self) -> None:
         with self._counter_lock:
             self.computations += 1
+
+    def count_degraded(self) -> None:
+        with self._counter_lock:
+            self.degraded_responses += 1
+
+    def adjust_inflight(self, delta: int) -> int:
+        """Move the in-flight gauge under the counter lock.
+
+        The server calls this from the event loop and ``/stats`` reads
+        the gauge from whatever thread serves it; unlocked ``+=`` here
+        was the torn-read the counter-consistency test pins.
+        """
+        with self._counter_lock:
+            self.inflight += delta
+            return self.inflight
+
+    def current_inflight(self) -> int:
+        with self._counter_lock:
+            return self.inflight
+
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def deadline_token(self, timeout_ms: Optional[float]) -> CancellationToken:
+        """A :class:`CancellationToken` for one request's budget."""
+        seconds, source = resolve_deadline(
+            timeout_ms,
+            default_timeout_ms=self.default_timeout_ms,
+            max_timeout_ms=self.max_timeout_ms,
+        )
+        return CancellationToken.with_timeout(seconds, source=source)
 
     # ------------------------------------------------------------------
     # Validation (cheap, runs on the event loop)
@@ -270,18 +329,40 @@ class ServiceState:
     # ------------------------------------------------------------------
     # Execution (runs in worker threads)
     # ------------------------------------------------------------------
-    def run_select(self, handle: DatasetHandle, request: SelectRequest) -> dict:
-        """One selection end to end; returns the JSON-ready response."""
+    def run_select(
+        self,
+        handle: DatasetHandle,
+        request: SelectRequest,
+        token: Optional[CancellationToken] = None,
+    ) -> dict:
+        """One selection end to end; returns the JSON-ready response.
+
+        Runs inside the worker thread under ``token``'s cancellation
+        scope, so the greedy loops and adjacency builders can abort
+        cooperatively when the deadline passes.
+        """
         self.count_computation()
+        if token is None:
+            token = CancellationToken()
         t0 = time.perf_counter()
-        index = self.ensure_index(handle, request.engine)
-        algorithm = METHODS[request.method]
-        result = algorithm(index, request.radius, **dict(request.method_options))
+        with cancellation_scope(token):
+            token.checkpoint()  # expired while queued: free the slot now
+            if self.faults is not None:
+                self.faults.on_compute()
+            index = self.ensure_index(handle, request.engine)
+            algorithm = METHODS[request.method]
+            result = algorithm(
+                index, request.radius, **dict(request.method_options)
+            )
+        degraded = token.degraded is not None
+        if degraded:
+            self.count_degraded()
         return {
             "dataset": handle.dataset_id,
             "request": request.to_dict(),
             "result": result.to_dict(),
             "elapsed_s": round(time.perf_counter() - t0, 6),
+            "degraded": degraded,
         }
 
     def run_zoom(
@@ -290,24 +371,37 @@ class ServiceState:
         request: SelectRequest,
         to_radius: float,
         zoom_options: dict,
+        token: Optional[CancellationToken] = None,
     ) -> dict:
         """Select at ``request.radius``, then adapt to ``to_radius``."""
         self.count_computation()
+        if token is None:
+            token = CancellationToken()
         t0 = time.perf_counter()
-        index = self.ensure_index(handle, request.engine)
-        algorithm = METHODS[request.method]
-        first = algorithm(index, request.radius, **dict(request.method_options))
-        if to_radius < request.radius:
-            direction = "in"
-            adapted = zoom_in(
-                index, first, to_radius, greedy=zoom_options.get("greedy", True)
+        with cancellation_scope(token):
+            token.checkpoint()
+            if self.faults is not None:
+                self.faults.on_compute()
+            index = self.ensure_index(handle, request.engine)
+            algorithm = METHODS[request.method]
+            first = algorithm(
+                index, request.radius, **dict(request.method_options)
             )
-        else:
-            direction = "out"
-            adapted = zoom_out(
-                index, first, to_radius,
-                greedy_variant=zoom_options.get("variant", "a"),
-            )
+            if to_radius < request.radius:
+                direction = "in"
+                adapted = zoom_in(
+                    index, first, to_radius,
+                    greedy=zoom_options.get("greedy", True),
+                )
+            else:
+                direction = "out"
+                adapted = zoom_out(
+                    index, first, to_radius,
+                    greedy_variant=zoom_options.get("variant", "a"),
+                )
+        degraded = token.degraded is not None
+        if degraded:
+            self.count_degraded()
         return {
             "dataset": handle.dataset_id,
             "request": request.to_dict(),
@@ -316,6 +410,7 @@ class ServiceState:
             "from_result": first.to_dict(),
             "result": adapted.to_dict(),
             "elapsed_s": round(time.perf_counter() - t0, 6),
+            "degraded": degraded,
         }
 
     # ------------------------------------------------------------------
@@ -329,6 +424,8 @@ class ServiceState:
                 "responses": dict(self.responses),
                 "computations": self.computations,
                 "coalesced_requests": self.coalesced_requests,
+                "degraded_responses": self.degraded_responses,
+                "timeouts": self.timeouts,
                 "inflight": self.inflight,
             }
         with self._lock:
@@ -341,9 +438,12 @@ class ServiceState:
             "workers": self.workers,
             "max_inflight": self.max_inflight,
             "coalesce": self.coalesce,
+            "default_timeout_ms": self.default_timeout_ms,
+            "max_timeout_ms": self.max_timeout_ms,
             **counters,
             "indexes": indexes,
             "cache": None if self.cache is None else self.cache.cache_info(),
+            "faults": None if self.faults is None else self.faults.counters(),
             "datasets": self.registry.describe(),
         }
 

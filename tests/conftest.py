@@ -2,8 +2,43 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
+
+#: Service-layer test files run real servers, worker pools and chaos
+#: traces — a bug there can hang instead of fail.  With pytest-timeout
+#: not available, a SIGALRM watchdog turns a hang into a TimeoutError
+#: with a usable traceback.  Main-thread only (where pytest runs test
+#: calls); skipped on platforms without SIGALRM.
+_WATCHDOG_FILES = {"test_service.py", "test_shared_cache.py", "test_resilience.py"}
+_WATCHDOG_S = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    watched = (
+        hasattr(signal, "SIGALRM")
+        and os.path.basename(str(item.fspath)) in _WATCHDOG_FILES
+    )
+    if not watched:
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"watchdog: {item.nodeid} still running after {_WATCHDOG_S}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(_WATCHDOG_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
 from repro.index import BruteForceIndex, GridIndex

@@ -334,7 +334,8 @@ class TestServerEndpoints:
             response = conn.getresponse()
             payload = json.loads(response.read())
             assert response.status == 400
-            assert "JSON" in payload["error"]
+            assert payload["error"]["code"] == "bad_request"
+            assert "JSON" in payload["error"]["message"]
         finally:
             conn.close()
 
@@ -347,7 +348,8 @@ class TestServerEndpoints:
             response = conn.getresponse()
             payload = json.loads(response.read())
             assert response.status == 400
-            assert "Content-Length" in payload["error"]
+            assert payload["error"]["code"] == "bad_request"
+            assert "Content-Length" in payload["error"]["message"]
         finally:
             conn.close()
 
@@ -477,6 +479,72 @@ def test_serve_subprocess_smoke(tmp_path):
         out, _ = process.communicate(timeout=30)
         assert process.returncode == 0, out
         assert "shutting down" in out
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup on failure
+            process.kill()
+            process.communicate()
+
+
+def test_serve_sigterm_drains_inflight_requests():
+    """SIGTERM with a request in flight: the request still completes
+    (200, not a reset), the process exits 0 within the drain deadline."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    # Every computation stalls ~0.8s, giving SIGTERM a deterministic
+    # in-flight window to land in.
+    faults = json.dumps({"seed": 1, "worker_stall_rate": 1.0, "worker_stall_s": 0.8})
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--datasets", "uniform",
+            "--n", "400",
+            "--workers", "2",
+            "--drain-timeout", "10",
+            "--faults", faults,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listening line in: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+        wait_until_healthy(host, port, timeout=30)
+
+        outcomes, errors = [], []
+
+        def worker():
+            try:
+                with ServiceClient(host, port) as c:
+                    status, payload = c.request(
+                        "POST",
+                        "/select",
+                        {"dataset": "uniform", "radius": 0.1, "engine": ENGINE},
+                    )
+                    outcomes.append((status, payload))
+            except BaseException as exc:  # pragma: no cover - surfacing
+                errors.append(exc)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.25)  # request is inside the injected stall now
+        process.send_signal(signal.SIGTERM)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        out, _ = process.communicate(timeout=30)
+        assert process.returncode == 0, out
+        assert "shutting down" in out
+        assert not errors, errors
+        status, payload = outcomes[0]
+        assert status == 200
+        assert payload["result"]["selected"]
     finally:
         if process.poll() is None:  # pragma: no cover - cleanup on failure
             process.kill()
