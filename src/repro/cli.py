@@ -199,8 +199,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=42)
     add_engine(p_serve)
     p_serve.add_argument(
-        "--workers", type=int, default=4,
-        help="selection thread-pool size (the compute admission bound)",
+        "--workers", type=int, default=1,
+        help="worker processes (1 = classic single-process server; "
+        ">1 starts a supervised crash-resilient pool with failover "
+        "routing and shared-memory adjacency)",
+    )
+    p_serve.add_argument(
+        "--threads", type=int, default=4,
+        help="selection thread-pool size per worker process (the "
+        "compute admission bound)",
+    )
+    p_serve.add_argument(
+        "--replication", type=int, default=None,
+        help="with --workers N>1: replicas per dataset (default: every "
+        "worker serves every dataset)",
+    )
+    p_serve.add_argument(
+        "--no-shm", action="store_true",
+        help="with --workers N>1: disable the shared-memory adjacency "
+        "segments (each worker builds and holds its own copies)",
     )
     p_serve.add_argument(
         "--max-inflight", type=int, default=64,
@@ -245,6 +262,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="JSON",
         help="fault-injection config as JSON (see repro.service.faults."
         "FaultConfig), e.g. '{\"seed\": 7, \"build_failure_rate\": 0.2}'",
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="supervised worker process (internal; spawned by "
+        "`repro serve --workers N`)",
+    )
+    p_worker.add_argument(
+        "--config", required=True, metavar="JSON",
+        help="worker config JSON emitted by the supervisor",
     )
     return parser
 
@@ -436,6 +463,10 @@ def _cmd_serve(args) -> int:
     names = [name.strip() for name in args.datasets.split(",") if name.strip()]
     if not names:
         raise SystemExit("--datasets must name at least one dataset")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.workers > 1:
+        return _serve_supervised(args, names)
     registry = DatasetRegistry()
     for name in names:
         try:
@@ -464,7 +495,7 @@ def _cmd_serve(args) -> int:
         registry,
         cache=cache,
         engine=args.engine,
-        workers=args.workers,
+        workers=args.threads,
         max_inflight=args.max_inflight or None,
         coalesce=not args.no_coalesce,
         default_timeout_ms=args.default_timeout_ms,
@@ -480,7 +511,7 @@ def _cmd_serve(args) -> int:
         print(
             f"[serve] listening on http://{args.host}:{server.port} "
             f"(datasets: {', '.join(registry.names())}; engine={args.engine}; "
-            f"workers={args.workers}; cache="
+            f"threads={args.threads}; cache="
             f"{'off' if cache is None else 'shared'})",
             flush=True,
         )
@@ -507,6 +538,203 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_supervised(args, names) -> int:
+    """``repro serve --workers N`` (N > 1): the supervised cluster."""
+    import signal
+    import threading
+
+    from repro.service import FaultConfig
+    from repro.service.supervisor import start_supervised
+
+    faults = None
+    if args.faults:
+        import json as _json
+
+        try:
+            faults = FaultConfig.from_dict(_json.loads(args.faults)).to_dict()
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"--faults: {exc}") from None
+    try:
+        cluster = start_supervised(
+            names,
+            args.workers,
+            host=args.host,
+            port=args.port,
+            use_shm=not args.no_shm,
+            replication=args.replication,
+            n=args.n,
+            seed=args.seed,
+            engine=args.engine,
+            threads=args.threads,
+            max_inflight=args.max_inflight or None,
+            cache=not args.no_cache,
+            cache_entries=args.cache_entries,
+            cache_mb=args.cache_mb,
+            ttl_s=args.ttl,
+            coalesce=not args.no_coalesce,
+            default_timeout_ms=args.default_timeout_ms,
+            max_timeout_ms=args.max_timeout_ms,
+            faults=faults,
+            drain_s=args.drain_timeout,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"[serve] listening on http://{args.host}:{cluster.port} "
+        f"(datasets: {', '.join(names)}; engine={args.engine}; "
+        f"workers={args.workers}x{args.threads} threads; supervised; "
+        f"shm={'off' if args.no_shm else 'on'})",
+        flush=True,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("[serve] shutting down", flush=True)
+    cluster.stop(drain_s=args.drain_timeout)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """Supervised worker entry point (spawned by the supervisor).
+
+    Binds an ephemeral port, prints a one-line JSON ready handshake on
+    stdout, and serves until SIGTERM.  Any startup failure is reported
+    as a ``worker_error`` JSON line so the supervisor can surface it.
+    """
+    import asyncio
+    import json as _json
+    import signal
+
+    from repro.service import (
+        DatasetRegistry,
+        DiscServer,
+        FaultConfig,
+        FaultInjector,
+        ServiceState,
+        SharedCacheManager,
+    )
+    from repro.service import shm as shm_mod
+    from repro.service.registry import BUILTIN_DATASETS
+    from repro.service.supervisor import shared_dataset_loader
+
+    def _fail(message: str) -> int:
+        print(_json.dumps({"worker_error": message}), flush=True)
+        return 2
+
+    try:
+        config = _json.loads(args.config)
+    except ValueError as exc:
+        return _fail(f"bad --config JSON: {exc}")
+    if not isinstance(config, dict):
+        return _fail("--config must be a JSON object")
+
+    store = None
+    state = None
+    try:
+        worker_id = int(config.get("worker_id", 0))
+        names = list(config.get("datasets") or [])
+        if not names:
+            return _fail("worker config names no datasets")
+        seed = int(config.get("seed") or 42)
+        n = config.get("n")
+        run_id = config.get("run_id")
+        if run_id and shm_mod.shm_available():
+            store = shm_mod.SharedSegmentStore(run_id)
+        registry = DatasetRegistry()
+        for name in names:
+            if store is not None and name in BUILTIN_DATASETS:
+                registry.register_spec(
+                    name,
+                    shared_dataset_loader(store, name, n, seed),
+                    family=name,
+                    seed=seed,
+                    shared_points=True,
+                )
+            else:
+                registry.register_builtin(name, n=n, seed=seed)
+        faults = None
+        if config.get("faults"):
+            faults = FaultInjector(
+                FaultConfig.from_dict(config["faults"]), process_faults=True
+            )
+        cache = None
+        if config.get("cache", True):
+            cache_mb = config.get("cache_mb")
+            cache = SharedCacheManager(
+                max_entries=int(config.get("cache_entries") or 64),
+                max_bytes=None if cache_mb is None else int(cache_mb * 2**20),
+                ttl_s=config.get("ttl_s"),
+                faults=faults,
+                backing=(
+                    None if store is None else shm_mod.ShmCacheBacking(store)
+                ),
+            )
+        state = ServiceState(
+            registry,
+            cache=cache,
+            engine=config.get("engine") or "auto",
+            engine_options=config.get("engine_options") or None,
+            workers=int(config.get("threads") or 4),
+            max_inflight=config.get("max_inflight"),
+            coalesce=bool(config.get("coalesce", True)),
+            default_timeout_ms=config.get("default_timeout_ms"),
+            max_timeout_ms=config.get("max_timeout_ms"),
+            faults=faults,
+            identity={"worker_id": worker_id, "pid": os.getpid()},
+        )
+    except Exception as exc:
+        return _fail(f"{type(exc).__name__}: {exc}")
+
+    async def _main() -> None:
+        server = DiscServer(
+            state,
+            host=config.get("host") or "127.0.0.1",
+            port=0,
+            drain_s=float(config.get("drain_s") or 5.0),
+        )
+        await server.start()
+        print(
+            _json.dumps(
+                {
+                    "worker_ready": True,
+                    "worker_id": worker_id,
+                    "port": server.port,
+                    "pid": os.getpid(),
+                    "datasets": names,
+                }
+            ),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal fallback
+        pass
+    finally:
+        state.close()
+        if store is not None:
+            # Detach only — the segments belong to the supervisor's
+            # run lease and outlive any single worker.
+            store.close()
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "select": _cmd_select,
@@ -515,6 +743,7 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
 }
 
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cancellation import CHECKPOINT_EVERY, current_token
 from repro.core._common import (
     ClosestBlackTracker,
     LazyMaxHeap,
@@ -350,7 +351,12 @@ def _greedy_red_pass(
                 white_counts[red] -= 1
             heap.push(red, priority(red))
 
+    token = current_token()
+    iterations = 0
     while coloring.any_red():
+        iterations += 1
+        if token is not None and iterations % CHECKPOINT_EVERY == 0:
+            token.checkpoint()
         pick = heap.pop_valid(priority, coloring.is_red)
         if pick is None:
             raise RuntimeError("red pass lost track of remaining red objects")
@@ -421,7 +427,12 @@ def _greedy_red_pass_csr(
         tree.update_many(stale, scores[stale])
 
     pick_buf = np.empty(1, dtype=np.int64)
+    token = current_token()
+    iterations = 0
     while coloring.any_red():
+        iterations += 1
+        if token is not None and iterations % CHECKPOINT_EVERY == 0:
+            token.checkpoint()
         pick = tree.argmax()
         if scores[pick] == NEG_INF:
             raise RuntimeError("red pass lost track of remaining red objects")

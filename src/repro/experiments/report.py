@@ -192,6 +192,8 @@ The serving layer degrades predictably instead of hanging or lying.
   | 503 | `circuit_open` | repeated build failures; no stale fallback on hand | yes, after backoff |
   | 503 | `injected_fault` | a configured chaos fault fired | yes |
   | 503 | `overloaded` | admission control past `--max-inflight` | yes |
+  | 503 | `no_workers` | (`--workers N`) every replica of the shard is restarting or quarantined | yes |
+  | 503 | `replay_exhausted` | (`--workers N`) replayed across worker deaths past the cap | yes |
   | 504 | `server_deadline_exceeded` | the server default/cap expired | yes |
 
 * **Failure containment** — a failing build propagates to every
@@ -232,6 +234,56 @@ the shared trace under a per-request budget sized at the stateless
 p90 and records p99 <= `timeout_ms` + one checkpoint allowance
 (250 ms), with timed-out and degraded responses counted separately in
 `results/BENCH_service.json`.
+
+## Supervised serving — multi-process pool, shared memory (PR 7)
+
+PR 6 made one process fault-tolerant; `repro serve --workers N` makes
+the *service* survive the death of its parts (`repro.service.
+supervisor`).
+
+* **Failover routing** — a front process owns the public port and
+  routes `/select`/`/zoom` to the least-loaded healthy replica of the
+  dataset's shard (`--replication k` places each dataset on k
+  workers; the default replicates everywhere).  Every forwarded
+  compute request is stamped with an idempotency key, so when a
+  worker dies mid-request — including `kill -9` — the front replays
+  it to a healthy replica and the client sees a slow response, never
+  an error (replays are capped; exhaustion answers 503
+  `replay_exhausted`, an empty shard 503 `no_workers`).
+* **Supervision** — a heartbeat loop (default 250 ms) detects worker
+  exits and dark workers (repeated failed `/healthz` probes escalate
+  to SIGKILL + restart).  Crashed workers restart with exponential
+  backoff; K deaths inside a sliding window quarantine the worker and
+  its shard fails over to the survivors.  `GET /stats` at the front
+  returns a cluster rollup: per-worker stats plus `restarts`,
+  `crashes`, `replays`, `stall_kills`, `quarantined`.
+* **Shared-memory adjacency** — CSR/blocked adjacency arrays and
+  builtin dataset coordinates live in `multiprocessing.shared_memory`
+  segments (`repro.service.shm`), so one build serves every worker
+  zero-copy and `builds == unique radii` holds *cluster-wide*: the
+  kernel arbitrates claim ownership (`SharedMemory(create=True)` is
+  exclusive), workers attach read-only NumPy views, and a builder
+  that dies mid-build is detected by a pid liveness probe and taken
+  over.  Segments are CRC32-stamped at publish and verified at attach
+  — a torn segment is rebuilt, never served.  Segment names carry a
+  leased run id; an orphan sweep at startup and shutdown unlinks
+  every run whose lease owner is dead, so `kill -9` cannot leak
+  `/dev/shm` (asserted after every chaos trace).
+* **Chaos evidence** — the `chaos` pytest lane (CI, pushes to main)
+  SIGKILLs a worker mid-zoom-trace and asserts the acceptance
+  scenario: zero lost or hung requests, responses byte-identical to
+  the fault-free run, `inflight` drained to 0, and an empty post-stop
+  segment listing.  The PR 6 fault mixes rerun under supervision
+  unchanged.
+
+The **supervised** phase of `python -m repro bench --service` replays
+the shared trace against a 4-worker pool and records the per-worker
+rollup, restart/replay counts, and cluster-wide build totals in
+`results/BENCH_service.json` (schema v3).  Throughput scaling is a
+hardware claim: the summary records `cpu_count` and a `core_bound`
+flag, and the >= 2.5x multi-worker bar applies only when the box
+actually has a core per worker (on a 1-core runner the processes
+time-slice one CPU and the recorded speedup is honestly < 1).
 """
 
 

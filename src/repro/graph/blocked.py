@@ -152,6 +152,41 @@ class BlockedNeighborhood:
         )
 
     # ------------------------------------------------------------------
+    # Shared-memory transport
+    # ------------------------------------------------------------------
+    def to_shared_arrays(self) -> dict:
+        """Flat ndarray views for zero-copy transport (shm segments).
+
+        Only the five defining arrays travel (plus the sparse CSR pair);
+        the derived membership/degree companions are rebuilt on attach —
+        they are small relative to the adjacency and keeping them local
+        avoids shipping redundant state.  ``side_is_clique`` travels as
+        ``uint8`` because shared segments are raw bytes.
+        """
+        return {
+            "sparse_indptr": self.sparse.indptr,
+            "sparse_indices": self.sparse.indices,
+            "side_ptr": self.side_ptr,
+            "side_members": self.side_members,
+            "side_partner": self.side_partner,
+            "side_is_clique": self.side_is_clique.astype(np.uint8),
+        }
+
+    @classmethod
+    def from_shared_arrays(cls, arrays: dict) -> "BlockedNeighborhood":
+        """Rebuild from :meth:`to_shared_arrays` output (possibly read-only)."""
+        sparse = CSRNeighborhood(
+            arrays["sparse_indptr"], arrays["sparse_indices"]
+        )
+        return cls(
+            sparse,
+            arrays["side_ptr"],
+            arrays["side_members"],
+            arrays["side_partner"],
+            arrays["side_is_clique"].astype(bool),
+        )
+
+    # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
     @property

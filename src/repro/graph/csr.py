@@ -167,6 +167,27 @@ class CSRNeighborhood:
         return cls(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int32))
 
     # ------------------------------------------------------------------
+    # Shared-memory transport
+    # ------------------------------------------------------------------
+    def to_shared_arrays(self) -> dict:
+        """Flat ndarray views for zero-copy transport (shm segments).
+
+        The counterpart of :meth:`from_shared_arrays`; both ends agree
+        on the key names, dtypes are preserved by the segment layout.
+        """
+        return {"indptr": self.indptr, "indices": self.indices}
+
+    @classmethod
+    def from_shared_arrays(cls, arrays: dict) -> "CSRNeighborhood":
+        """Rebuild from :meth:`to_shared_arrays` output.
+
+        The arrays may be read-only views over a shared-memory segment;
+        the constructor never copies matching-dtype inputs, so workers
+        attach zero-copy.
+        """
+        return cls(arrays["indptr"], arrays["indices"])
+
+    # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
     @property

@@ -25,7 +25,14 @@ This package is that serving layer:
   injection (``repro serve --faults``) driving the chaos suite;
 * :mod:`repro.service.load` — the multi-client zoom-trace load
   harness behind ``repro bench --service`` and
-  ``results/BENCH_service.json``.
+  ``results/BENCH_service.json``;
+* :mod:`~repro.service.shm` — the refcounted, checksummed
+  ``multiprocessing.shared_memory`` segment registry (one adjacency
+  build per radius machine-wide, orphan sweep on startup);
+* :mod:`~repro.service.supervisor` — the crash-resilient worker pool
+  behind ``repro serve --workers N``: failover routing with
+  idempotent request replay, heartbeat supervision with exponential
+  backoff and crash-loop quarantine, per-worker ``/stats`` rollup.
 """
 
 from repro.service.cache import SharedCacheManager, SharedCacheView, radius_bucket
@@ -45,7 +52,19 @@ from repro.service.resilience import (
     OperationCancelled,
 )
 from repro.service.server import DiscServer, RunningService, start_in_thread
+from repro.service.shm import (
+    SharedSegmentStore,
+    ShmCacheBacking,
+    shm_available,
+    sweep_orphans,
+)
 from repro.service.state import ServiceState, canonical_key
+from repro.service.supervisor import (
+    Supervisor,
+    SupervisorCluster,
+    WorkerProcess,
+    start_supervised,
+)
 
 __all__ = [
     "BUILTIN_DATASETS",
@@ -67,8 +86,16 @@ __all__ = [
     "ServiceState",
     "SharedCacheManager",
     "SharedCacheView",
+    "SharedSegmentStore",
+    "ShmCacheBacking",
+    "Supervisor",
+    "SupervisorCluster",
+    "WorkerProcess",
     "canonical_key",
     "radius_bucket",
+    "shm_available",
     "start_in_thread",
+    "start_supervised",
+    "sweep_orphans",
     "wait_until_healthy",
 ]

@@ -151,6 +151,13 @@ class SharedCacheManager:
         Optional :class:`~repro.service.faults.FaultInjector`; hooks
         fire at the miss-claim (build failures / slow builds) and at
         ``put`` (entry corruption).
+    backing:
+        Optional cross-process tier (:class:`~repro.service.shm.
+        ShmCacheBacking`): a local miss first tries to *attach* the
+        value from shared memory (counted as ``shm_hits``, never as a
+        build) or claims the cluster-wide build slot; ``put`` then
+        publishes the built value for other workers.  This is what
+        keeps ``builds == unique radii`` across a supervised cluster.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class SharedCacheManager:
         failure_threshold: int = 3,
         breaker_reset_s: float = 30.0,
         faults=None,
+        backing=None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -177,12 +185,14 @@ class SharedCacheManager:
         self.failure_threshold = failure_threshold
         self.breaker_reset_s = breaker_reset_s
         self.faults = faults
+        self.backing = backing
         self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._stale: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._pending: Dict[CacheKey, _PendingBuild] = {}
         self._breakers: Dict[CacheKey, CircuitBreaker] = {}
         self._build_seconds: Dict[CacheKey, float] = {}
+        self._backing_claims: Dict[CacheKey, object] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -192,6 +202,8 @@ class SharedCacheManager:
         self.build_failures = 0
         self.stale_served = 0
         self.corrupt_entries = 0
+        self.shm_hits = 0
+        self.shm_stores = 0
 
     # ------------------------------------------------------------------
     def view(self, dataset_id: str, metric) -> "SharedCacheView":
@@ -318,6 +330,12 @@ class SharedCacheManager:
                     except BaseException as exc:
                         self.fail(key, exc)
                         raise
+                if self.backing is not None:
+                    value = self._backing_fetch(key)
+                    if value is not None:
+                        # The shm attach resolves this thread's local
+                        # claim too: wake any local waiters.
+                        return value
                 return None
             # Someone else is building: wait outside the lock.
             if not event.wait(timeout=max(0.0, deadline - time.monotonic())):
@@ -361,12 +379,39 @@ class SharedCacheManager:
             self.misses += 1
             return None
 
-    def put(self, key: CacheKey, value) -> None:
-        """Insert a built adjacency; wakes any coalesced waiters."""
+    def _backing_fetch(self, key: CacheKey):
+        """Try the cross-process tier after a local miss-claim.
+
+        Returns the attached value (installed locally, counted as an
+        ``shm_hit`` — NOT a build) or None, in which case this thread
+        still owns the local build slot; if the backing granted the
+        cluster-wide build claim it is stashed for :meth:`put` to
+        publish.  Any backing failure degrades to a local build.
+        """
+        try:
+            status, got = self.backing.load_or_claim(key)
+        except BaseException:
+            # Includes OperationCancelled from the wait loop's
+            # checkpoints: fall through to the local build, whose own
+            # checkpoints abort promptly under the same token.
+            return None
+        if status == "value":
+            self._install(key, got, count_build=False)
+            with self._lock:
+                self.shm_hits += 1
+            return got
+        if status == "claim":
+            with self._lock:
+                self._backing_claims[key] = got
+        return None
+
+    def _install(self, key: CacheKey, value, *, count_build: bool) -> None:
+        """Insert a value and wake coalesced waiters (shared by local
+        builds and shm attaches; only the former counts as a build)."""
         now = time.monotonic()
         expires = None if self.ttl_s is None else now + self.ttl_s
         stored = value
-        if self.faults is not None:
+        if self.faults is not None and count_build:
             stored = self.faults.maybe_corrupt(value)
         with self._lock:
             # Stamp with the *real* value's type: an injected corrupt
@@ -374,7 +419,8 @@ class SharedCacheManager:
             self._entries[key] = _Entry(stored, expires, type(value).__name__)
             self._entries.move_to_end(key)
             self._stale.pop(key, None)  # fresh build supersedes stale
-            self.builds += 1
+            if count_build:
+                self.builds += 1
             pending = self._pending.pop(key, None)
             if pending is not None:
                 self._build_seconds[key] = max(
@@ -387,6 +433,33 @@ class SharedCacheManager:
         if pending is not None:
             pending.event.set()
 
+    def put(self, key: CacheKey, value) -> None:
+        """Insert a built adjacency; wakes any coalesced waiters and
+        publishes to the cross-process backing when this process holds
+        the cluster-wide build claim."""
+        self._install(key, value, count_build=True)
+        with self._lock:
+            claim = self._backing_claims.pop(key, None)
+        if claim is not None and self.backing is not None:
+            try:
+                if self.backing.publish(claim, value):
+                    with self._lock:
+                        self.shm_stores += 1
+            except Exception:
+                try:
+                    claim.abandon()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+    def _release_backing(self, key: CacheKey) -> None:
+        with self._lock:
+            claim = self._backing_claims.pop(key, None)
+        if claim is not None and self.backing is not None:
+            try:
+                self.backing.abandon(claim)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
     def abandon(self, key: CacheKey) -> None:
         """Give up a build slot claimed by a miss (nothing to cache).
 
@@ -395,6 +468,7 @@ class SharedCacheManager:
         token here lets waiters proceed immediately instead of riding
         out ``build_wait_s``.
         """
+        self._release_backing(key)
         with self._lock:
             pending = self._pending.pop(key, None)
         if pending is not None:
@@ -411,6 +485,7 @@ class SharedCacheManager:
         if isinstance(exc, OperationCancelled):
             self.abandon(key)
             return
+        self._release_backing(key)
         with self._lock:
             pending = self._pending.pop(key, None)
             self.build_failures += 1
@@ -480,6 +555,11 @@ class SharedCacheManager:
                 "stale_entries": len(self._stale),
                 "stale_served": self.stale_served,
                 "corrupt_entries": self.corrupt_entries,
+                "shm_hits": self.shm_hits,
+                "shm_stores": self.shm_stores,
+                "backing": (
+                    None if self.backing is None else self.backing.info()
+                ),
                 "breakers": {
                     f"{dataset}/{metric}@{bucket}": breaker.describe()
                     for (dataset, metric, bucket), breaker in self._breakers.items()
@@ -500,8 +580,15 @@ class SharedCacheManager:
             self._build_seconds.clear()
             pending = list(self._pending.values())
             self._pending.clear()
+            claims = list(self._backing_claims.values())
+            self._backing_claims.clear()
         for build in pending:
             build.event.set()
+        for claim in claims:
+            try:
+                self.backing.abandon(claim)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     def __len__(self) -> int:
         with self._lock:

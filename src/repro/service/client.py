@@ -97,6 +97,9 @@ class ServiceClient:
         self.timeout = timeout
         self.retry = retry
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: TCP connections this client has opened over its lifetime —
+        #: 1 for an all-keep-alive session; +1 per reset-and-reopen.
+        self.opened_connections = 0
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -104,6 +107,7 @@ class ServiceClient:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
+            self.opened_connections += 1
         return self._conn
 
     def _round_trip(
@@ -269,19 +273,24 @@ def wait_until_healthy(
     importing NumPy is not hammered 20 times a second.  On exhaustion
     the raised ``TimeoutError`` carries the last underlying error.
 
+    All probes share one :class:`ServiceClient` (and so one keep-alive
+    socket once the server is up); a probe that fails closes the
+    connection, and the next attempt transparently reopens it.
+
     The subprocess smoke lane uses this to bound server start-up.
     """
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
     delay = interval
-    while time.monotonic() < deadline:
-        try:
-            with ServiceClient(host, port, timeout=max(2.0, interval * 40)) as client:
+    with ServiceClient(host, port, timeout=max(2.0, interval * 40)) as client:
+        while time.monotonic() < deadline:
+            try:
                 return client.healthz()
-        except (OSError, ServiceError, socket.timeout) as exc:
-            last_error = exc
-            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
-            delay = min(max_interval, delay * 2)
+            except (OSError, ServiceError, socket.timeout) as exc:
+                last_error = exc
+                client.close()  # reopen fresh on the next probe
+                time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+                delay = min(max_interval, delay * 2)
     raise TimeoutError(
         f"service at {host}:{port} not healthy after {timeout}s "
         f"(last error: {last_error})"

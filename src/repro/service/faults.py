@@ -25,14 +25,32 @@ Injection points
 ``worker_stall``
     A cooperative stall inside the compute path (after validation),
     exercising deadline expiry and executor-slot release.
+``worker_crash``
+    The worker *process* dies (SIGKILL to self) at dispatch — the
+    hardest failure the supervisor must mask: the socket vanishes
+    mid-request and the front replays on another worker.  In-process
+    servers (no supervisor) degrade it to an :class:`InjectedFault`
+    503 instead of killing the test runner; pass
+    ``process_faults=True`` (the worker entry point does) to arm the
+    real kill.
+``worker_stall_hard``
+    A *blocking* sleep on the worker's event loop at dispatch — unlike
+    ``worker_stall`` it freezes health checks too, so the supervisor's
+    heartbeat (not a request deadline) must detect and SIGKILL the
+    worker.  Also gated by ``process_faults``.
 
 Configured via :class:`FaultConfig` (plain dict round-trip for the
-``repro serve --faults`` JSON flag).
+``repro serve --faults`` JSON flag).  Validation is strict both ways:
+unknown keys raise listing the valid names, and a fault that could
+never fire (a rate without its duration, a non-numeric rate) raises
+instead of being silently inert.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field, fields
@@ -86,6 +104,19 @@ class FaultConfig:
     connection_reset_rate: float = 0.0
     worker_stall_rate: float = 0.0
     worker_stall_s: float = 0.0
+    worker_crash_rate: float = 0.0
+    #: Stop killing after this many crashes (None = every draw) — chaos
+    #: tests crash once and watch the replay rather than crash-looping.
+    worker_crash_limit: Optional[int] = None
+    worker_stall_hard_rate: float = 0.0
+    worker_stall_hard_s: float = 0.0
+
+    #: rate field -> duration field that must be > 0 for it to matter.
+    _PAIRED_DURATIONS = {
+        "slow_build_rate": "slow_build_s",
+        "worker_stall_rate": "worker_stall_s",
+        "worker_stall_hard_rate": "worker_stall_hard_s",
+    }
 
     def __post_init__(self) -> None:
         for name in (
@@ -94,14 +125,38 @@ class FaultConfig:
             "corrupt_cache_rate",
             "connection_reset_rate",
             "worker_stall_rate",
+            "worker_crash_rate",
+            "worker_stall_hard_rate",
         ):
             rate = getattr(self, name)
+            if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+                raise ValueError(f"{name} must be a number, got {rate!r}")
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
-        for name in ("slow_build_s", "worker_stall_s"):
+        for name in ("slow_build_s", "worker_stall_s", "worker_stall_hard_s"):
             duration = getattr(self, name)
+            if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+                raise ValueError(f"{name} must be a number, got {duration!r}")
             if duration < 0:
                 raise ValueError(f"{name} must be >= 0, got {duration}")
+        for name in ("build_failure_limit", "worker_crash_limit"):
+            limit = getattr(self, name)
+            if limit is not None and (
+                isinstance(limit, bool)
+                or not isinstance(limit, int)
+                or limit < 0
+            ):
+                raise ValueError(f"{name} must be None or an int >= 0, got {limit!r}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+        # A rate whose paired duration is zero would never observably
+        # fire — almost certainly a typo'd config; refuse it.
+        for rate_name, duration_name in self._PAIRED_DURATIONS.items():
+            if getattr(self, rate_name) > 0 and getattr(self, duration_name) <= 0:
+                raise ValueError(
+                    f"{rate_name} > 0 is inert without {duration_name} > 0; "
+                    f"set {duration_name} or drop {rate_name}"
+                )
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultConfig":
@@ -138,10 +193,21 @@ class FaultInjector:
         "corrupt_cache",
         "connection_reset",
         "worker_stall",
+        "worker_crash",
+        "worker_stall_hard",
     )
 
-    def __init__(self, config: Optional[FaultConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[FaultConfig] = None,
+        *,
+        process_faults: bool = False,
+    ) -> None:
         self.config = config or FaultConfig()
+        #: Arm the process-level faults (SIGKILL self, blocking loop
+        #: stall).  Only the supervised worker entry point sets this —
+        #: an in-process test server maps the same draws to 503s.
+        self.process_faults = bool(process_faults)
         self._lock = threading.Lock()
         self._streams = {
             point: random.Random(f"{self.config.seed}:{point}")
@@ -149,6 +215,7 @@ class FaultInjector:
         }
         self.fired = {point: 0 for point in self._POINTS}
         self._build_failures_injected = 0
+        self._worker_crashes_injected = 0
 
     # ------------------------------------------------------------------
     def _fire(self, point: str, rate: float) -> bool:
@@ -212,6 +279,42 @@ class FaultInjector:
             "worker_stall", config.worker_stall_rate
         ):
             self._cooperative_sleep(config.worker_stall_s, current_token())
+
+    def on_dispatch(self) -> None:
+        """Server dispatch of a compute request: process-level chaos.
+
+        ``worker_crash`` SIGKILLs the process *before* any response can
+        be written — the supervisor sees the connection die and must
+        replay.  ``worker_stall_hard`` blocks the event loop itself
+        (deliberately NOT cooperative), so ``/healthz`` goes dark and
+        only the heartbeat's probe timeout can catch it.  Without
+        ``process_faults`` both degrade to a 503 so single-process
+        deployments can still smoke-test the config.
+        """
+        config = self.config
+        if config.worker_crash_rate > 0:
+            with self._lock:
+                limit = config.worker_crash_limit
+                exhausted = (
+                    limit is not None and self._worker_crashes_injected >= limit
+                )
+            if not exhausted and self._fire(
+                "worker_crash", config.worker_crash_rate
+            ):
+                with self._lock:
+                    self._worker_crashes_injected += 1
+                if self.process_faults:
+                    os.kill(os.getpid(), signal.SIGKILL)  # no return
+                raise InjectedFault("worker_crash")
+        if config.worker_stall_hard_s > 0 and self._fire(
+            "worker_stall_hard", config.worker_stall_hard_rate
+        ):
+            if self.process_faults:
+                time.sleep(config.worker_stall_hard_s)  # blocks the loop
+            else:
+                self._cooperative_sleep(
+                    config.worker_stall_hard_s, current_token()
+                )
 
     # ------------------------------------------------------------------
     def counters(self) -> dict:

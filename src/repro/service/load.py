@@ -36,6 +36,16 @@ retry-enabled clients — asserting zero hung requests, the in-flight
 gauge draining to zero, and byte-parity of every successful response
 with the fault-free run.
 
+The **supervised** phase replays the trace against a
+:func:`~repro.service.supervisor.start_supervised` worker pool (shared
+memory adjacency, failover routing) and rolls up per-worker ``/stats``
+at the front — the headline claim being ``builds == unique radii``
+*cluster-wide*: N workers, one adjacency build per radius, everyone
+else attaches the segment.  :func:`run_kill9_trace` is its chaos twin:
+SIGKILL a worker mid-trace and assert zero lost requests (the front
+replays them), byte-parity, a completed restart, and no leaked
+``/dev/shm`` segments after shutdown.
+
 Reported per phase: wall-clock, throughput, latency percentiles, the
 server's ``/stats`` computation/coalescing/timeout counters and the
 shared cache's hit/miss/build accounting.  ``python -m repro bench
@@ -67,6 +77,7 @@ from repro.service.state import ServiceState
 __all__ = [
     "DEADLINE_SLACK_MS",
     "run_chaos_trace",
+    "run_kill9_trace",
     "run_service_bench",
     "render_service_table",
     "write_service_json",
@@ -286,6 +297,170 @@ def _run_phase(
     }
 
 
+def _run_supervised_phase(
+    *,
+    workload: str,
+    n: int,
+    radii: List[float],
+    clients: int,
+    engine_payload: dict,
+    workers: int = 4,
+    threads: Optional[int] = None,
+    cache_entries: int = 16,
+    ttl_s: Optional[float] = None,
+    mode: str = "supervised",
+    timeout_ms: Optional[float] = None,
+    faults=None,
+    client_retry: Optional[RetryPolicy] = None,
+    drain_wait_s: float = 10.0,
+    use_shm: bool = True,
+    heartbeat_s: float = 0.1,
+    kill_delay_s: Optional[float] = None,
+    kill_worker_index: int = 0,
+    expect_restarts: int = 0,
+) -> dict:
+    """One trace replay against a supervised multi-worker cluster.
+
+    Same client trace as :func:`_run_phase`, but the server side is a
+    :func:`~repro.service.supervisor.start_supervised` pool: the front
+    owns the public port, workers are separate processes sharing
+    adjacency through ``/dev/shm``.  With ``kill_delay_s`` set, a chaos
+    thread SIGKILLs worker ``kill_worker_index`` that many seconds into
+    the trace (and the phase waits for ``expect_restarts`` supervisor
+    restarts before reading its evidence).  After shutdown the phase
+    records what a leak *would* look like: any segment of the run still
+    linked after the store's own sweep.
+    """
+    from repro.service import shm as shm_mod
+    from repro.service.supervisor import start_supervised
+
+    cluster = start_supervised(
+        [workload],
+        workers,
+        n=n,
+        seed=42,
+        threads=threads if threads is not None else max(2, clients),
+        cache_entries=cache_entries,
+        ttl_s=ttl_s,
+        faults=faults,
+        use_shm=use_shm,
+        heartbeat_s=heartbeat_s,
+    )
+    run_id = cluster.run_id
+    killed: dict = {}
+    stats = None
+    try:
+        barrier = threading.Barrier(clients)
+        records: List[dict] = []
+        errors: List[BaseException] = []
+        client_threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    cluster.host,
+                    cluster.port,
+                    workload,
+                    radii,
+                    engine_payload,
+                    barrier,
+                    records,
+                    errors,
+                    timeout_ms,
+                    client_retry,
+                ),
+                name=f"disc-load-sup-{i}",
+            )
+            for i in range(clients)
+        ]
+        killer = None
+        if kill_delay_s is not None:
+
+            def _kill() -> None:
+                time.sleep(kill_delay_s)
+                try:
+                    killed["pid"] = cluster.kill_worker(kill_worker_index)
+                    killed["at_s"] = round(time.perf_counter() - t0, 3)
+                except Exception as exc:  # pragma: no cover - surfacing
+                    killed["error"] = repr(exc)
+
+            killer = threading.Thread(target=_kill, daemon=True)
+        t0 = time.perf_counter()
+        for thread in client_threads:
+            thread.start()
+        if killer is not None:
+            killer.start()
+        for thread in client_threads:
+            thread.join()
+        duration = time.perf_counter() - t0
+        if killer is not None:
+            killer.join(timeout=10)
+        if errors:
+            raise errors[0]
+        probe_retry = RetryPolicy(
+            retries=8, base_s=0.01, cap_s=0.1, budget_s=2.0, statuses=(), seed=97
+        )
+        with ServiceClient(cluster.host, cluster.port, retry=probe_retry) as probe:
+            stats = probe.stats()
+            deadline = time.monotonic() + drain_wait_s
+            while (
+                stats["totals"]["inflight"] + stats["totals"]["inflight_front"] > 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+                stats = probe.stats()
+            # A chaos phase also waits for the supervisor to finish the
+            # restart it owes, so the payload carries the full story.
+            deadline = time.monotonic() + 20.0
+            while (
+                stats["supervisor"]["restarts"] < expect_restarts
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.1)
+                stats = probe.stats()
+    finally:
+        removed = cluster.stop()
+    leaked = shm_mod.list_run_segments(run_id) if run_id else []
+    status_counts: Dict[str, int] = {}
+    for record in records:
+        key = str(record["status"])
+        status_counts[key] = status_counts.get(key, 0) + 1
+    totals = stats["totals"]
+    return {
+        "mode": mode,
+        "workers": workers,
+        "requests": len(records),
+        "duration_s": round(duration, 6),
+        "throughput_rps": round(len(records) / duration, 3) if duration else None,
+        "latency": _latency_summary([r["latency_s"] for r in records]),
+        "status_counts": status_counts,
+        "computations": totals["computations"],
+        "coalesced_requests": totals["coalesced_requests"],
+        "builds_total": totals["builds"],
+        "shm_hits": totals["shm_hits"],
+        "shm_stores": totals["shm_stores"],
+        "inflight_final": totals["inflight"] + totals["inflight_front"],
+        "supervisor": stats["supervisor"],
+        "per_worker": [
+            {
+                "id": worker["id"],
+                "state": worker["state"],
+                "restarts": worker["restarts"],
+                "crashes": worker["crashes"],
+                "computations": (worker["stats"] or {}).get("computations"),
+                "builds": ((worker["stats"] or {}).get("cache") or {}).get("builds"),
+                "shm_hits": ((worker["stats"] or {}).get("cache") or {}).get(
+                    "shm_hits"
+                ),
+            }
+            for worker in stats["workers"]
+        ],
+        "killed": killed or None,
+        "segments_removed": len(removed),
+        "leaked_segments": leaked,
+        "_records": records,
+    }
+
+
 def _trace_setup(workload: str, n: int, pattern: Optional[List[float]]):
     """Radii, engine payload and fault-free reference selections."""
     from repro.api import disc_select
@@ -336,6 +511,7 @@ def run_service_bench(
     pattern: Optional[List[float]] = None,
     cache_entries: int = 16,
     ttl_s: Optional[float] = None,
+    workers: int = 4,
 ) -> dict:
     """Replay a multi-client repeated-radius zoom trace: shared vs stateless.
 
@@ -344,9 +520,14 @@ def run_service_bench(
     is the stateless baseline, and the deadline phase re-runs the
     shared configuration under a per-request ``timeout_ms`` sized at
     the no-cache p90 — so the budget genuinely binds on the slowest
-    builds while most requests complete.  Successful selections are
-    verified against direct :func:`repro.api.disc_select` calls before
-    anything is reported.
+    builds while most requests complete.  The supervised phase re-runs
+    the shared trace against a ``workers``-process pool (shared-memory
+    adjacency, failover front) and reports the cluster-wide build
+    accounting; its throughput is only expected to beat the
+    single-process phase when the machine actually has the cores
+    (``multiworker.core_bound`` records when it does not).  Successful
+    selections are verified against direct :func:`repro.api.disc_select`
+    calls before anything is reported.
     """
     if quick:
         n = min(n, 4000)
@@ -391,22 +572,43 @@ def run_service_bench(
     )
     phases["deadline"] = deadline_phase
 
+    # Supervised multi-worker phase: same trace, N processes, one
+    # shared-memory build per radius cluster-wide.
+    supervised = _run_supervised_phase(
+        workload=workload,
+        n=n,
+        radii=radii,
+        clients=clients,
+        engine_payload=engine_payload,
+        workers=workers,
+        cache_entries=cache_entries,
+        ttl_s=ttl_s,
+    )
+    records = supervised.pop("_records")
+    _check_parity(records, reference, "supervised")
+    supervised["parity"] = True
+    phases["supervised"] = supervised
+
     speedup = (
         round(no_cache["duration_s"] / shared_phase["duration_s"], 3)
         if shared_phase["duration_s"]
         else None
     )
+    cpu_count = os.cpu_count() or 1
+    unique_radii = len(set(radii))
+    shared_rps = shared_phase["throughput_rps"] or 0.0
     return {
-        "schema": "bench-service-v2",
+        "schema": "bench-service-v3",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "repro": __version__,
+        "cpu_count": cpu_count,
         "workload": workload,
         "n": n,
         "clients": clients,
         "requests_per_phase": clients * len(radii),
         "radii": [round(r, 6) for r in radii],
-        "unique_radii": len(set(radii)),
+        "unique_radii": unique_radii,
         "engine": engine_payload,
         "phases": phases,
         "speedup": speedup,
@@ -420,6 +622,29 @@ def run_service_bench(
             "within_budget": deadline_phase["within_budget"],
             "timed_out_requests": deadline_phase["timed_out_requests"],
             "degraded_responses": deadline_phase["degraded_responses"],
+        },
+        "multiworker": {
+            "workers": workers,
+            "cpu_count": cpu_count,
+            # On a box with fewer cores than workers the processes time-
+            # slice one CPU and the IPC hop is pure overhead — scaling
+            # claims only apply when this is False.
+            "core_bound": cpu_count < workers,
+            "throughput_rps": supervised["throughput_rps"],
+            "speedup_vs_single_process": (
+                round(supervised["throughput_rps"] / shared_rps, 3)
+                if shared_rps
+                else None
+            ),
+            "builds_total": supervised["builds_total"],
+            "unique_radii": unique_radii,
+            "builds_equal_unique_radii": (
+                supervised["builds_total"] == unique_radii
+            ),
+            "shm_hits": supervised["shm_hits"],
+            "restarts": supervised["supervisor"]["restarts"],
+            "replays": supervised["supervisor"]["replays"],
+            "leaked_segments": supervised["leaked_segments"],
         },
     }
 
@@ -516,10 +741,83 @@ def run_chaos_trace(
     }
 
 
+def run_kill9_trace(
+    *,
+    workload: str = "clustered",
+    n: int = 2_000,
+    clients: int = 4,
+    workers: int = 2,
+    pattern: Optional[List[float]] = None,
+    kill_delay_s: float = 0.3,
+    kill_worker_index: int = 0,
+    drain_wait_s: float = 10.0,
+) -> dict:
+    """SIGKILL a worker mid-trace; the clients must never notice.
+
+    The hardest supervised-serving scenario: a ``kill -9`` lands on a
+    worker while the zoom trace is in flight.  The front detects the
+    vanished connections, replays the affected requests on the
+    surviving workers, the heartbeat restarts the corpse, and shutdown
+    sweeps every shared-memory segment.  The payload reports:
+
+    * ``failures`` — non-200 outcomes (must be 0: a crash shows up as
+      one slow response, never an error);
+    * ``byte_identical`` — every response matched the fault-free
+      :func:`repro.api.disc_select` reference;
+    * ``restarts`` — the supervisor restarted the killed worker;
+    * ``inflight_final`` — the cluster-wide gauge drained to 0;
+    * ``leaked_segments`` — segments of the run still linked after the
+      shutdown sweep (must be empty: ``kill -9`` cannot leak
+      ``/dev/shm``).
+    """
+    radii, engine_payload, reference = _trace_setup(workload, n, pattern)
+    phase = _run_supervised_phase(
+        workload=workload,
+        n=n,
+        radii=radii,
+        clients=clients,
+        engine_payload=engine_payload,
+        workers=workers,
+        mode="kill9",
+        kill_delay_s=kill_delay_s,
+        kill_worker_index=kill_worker_index,
+        expect_restarts=1,
+        drain_wait_s=drain_wait_s,
+    )
+    records = phase.pop("_records")
+    successes = [r for r in records if r["status"] == 200]
+    mismatched = sorted(
+        {
+            r["radius"]
+            for r in successes
+            if r["selected"] != reference[r["radius"]]
+        }
+    )
+    return {
+        "workers": workers,
+        "requests": len(records),
+        "expected_requests": clients * len(radii),
+        "successes": len(successes),
+        "failures": len(records) - len(successes),
+        "status_counts": phase["status_counts"],
+        "byte_identical": not mismatched,
+        "mismatched_radii": mismatched,
+        "killed": phase["killed"],
+        "restarts": phase["supervisor"]["restarts"],
+        "crashes": phase["supervisor"]["crashes"],
+        "replays": phase["supervisor"]["replays"],
+        "inflight_final": phase["inflight_final"],
+        "leaked_segments": phase["leaked_segments"],
+        "segments_removed": phase["segments_removed"],
+        "duration_s": phase["duration_s"],
+        "latency": phase["latency"],
+    }
+
+
 def render_service_table(payload: dict) -> str:
     """Human-readable summary of one :func:`run_service_bench` payload."""
     rows = []
-    for mode in ("no_cache", "shared", "deadline"):
+    for mode in ("no_cache", "shared", "deadline", "supervised"):
         phase = payload["phases"].get(mode)
         if phase is None:
             continue
@@ -532,7 +830,11 @@ def render_service_table(payload: dict) -> str:
                 phase["latency"]["p99_ms"],
                 phase["computations"],
                 phase["coalesced_requests"],
-                "-" if phase["cache_hit_rate"] is None else phase["cache_hit_rate"],
+                (
+                    "-"
+                    if phase.get("cache_hit_rate") is None
+                    else phase["cache_hit_rate"]
+                ),
             ]
         )
     table = format_table(
@@ -556,6 +858,18 @@ def render_service_table(payload: dict) -> str:
             f"(within budget: {deadline['within_budget']}), "
             f"{deadline['timed_out_requests']} timed out, "
             f"{deadline['degraded_responses']} degraded"
+        )
+    multiworker = payload.get("multiworker")
+    if multiworker is not None:
+        table += (
+            f"\nsupervised phase: {multiworker['workers']} workers on "
+            f"{multiworker['cpu_count']} cores"
+            f"{' (core-bound)' if multiworker['core_bound'] else ''}, "
+            f"{multiworker['speedup_vs_single_process']}x vs single process, "
+            f"builds {multiworker['builds_total']}/"
+            f"{multiworker['unique_radii']} unique radii cluster-wide, "
+            f"{multiworker['shm_hits']} shm attaches, "
+            f"{multiworker['restarts']} restarts"
         )
     return table
 

@@ -77,7 +77,14 @@ from repro.service.resilience import (
 )
 from repro.service.state import ServiceState, canonical_key
 
-__all__ = ["DiscServer", "ServiceUnavailable", "start_in_thread", "RunningService"]
+__all__ = [
+    "DiscServer",
+    "RunningService",
+    "ServiceUnavailable",
+    "read_http_request",
+    "start_in_thread",
+    "write_http_response",
+]
 
 #: Hard cap on request body size (JSON) — 16 MiB is far beyond any
 #: legitimate request and keeps a misbehaving client from ballooning
@@ -108,6 +115,76 @@ _REASONS = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+async def read_http_request(
+    reader,
+) -> Optional[Tuple[str, str, bool, Optional[dict]]]:
+    """Parse one HTTP/1.1 request from a stream; None on clean EOF.
+
+    Shared by :class:`DiscServer` and the supervisor front (both speak
+    the same minimal dialect).  Framing errors that make the connection
+    unusable surface as sentinel paths (``\\x00too-large`` etc.) so the
+    caller can still answer before dropping the connection.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise asyncio.IncompleteReadError(request_line, None)
+    headers: Dict[str, str] = {}
+    total = len(request_line)
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise asyncio.LimitOverrunError("headers too large", total)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    if not version.endswith("1.1"):
+        keep_alive = headers.get("connection", "close").lower() == "keep-alive"
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        length = -1
+    if length < 0:
+        # Unparsable/negative Content-Length: answer 400 and drop
+        # the connection (the body framing is unknowable).
+        return method.upper(), "\x00bad-length", False, None
+    if length > MAX_BODY_BYTES:
+        # Drain enough to answer, then force-close the connection.
+        return method.upper(), "\x00too-large", False, None
+    body: Optional[dict] = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            body = {"\x00invalid-json": True}
+    path = target.split("?", 1)[0]
+    return method.upper(), path, keep_alive, body
+
+
+async def write_http_response(
+    writer, status: int, payload: dict, keep_alive: bool
+) -> None:
+    """Serialise one JSON response (module-level twin of the reader)."""
+    body = _json_bytes(payload)
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"Server: repro-disc/{__version__}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
 
 
 class DiscServer:
@@ -228,63 +305,12 @@ class DiscServer:
     async def _read_request(
         self, reader
     ) -> Optional[Tuple[str, str, bool, Optional[dict]]]:
-        """Parse one HTTP/1.1 request; None on clean EOF."""
-        request_line = await reader.readline()
-        if not request_line:
-            return None
-        try:
-            method, target, version = request_line.decode("latin-1").split()
-        except ValueError:
-            raise asyncio.IncompleteReadError(request_line, None)
-        headers: Dict[str, str] = {}
-        total = len(request_line)
-        while True:
-            line = await reader.readline()
-            total += len(line)
-            if total > MAX_HEADER_BYTES:
-                raise asyncio.LimitOverrunError("headers too large", total)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-        if not version.endswith("1.1"):
-            keep_alive = headers.get("connection", "close").lower() == "keep-alive"
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            length = -1
-        if length < 0:
-            # Unparsable/negative Content-Length: answer 400 and drop
-            # the connection (the body framing is unknowable).
-            return method.upper(), "\x00bad-length", False, None
-        if length > MAX_BODY_BYTES:
-            # Drain enough to answer, then force-close the connection.
-            return method.upper(), "\x00too-large", False, None
-        body: Optional[dict] = None
-        if length:
-            raw = await reader.readexactly(length)
-            try:
-                body = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                body = {"\x00invalid-json": True}
-        path = target.split("?", 1)[0]
-        return method.upper(), path, keep_alive, body
+        return await read_http_request(reader)
 
     async def _write_response(
         self, writer, status: int, payload: dict, keep_alive: bool
     ) -> None:
-        body = _json_bytes(payload)
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"Server: repro-disc/{__version__}\r\n"
-            "\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
+        await write_http_response(writer, status, payload, keep_alive)
 
     # ------------------------------------------------------------------
     # Routing
@@ -314,6 +340,16 @@ class DiscServer:
                     )
                 return 404, error_body("not_found", f"unknown path {path!r}")
             if method == "POST":
+                if path in ("/select", "/zoom"):
+                    faults = self.state.faults
+                    if faults is not None:
+                        # Process-level chaos (worker_crash /
+                        # worker_stall_hard) fires at dispatch so the
+                        # request is provably in flight when the worker
+                        # dies — the supervisor must replay it.  GET
+                        # probes never draw from the stream, so health
+                        # checks stay deterministic.
+                        faults.on_dispatch()
                 if path == "/select":
                     return await self._select(body or {})
                 if path == "/zoom":

@@ -113,6 +113,7 @@ class ServiceState:
         default_timeout_ms: Optional[float] = None,
         max_timeout_ms: Optional[float] = None,
         faults=None,
+        identity: Optional[dict] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -134,6 +135,11 @@ class ServiceState:
         self.default_timeout_ms = default_timeout_ms
         self.max_timeout_ms = max_timeout_ms
         self.faults = faults
+        #: Who this process is in a supervised cluster (worker id/pid);
+        #: None for a plain single-process server.  Rendered verbatim
+        #: under ``/stats`` -> ``worker`` so the front's rollup can
+        #: label each worker's counters.
+        self.identity = dict(identity) if identity else None
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="disc-service"
         )
@@ -435,6 +441,7 @@ class ServiceState:
             ]
         return {
             "uptime_s": round(time.time() - self.started_at, 3),
+            "worker": self.identity,
             "workers": self.workers,
             "max_inflight": self.max_inflight,
             "coalesce": self.coalesce,

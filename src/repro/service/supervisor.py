@@ -1,0 +1,1120 @@
+"""Supervised multi-process serving: worker pool + failover front.
+
+PR 6 made a single serving process fault-tolerant; this module makes
+the *service* survive the death of its parts.  A front process owns
+the public socket and routes ``/select``/``/zoom`` to N worker
+processes (each a full :class:`~repro.service.server.DiscServer` over
+its own :class:`~repro.service.state.ServiceState`), supervises them,
+and recovers from their failures:
+
+Routing and failover
+    Datasets are assigned to workers (by default every worker serves
+    every dataset — replicate-all; ``replication=k`` shards each
+    dataset onto ``k`` of the N workers).  A request is routed to the
+    least-loaded healthy replica.  If the worker dies mid-request —
+    including ``kill -9``, where the connection simply vanishes — the
+    front *replays* the request on another healthy worker.  Replays are
+    safe because the front stamps every compute request with an
+    idempotency key before forwarding: a worker that already answered
+    the key replays its stored response, one that never saw it computes
+    fresh, and either way the client sees one slow response instead of
+    an error.
+
+Supervision
+    A heartbeat task detects death two ways: the child's exit status
+    (crash, OOM-kill) and a ``/healthz`` probe with a timeout (a worker
+    whose event loop is wedged — e.g. the ``worker_stall_hard`` fault —
+    answers nothing, and after ``stall_probes`` consecutive dark probes
+    the supervisor SIGKILLs it).  Dead workers restart with exponential
+    backoff; a worker that dies ``quarantine_after`` times within
+    ``crash_window_s`` is quarantined (no more restarts) and its
+    datasets fail over to the surviving replicas.
+
+Shared memory
+    Workers share one adjacency build per radius through the
+    :mod:`repro.service.shm` segment registry: the supervisor holds the
+    run's lease, sweeps orphans from previous unclean shutdowns at
+    startup, and unlinks everything at :meth:`SupervisorCluster.stop`.
+    Dataset coordinate arrays travel the same way, so N workers hold
+    one copy of the points.
+
+The sync facade (:func:`start_supervised` / :class:`SupervisorCluster`)
+is what the CLI (``repro serve --workers N``), the load harness, and
+the chaos tests drive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.resilience import error_body
+from repro.service.server import (
+    _json_bytes,
+    read_http_request,
+    write_http_response,
+)
+from repro.service import shm as shm_mod
+
+__all__ = [
+    "Supervisor",
+    "SupervisorCluster",
+    "WorkerProcess",
+    "WorkerStartupError",
+    "shared_dataset_loader",
+    "start_supervised",
+]
+
+DEFAULT_HEARTBEAT_S = 0.25
+DEFAULT_PROBE_TIMEOUT_S = 1.0
+#: Consecutive dark ``/healthz`` probes before the worker is declared
+#: wedged and SIGKILLed.
+DEFAULT_STALL_PROBES = 3
+#: Crashes within the window before a worker is quarantined.
+DEFAULT_QUARANTINE_AFTER = 5
+DEFAULT_CRASH_WINDOW_S = 30.0
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+#: Transport-level failovers one request may ride before giving up —
+#: bounds a request's worst case when workers crash back-to-back.
+DEFAULT_MAX_REPLAYS = 8
+#: How long a request waits for a restarting worker when no replica is
+#: currently healthy, before answering 503.
+NO_WORKER_WAIT_S = 30.0
+WORKER_START_TIMEOUT_S = 120.0
+
+_TRANSPORT_ERRORS = (
+    OSError,  # covers ConnectionResetError/RefusedError/BrokenPipe
+    EOFError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+)
+
+
+class WorkerStartupError(RuntimeError):
+    """A worker process failed to reach its ready handshake."""
+
+
+# ----------------------------------------------------------------------
+# Shared dataset points (one copy of the coordinates per machine)
+# ----------------------------------------------------------------------
+def shared_dataset_loader(store, name: str, n: Optional[int], seed: int):
+    """A registry loader that attaches the dataset's points from shared
+    memory, falling back to (and publishing from) the builtin generator.
+
+    Only plain point-matrix datasets are shared; one with attributes or
+    categories is served from a local load (the guard keeps the segment
+    protocol honest rather than silently dropping columns).
+    """
+    from repro.datasets import Dataset
+    from repro.distance import get_metric
+    from repro.service.registry import BUILTIN_DATASETS
+
+    loader, default_n = BUILTIN_DATASETS[name]
+    size = default_n if n is None else int(n)
+
+    def load() -> "Dataset":
+        import numpy as np
+
+        key = f"points:{name}:n{size}:s{seed}"
+        status, got = store.acquire(key)
+        if status == "value":
+            return Dataset(
+                name=name,
+                points=got["arrays"]["points"],
+                metric=get_metric(got["meta"]["metric"]),
+            )
+        dataset = loader(size, seed)
+        if status == "claim":
+            if dataset.attributes is None and dataset.categories is None:
+                store.publish(
+                    got,
+                    "points",
+                    {"points": np.ascontiguousarray(dataset.points)},
+                    {"metric": dataset.metric.name},
+                )
+            else:
+                got.abandon()
+        return dataset
+
+    return load
+
+
+# ----------------------------------------------------------------------
+# Worker child process
+# ----------------------------------------------------------------------
+class WorkerProcess:
+    """One ``repro worker`` child: spawn, handshake, lifecycle.
+
+    The child binds an ephemeral port and prints a single JSON ready
+    line (``{"worker_ready": true, "port": ..., "pid": ...}``) on
+    stdout; :meth:`start` blocks until that line (or a ``worker_error``
+    line / child exit) arrives.  A daemon thread keeps draining stdout
+    afterwards so the child can never block on a full pipe.
+    """
+
+    def __init__(self, worker_id: int, config: dict) -> None:
+        self.worker_id = worker_id
+        self.config = dict(config)
+        self.proc: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.pid: Optional[int] = None
+        self._lines: "queue.Queue[str]" = queue.Queue()
+
+    def start(self, timeout_s: float = WORKER_START_TIMEOUT_S) -> "WorkerProcess":
+        import repro
+
+        env = os.environ.copy()
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--config",
+                json.dumps(self.config),
+            ],
+            stdout=subprocess.PIPE,
+            # stderr inherits: worker tracebacks surface in the
+            # supervisor's own stderr instead of vanishing.
+            text=True,
+            env=env,
+        )
+        threading.Thread(
+            target=self._drain_stdout,
+            name=f"disc-worker-{self.worker_id}-stdout",
+            daemon=True,
+        ).start()
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.kill()
+                raise WorkerStartupError(
+                    f"worker {self.worker_id} did not become ready "
+                    f"within {timeout_s:.0f}s"
+                )
+            try:
+                line = self._lines.get(timeout=min(0.5, remaining))
+            except queue.Empty:
+                if self.proc.poll() is not None:
+                    raise WorkerStartupError(
+                        f"worker {self.worker_id} exited with "
+                        f"{self.proc.returncode} before becoming ready"
+                    )
+                continue
+            try:
+                message = json.loads(line)
+            except ValueError:
+                continue  # stray output before the handshake line
+            if not isinstance(message, dict):
+                continue
+            if message.get("worker_ready"):
+                self.port = int(message["port"])
+                self.pid = int(message.get("pid", self.proc.pid))
+                return self
+            if "worker_error" in message:
+                self.proc.wait(timeout=10)
+                raise WorkerStartupError(
+                    f"worker {self.worker_id}: {message['worker_error']}"
+                )
+
+    def _drain_stdout(self) -> None:
+        proc = self.proc
+        if proc is None or proc.stdout is None:  # pragma: no cover
+            return
+        try:
+            for line in proc.stdout:
+                self._lines.put(line)
+        except ValueError:  # pragma: no cover - stdout closed under us
+            pass
+
+    # ------------------------------------------------------------------
+    def poll(self) -> Optional[int]:
+        return None if self.proc is None else self.proc.poll()
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def terminate(self) -> None:
+        if self.alive():
+            self.proc.terminate()
+
+    def kill(self) -> None:
+        if self.alive():
+            self.proc.kill()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[int]:
+        if self.proc is None:
+            return None
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Front
+# ----------------------------------------------------------------------
+async def _read_http_response(reader) -> Tuple[int, dict, bool]:
+    """Parse one HTTP/1.1 response from a worker connection."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise asyncio.IncompleteReadError(b"", None)
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2:
+        raise asyncio.IncompleteReadError(status_line, None)
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise asyncio.IncompleteReadError(b"", None)
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    raw = await reader.readexactly(length) if length else b""
+    payload = json.loads(raw.decode("utf-8")) if raw else {}
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    return status, payload, keep_alive
+
+
+class _WorkerSlot:
+    """The supervisor's bookkeeping for one worker position."""
+
+    __slots__ = (
+        "id",
+        "config",
+        "datasets",
+        "process",
+        "state",  # starting | healthy | restarting | quarantined | stopped
+        "generation",
+        "inflight",
+        "consecutive_probe_failures",
+        "crash_times",
+        "restarts",
+        "crashes",
+        "pool",
+    )
+
+    def __init__(self, slot_id: int, config: dict) -> None:
+        self.id = slot_id
+        self.config = config
+        self.datasets = list(config.get("datasets") or [])
+        self.process: Optional[WorkerProcess] = None
+        self.state = "starting"
+        self.generation = 0
+        self.inflight = 0
+        self.consecutive_probe_failures = 0
+        self.crash_times: deque = deque()
+        self.restarts = 0
+        self.crashes = 0
+        #: Idle keep-alive connections: list of (reader, writer).
+        self.pool: List[tuple] = []
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "pid": None if self.process is None else self.process.pid,
+            "port": None if self.process is None else self.process.port,
+            "generation": self.generation,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "inflight_front": self.inflight,
+            "datasets": list(self.datasets),
+        }
+
+
+class Supervisor:
+    """The asyncio front: routing, failover, heartbeat, rollup.
+
+    Single-threaded on its event loop (slot state needs no locks);
+    worker spawns — the only blocking work — run in the default
+    executor.  Construct with one config dict per worker slot, then
+    ``await start()``.
+    """
+
+    def __init__(
+        self,
+        worker_configs: Sequence[dict],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        run_id: Optional[str] = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        probe_timeout_s: float = DEFAULT_PROBE_TIMEOUT_S,
+        stall_probes: int = DEFAULT_STALL_PROBES,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        crash_window_s: float = DEFAULT_CRASH_WINDOW_S,
+        backoff_base_s: float = BACKOFF_BASE_S,
+        backoff_cap_s: float = BACKOFF_CAP_S,
+        max_replays: int = DEFAULT_MAX_REPLAYS,
+        worker_start_timeout_s: float = WORKER_START_TIMEOUT_S,
+    ) -> None:
+        if not worker_configs:
+            raise ValueError("at least one worker config is required")
+        self.host = host
+        self.port = port
+        self.run_id = run_id
+        self.heartbeat_s = heartbeat_s
+        self.probe_timeout_s = probe_timeout_s
+        self.stall_probes = stall_probes
+        self.quarantine_after = quarantine_after
+        self.crash_window_s = crash_window_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_replays = max_replays
+        self.worker_start_timeout_s = worker_start_timeout_s
+        self.slots = [
+            _WorkerSlot(i, dict(config)) for i, config in enumerate(worker_configs)
+        ]
+        self._dataset_names = sorted(
+            {name for slot in self.slots for name in slot.datasets}
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._restart_tasks: set = set()
+        self._conn_tasks: set = set()
+        self._active_requests = 0
+        self._rr = 0
+        self.started_at = time.time()
+        # Counters (event-loop-owned).
+        self.requests: Dict[str, int] = {}
+        self.responses: Dict[str, int] = {}
+        self.replays = 0
+        self.restarts = 0
+        self.crashes = 0
+        self.stall_kills = 0
+        self.quarantined = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn every worker (concurrently), then open the front socket."""
+        loop = asyncio.get_running_loop()
+
+        def _spawn(slot: _WorkerSlot) -> WorkerProcess:
+            return WorkerProcess(slot.id, slot.config).start(
+                timeout_s=self.worker_start_timeout_s
+            )
+
+        spawns = [loop.run_in_executor(None, _spawn, slot) for slot in self.slots]
+        results = await asyncio.gather(*spawns, return_exceptions=True)
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            for result in results:
+                if isinstance(result, WorkerProcess):
+                    result.kill()
+            raise failures[0]
+        for slot, process in zip(self.slots, results):
+            slot.process = process
+            slot.state = "healthy"
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def stop(self, drain_s: float = 5.0) -> None:
+        """Close the front, drain in-flight requests, stop every worker."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            await asyncio.gather(self._heartbeat_task, return_exceptions=True)
+            self._heartbeat_task = None
+        for task in list(self._restart_tasks):
+            task.cancel()
+        if self._restart_tasks:
+            await asyncio.gather(*list(self._restart_tasks), return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain_s > 0 and self._active_requests > 0:
+            deadline = time.monotonic() + drain_s
+            while self._active_requests > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        for slot in self.slots:
+            self._close_pool(slot)
+            slot.state = "stopped"
+            if slot.process is not None:
+                slot.process.terminate()
+        loop = asyncio.get_running_loop()
+
+        def _reap() -> None:
+            deadline = time.monotonic() + 10.0
+            for slot in self.slots:
+                if slot.process is None:
+                    continue
+                left = max(0.1, deadline - time.monotonic())
+                if slot.process.wait(timeout=left) is None:
+                    slot.process.kill()
+                    slot.process.wait(timeout=5.0)
+
+        await loop.run_in_executor(None, _reap)
+
+    # ------------------------------------------------------------------
+    # Connection handling (mirrors DiscServer's loop)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                parsed = await read_http_request(reader)
+                if parsed is None:
+                    break
+                method, path, keep_alive, body = parsed
+                self._active_requests += 1
+                try:
+                    status, payload = await self._route(method, path, body)
+                    key = str(status)
+                    self.responses[key] = self.responses.get(key, 0) + 1
+                    await write_http_response(writer, status, payload, keep_alive)
+                finally:
+                    self._active_requests -= 1
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _route(self, method: str, path: str, body) -> Tuple[int, dict]:
+        if path == "\x00too-large":
+            return 413, error_body("payload_too_large", "request body too large")
+        if path == "\x00bad-length":
+            return 400, error_body("bad_request", "invalid Content-Length header")
+        if isinstance(body, dict) and body.get("\x00invalid-json"):
+            return 400, error_body("bad_request", "request body is not valid JSON")
+        endpoint = f"{method} {path}"
+        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+        if method == "GET":
+            if path == "/healthz":
+                return 200, self._healthz()
+            if path == "/stats":
+                return 200, await self._rollup()
+            if path == "/datasets":
+                return await self._forward_get(path)
+            if path in ("/select", "/zoom"):
+                return 405, error_body("method_not_allowed", f"{path} requires POST")
+            return 404, error_body("not_found", f"unknown path {path!r}")
+        if method == "POST":
+            if path in ("/select", "/zoom"):
+                return await self._compute(path, body)
+            if path in ("/healthz", "/stats", "/datasets"):
+                return 405, error_body("method_not_allowed", f"{path} requires GET")
+            return 404, error_body("not_found", f"unknown path {path!r}")
+        return 405, error_body("method_not_allowed", f"unsupported method {method}")
+
+    def _healthz(self) -> dict:
+        states: Dict[str, int] = {}
+        for slot in self.slots:
+            states[slot.state] = states.get(slot.state, 0) + 1
+        healthy = states.get("healthy", 0)
+        return {
+            "status": "ok" if healthy else "starting",
+            "role": "supervisor",
+            "workers": states,
+            "datasets": self._dataset_names,
+            "inflight": sum(slot.inflight for slot in self.slots),
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    # ------------------------------------------------------------------
+    # Routing + failover
+    # ------------------------------------------------------------------
+    def _candidates(self, dataset: Optional[str]) -> List[_WorkerSlot]:
+        healthy = [slot for slot in self.slots if slot.state == "healthy"]
+        if dataset is None or dataset not in self._dataset_names:
+            # Unknown dataset: any worker can answer (with a 404).
+            return healthy
+        return [slot for slot in healthy if dataset in slot.datasets]
+
+    def _pick(self, dataset: Optional[str]) -> Optional[_WorkerSlot]:
+        candidates = self._candidates(dataset)
+        if not candidates:
+            return None
+        self._rr += 1
+        offset = self._rr % len(candidates)
+        return min(
+            candidates,
+            key=lambda slot: (
+                slot.inflight,
+                (candidates.index(slot) - offset) % len(candidates),
+            ),
+        )
+
+    def _replica_pending(self, dataset: Optional[str]) -> bool:
+        for slot in self.slots:
+            if slot.state not in ("starting", "restarting"):
+                continue
+            if (
+                dataset is None
+                or dataset not in self._dataset_names
+                or dataset in slot.datasets
+            ):
+                return True
+        return False
+
+    async def _compute(self, path: str, body) -> Tuple[int, dict]:
+        body = dict(body or {})
+        dataset = body.get("dataset")
+        if dataset is None and isinstance(body.get("request"), dict):
+            dataset = body["request"].get("dataset")
+        if not isinstance(dataset, str):
+            dataset = None
+        # The front owns the idempotency key: a replayed request carries
+        # the same key to whichever worker it lands on, so a worker that
+        # partially-or-fully answered it once can never double-compute.
+        if not body.get("idempotency_key"):
+            body["idempotency_key"] = uuid.uuid4().hex
+        raw = _json_bytes(body)
+        replays = 0
+        no_worker_deadline = time.monotonic() + NO_WORKER_WAIT_S
+        while True:
+            slot = self._pick(dataset)
+            if slot is None:
+                if (
+                    self._replica_pending(dataset)
+                    and time.monotonic() < no_worker_deadline
+                ):
+                    await asyncio.sleep(0.05)
+                    continue
+                return 503, error_body(
+                    "no_workers",
+                    f"no healthy worker for dataset {dataset!r}; retry shortly",
+                )
+            slot.inflight += 1
+            try:
+                status, payload = await self._proxy(slot, "POST", path, raw)
+            except _TRANSPORT_ERRORS:
+                # The worker died (or its socket did) with our request
+                # in flight.  If the process is already a corpse, start
+                # its restart now instead of waiting a heartbeat —
+                # otherwise concurrent requests keep re-picking the dead
+                # slot and burn through their replay budget.  The socket
+                # can drop a few ms before the child is reapable, so
+                # give waitpid a short grace window before concluding
+                # the process is actually still alive.
+                generation = slot.generation
+                for _ in range(5):
+                    if slot.state != "healthy" or slot.generation != generation:
+                        break  # the heartbeat already handled the death
+                    process = slot.process
+                    if process is not None and process.poll() is not None:
+                        self._on_crash(slot, "exit")
+                        break
+                    await asyncio.sleep(0.02)
+                self.replays += 1
+                replays += 1
+                if replays > self.max_replays:
+                    return 503, error_body(
+                        "replay_exhausted",
+                        f"request failed over {replays} times; giving up",
+                    )
+                continue
+            finally:
+                slot.inflight -= 1
+            return status, payload
+
+    async def _forward_get(self, path: str) -> Tuple[int, dict]:
+        slot = self._pick(None)
+        if slot is None:
+            return 503, error_body("no_workers", "no healthy worker")
+        try:
+            return await self._proxy(slot, "GET", path, b"")
+        except _TRANSPORT_ERRORS:
+            return 503, error_body("no_workers", "worker connection lost")
+
+    # ------------------------------------------------------------------
+    # Worker connections
+    # ------------------------------------------------------------------
+    async def _checkout(self, slot: _WorkerSlot):
+        while slot.pool:
+            reader, writer = slot.pool.pop()
+            if writer.is_closing():
+                continue
+            return reader, writer
+        if slot.process is None or slot.process.port is None:
+            raise ConnectionResetError("worker has no bound port")
+        return await asyncio.open_connection(self.host, slot.process.port)
+
+    async def _proxy(
+        self, slot: _WorkerSlot, method: str, path: str, raw: bytes
+    ) -> Tuple[int, dict]:
+        generation = slot.generation
+        reader, writer = await self._checkout(slot)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(raw)}\r\n"
+                "Connection: keep-alive\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head + raw)
+            await writer.drain()
+            status, payload, keep_alive = await _read_http_response(reader)
+        except BaseException:
+            writer.close()
+            raise
+        if (
+            keep_alive
+            and slot.generation == generation
+            and slot.state == "healthy"
+        ):
+            slot.pool.append((reader, writer))
+        else:
+            writer.close()
+        return status, payload
+
+    def _close_pool(self, slot: _WorkerSlot) -> None:
+        while slot.pool:
+            _reader, writer = slot.pool.pop()
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # Heartbeat + restarts
+    # ------------------------------------------------------------------
+    async def _probe(self, slot: _WorkerSlot) -> bool:
+        port = None if slot.process is None else slot.process.port
+        if port is None:
+            return False
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, port), self.probe_timeout_s
+        )
+        try:
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: hb\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            status, _payload, _keep = await asyncio.wait_for(
+                _read_http_response(reader), self.probe_timeout_s
+            )
+            return status == 200
+        finally:
+            writer.close()
+
+    async def _heartbeat_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_s)
+                for slot in self.slots:
+                    if slot.state != "healthy":
+                        continue
+                    process = slot.process
+                    if process is None or process.poll() is not None:
+                        self._on_crash(slot, "exit")
+                        continue
+                    try:
+                        ok = await self._probe(slot)
+                    except (asyncio.TimeoutError, *_TRANSPORT_ERRORS):
+                        ok = False
+                    if ok:
+                        slot.consecutive_probe_failures = 0
+                    else:
+                        slot.consecutive_probe_failures += 1
+                        if slot.consecutive_probe_failures >= self.stall_probes:
+                            # Wedged event loop (hard stall): the only
+                            # way out is SIGKILL + restart; the corpse's
+                            # sockets die, freeing any in-flight request
+                            # to fail over.
+                            self.stall_kills += 1
+                            process.kill()
+                            self._on_crash(slot, "stall")
+        except asyncio.CancelledError:
+            pass
+
+    def _on_crash(self, slot: _WorkerSlot, reason: str) -> None:
+        slot.state = "restarting"
+        slot.generation += 1
+        slot.consecutive_probe_failures = 0
+        slot.crashes += 1
+        self.crashes += 1
+        self._close_pool(slot)
+        now = time.monotonic()
+        slot.crash_times.append(now)
+        while slot.crash_times and slot.crash_times[0] < now - self.crash_window_s:
+            slot.crash_times.popleft()
+        if len(slot.crash_times) >= self.quarantine_after:
+            # Crash loop: stop burning restarts; the datasets this slot
+            # served fail over to the surviving replicas.
+            slot.state = "quarantined"
+            self.quarantined += 1
+            return
+        backoff = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2 ** (len(slot.crash_times) - 1)),
+        )
+        task = asyncio.ensure_future(self._restart(slot, backoff))
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart(self, slot: _WorkerSlot, backoff_s: float) -> None:
+        await asyncio.sleep(backoff_s)
+        if slot.state != "restarting":
+            return
+        loop = asyncio.get_running_loop()
+
+        def _spawn() -> WorkerProcess:
+            return WorkerProcess(slot.id, slot.config).start(
+                timeout_s=self.worker_start_timeout_s
+            )
+
+        try:
+            process = await loop.run_in_executor(None, _spawn)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # Startup itself failed — counts as another crash, so the
+            # backoff keeps growing and the loop breaker still trips.
+            if slot.state == "restarting":
+                self._on_crash(slot, "restart-failed")
+            return
+        if slot.state != "restarting":
+            process.kill()
+            return
+        slot.process = process
+        slot.state = "healthy"
+        slot.restarts += 1
+        self.restarts += 1
+
+    # ------------------------------------------------------------------
+    # Stats rollup
+    # ------------------------------------------------------------------
+    async def _rollup(self) -> dict:
+        workers = []
+        totals = {
+            "computations": 0,
+            "coalesced_requests": 0,
+            "builds": 0,
+            "shm_hits": 0,
+            "shm_stores": 0,
+            "inflight": 0,
+        }
+        for slot in self.slots:
+            entry = slot.describe()
+            entry["stats"] = None
+            if slot.state == "healthy":
+                try:
+                    status, payload = await self._proxy(slot, "GET", "/stats", b"")
+                except _TRANSPORT_ERRORS:
+                    status, payload = None, None
+                if status == 200 and isinstance(payload, dict):
+                    entry["stats"] = payload
+                    totals["computations"] += payload.get("computations", 0) or 0
+                    totals["coalesced_requests"] += (
+                        payload.get("coalesced_requests", 0) or 0
+                    )
+                    totals["inflight"] += payload.get("inflight", 0) or 0
+                    cache = payload.get("cache") or {}
+                    totals["builds"] += cache.get("builds", 0) or 0
+                    totals["shm_hits"] += cache.get("shm_hits", 0) or 0
+                    totals["shm_stores"] += cache.get("shm_stores", 0) or 0
+            workers.append(entry)
+        totals["inflight_front"] = sum(slot.inflight for slot in self.slots)
+        return {
+            "role": "supervisor",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "run_id": self.run_id,
+            "requests": dict(self.requests),
+            "responses": dict(self.responses),
+            "supervisor": {
+                "replays": self.replays,
+                "restarts": self.restarts,
+                "crashes": self.crashes,
+                "stall_kills": self.stall_kills,
+                "quarantined": self.quarantined,
+                "heartbeat_s": self.heartbeat_s,
+                "workers": len(self.slots),
+            },
+            "totals": totals,
+            "workers": workers,
+        }
+
+
+# ----------------------------------------------------------------------
+# Sync facade
+# ----------------------------------------------------------------------
+class SupervisorCluster:
+    """A supervised cluster running on a background event-loop thread.
+
+    The synchronous handle the CLI, tests, and the load harness drive:
+    ``host``/``port`` for clients, :meth:`kill_worker` /
+    :meth:`worker_pids` for chaos, :meth:`stop` for teardown (returns
+    the segment names its shutdown sweep had to remove — ``[]`` on a
+    clean run *and* after worker ``kill -9``, because segments belong
+    to the run, not to any worker).
+    """
+
+    def __init__(self, supervisor: Supervisor, loop, thread, store) -> None:
+        self.supervisor = supervisor
+        self._loop = loop
+        self._thread = thread
+        self.store = store
+
+    @property
+    def host(self) -> str:
+        return self.supervisor.host
+
+    @property
+    def port(self) -> int:
+        return self.supervisor.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def run_id(self) -> Optional[str]:
+        return self.supervisor.run_id
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [
+            None if slot.process is None else slot.process.pid
+            for slot in self.supervisor.slots
+        ]
+
+    def kill_worker(self, index: int, sig: int = signal.SIGKILL) -> int:
+        """Deliver ``sig`` to worker ``index`` (chaos hook); returns pid."""
+        slot = self.supervisor.slots[index]
+        if slot.process is None or slot.process.pid is None:
+            raise RuntimeError(f"worker {index} has no live process")
+        pid = slot.process.pid
+        os.kill(pid, sig)
+        return pid
+
+    def stop(self, drain_s: float = 5.0) -> List[str]:
+        """Stop front + workers, sweep the run's segments.
+
+        Returns segment names that were still linked when the store
+        closed — after the run's own lease-held segments are accounted
+        for, a non-empty tail in ``/dev/shm`` would be a leak; the
+        chaos tests assert :func:`repro.service.shm.sweep_orphans`
+        (and a direct listing) find nothing afterwards.
+        """
+        if self._thread is None:
+            return []
+        asyncio.run_coroutine_threadsafe(
+            self.supervisor.stop(drain_s), self._loop
+        ).result(timeout=120)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self._thread = None
+        removed: List[str] = []
+        if self.store is not None:
+            removed = self.store.close(sweep=True)
+            self.store = None
+        return removed
+
+    def __enter__(self) -> "SupervisorCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def build_worker_configs(
+    datasets: Sequence[str],
+    workers: int,
+    *,
+    n: Optional[int] = None,
+    seed: int = 42,
+    engine: str = "auto",
+    engine_options: Optional[dict] = None,
+    threads: int = 4,
+    max_inflight: Optional[int] = 64,
+    cache: bool = True,
+    cache_entries: int = 64,
+    cache_mb: Optional[float] = None,
+    ttl_s: Optional[float] = None,
+    coalesce: bool = True,
+    default_timeout_ms: Optional[float] = None,
+    max_timeout_ms: Optional[float] = None,
+    faults=None,
+    run_id: Optional[str] = None,
+    replication: Optional[int] = None,
+    host: str = "127.0.0.1",
+    drain_s: float = 5.0,
+) -> List[dict]:
+    """One config dict per worker slot, with the dataset assignment.
+
+    ``replication=None`` replicates every dataset onto every worker
+    (the hot-dataset default — any worker can serve any request, so
+    failover never strands a dataset).  ``replication=k`` shards:
+    dataset ``i`` lands on workers ``(i+j) % workers`` for ``j < k``.
+
+    ``faults`` is either one fault-config dict applied to every worker
+    or a list of ``workers`` per-worker dicts (``None`` entries allowed)
+    — chaos tests arm a single worker and watch its requests fail over
+    to the clean replicas.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    names = list(datasets)
+    if not names:
+        raise ValueError("at least one dataset is required")
+    if replication is not None and not 1 <= replication <= workers:
+        raise ValueError(
+            f"replication must be in [1, {workers}], got {replication}"
+        )
+    if isinstance(faults, (list, tuple)):
+        if len(faults) != workers:
+            raise ValueError(
+                f"per-worker faults list must have {workers} entries, "
+                f"got {len(faults)}"
+            )
+        per_worker_faults = list(faults)
+    else:
+        per_worker_faults = [faults] * workers
+    assigned: List[List[str]] = [[] for _ in range(workers)]
+    if replication is None:
+        for worker_datasets in assigned:
+            worker_datasets.extend(names)
+    else:
+        for i, name in enumerate(names):
+            for j in range(replication):
+                assigned[(i + j) % workers].append(name)
+    configs = []
+    for worker_id in range(workers):
+        configs.append(
+            {
+                "worker_id": worker_id,
+                "host": host,
+                "datasets": assigned[worker_id],
+                "n": n,
+                "seed": seed,
+                "engine": engine,
+                "engine_options": dict(engine_options or {}),
+                "threads": threads,
+                "max_inflight": max_inflight,
+                "cache": cache,
+                "cache_entries": cache_entries,
+                "cache_mb": cache_mb,
+                "ttl_s": ttl_s,
+                "coalesce": coalesce,
+                "default_timeout_ms": default_timeout_ms,
+                "max_timeout_ms": max_timeout_ms,
+                "faults": (
+                    dict(per_worker_faults[worker_id])
+                    if per_worker_faults[worker_id]
+                    else None
+                ),
+                "run_id": run_id,
+                "drain_s": drain_s,
+            }
+        )
+    return configs
+
+
+def start_supervised(
+    datasets: Sequence[str] = ("uniform",),
+    workers: int = 2,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    use_shm: bool = True,
+    replication: Optional[int] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    probe_timeout_s: float = DEFAULT_PROBE_TIMEOUT_S,
+    stall_probes: int = DEFAULT_STALL_PROBES,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+    crash_window_s: float = DEFAULT_CRASH_WINDOW_S,
+    max_replays: int = DEFAULT_MAX_REPLAYS,
+    worker_start_timeout_s: float = WORKER_START_TIMEOUT_S,
+    **worker_options,
+) -> SupervisorCluster:
+    """Start a supervised cluster on a background thread (sync entry).
+
+    ``worker_options`` are forwarded to :func:`build_worker_configs`
+    (``n``, ``seed``, ``engine``, ``threads``, ``cache_entries``,
+    ``ttl_s``, ``faults`` = a fault-config dict applied to every
+    worker, ...).  Startup sweeps shm orphans from previous unclean
+    shutdowns; teardown (:meth:`SupervisorCluster.stop`) sweeps this
+    run's segments.
+    """
+    store = None
+    run_id = None
+    if use_shm and shm_mod.shm_available():
+        shm_mod.sweep_orphans()
+        run_id = shm_mod.new_run_id()
+        store = shm_mod.SharedSegmentStore(run_id, hold_lease=True)
+    configs = build_worker_configs(
+        datasets, workers, run_id=run_id, host=host, **worker_options
+    )
+    supervisor = Supervisor(
+        configs,
+        host=host,
+        port=port,
+        run_id=run_id,
+        heartbeat_s=heartbeat_s,
+        probe_timeout_s=probe_timeout_s,
+        stall_probes=stall_probes,
+        quarantine_after=quarantine_after,
+        crash_window_s=crash_window_s,
+        max_replays=max_replays,
+        worker_start_timeout_s=worker_start_timeout_s,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    start_error: List[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(supervisor.start())
+        except BaseException as exc:  # startup failed; surface it
+            start_error.append(exc)
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="disc-supervisor-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout=worker_start_timeout_s + 30):
+        raise RuntimeError("supervisor event loop failed to start")
+    if start_error:
+        loop.close()
+        if store is not None:
+            store.close(sweep=True)
+        raise start_error[0]
+    return SupervisorCluster(supervisor, loop, thread, store)

@@ -13,7 +13,13 @@ import pytest
 #: not available, a SIGALRM watchdog turns a hang into a TimeoutError
 #: with a usable traceback.  Main-thread only (where pytest runs test
 #: calls); skipped on platforms without SIGALRM.
-_WATCHDOG_FILES = {"test_service.py", "test_shared_cache.py", "test_resilience.py"}
+_WATCHDOG_FILES = {
+    "test_service.py",
+    "test_shared_cache.py",
+    "test_resilience.py",
+    "test_supervisor.py",
+    "test_cancellation_paths.py",
+}
 _WATCHDOG_S = 120
 
 

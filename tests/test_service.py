@@ -426,7 +426,7 @@ def test_serve_subprocess_smoke(tmp_path):
             "uniform",
             "--n",
             "800",
-            "--workers",
+            "--threads",
             "2",
         ],
         stdout=subprocess.PIPE,
@@ -501,7 +501,7 @@ def test_serve_sigterm_drains_inflight_requests():
             "--port", "0",
             "--datasets", "uniform",
             "--n", "400",
-            "--workers", "2",
+            "--threads", "2",
             "--drain-timeout", "10",
             "--faults", faults,
         ],

@@ -1,0 +1,485 @@
+"""Supervised multi-process serving: shm segments, failover, chaos.
+
+Three layers, cheapest first:
+
+* in-process unit tests of the :mod:`repro.service.shm` segment
+  registry — publish/attach parity, checksum rejection of torn
+  segments, the orphan sweep, and the build-once guarantee across two
+  cache managers;
+* real 2-worker clusters (``start_supervised``) — routing parity with
+  :func:`repro.api.disc_select`, the ``/stats`` rollup, deterministic
+  crash-mid-request replay, and the crash-loop quarantine;
+* the ``chaos``-marked kill-9 trace (CI's chaos lane; excluded from
+  the default run) asserting the PR's acceptance scenario end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import disc_select
+from repro.datasets import uniform_dataset
+from repro.graph.csr import CSRNeighborhood
+from repro.service import shm as shm_mod
+from repro.service.cache import SharedCacheManager
+from repro.service.client import ServiceClient, wait_until_healthy
+from repro.service.faults import FaultConfig
+from repro.service.server import start_in_thread
+from repro.service.shm import SharedSegmentStore, ShmCacheBacking
+from repro.service.state import ServiceState
+from repro.service.registry import DatasetRegistry
+from repro.service.supervisor import build_worker_configs, start_supervised
+
+pytestmark = pytest.mark.skipif(
+    not shm_mod.shm_available(), reason="POSIX shared memory not available"
+)
+
+ENGINE = {"name": "grid", "options": {"cell_size": 0.1}}
+
+
+def _fresh_store(**kwargs) -> SharedSegmentStore:
+    return SharedSegmentStore(shm_mod.new_run_id(), **kwargs)
+
+
+def _sample_csr() -> CSRNeighborhood:
+    indptr = np.array([0, 2, 3, 5, 5], dtype=np.int64)
+    indices = np.array([1, 2, 0, 0, 3], dtype=np.int32)
+    return CSRNeighborhood(indptr, indices)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segment registry (in-process)
+# ----------------------------------------------------------------------
+class TestSegmentStore:
+    def test_publish_then_attach_roundtrip(self):
+        store = _fresh_store()
+        try:
+            status, claim = store.acquire("adj:test:r1")
+            assert status == "claim"
+            csr = _sample_csr()
+            store.publish(claim, "csr", csr.to_shared_arrays(), {"note": "x"})
+            status, got = store.acquire("adj:test:r1")
+            assert status == "value"
+            assert got["kind"] == "csr"
+            np.testing.assert_array_equal(got["arrays"]["indptr"], csr.indptr)
+            np.testing.assert_array_equal(got["arrays"]["indices"], csr.indices)
+            assert got["meta"]["note"] == "x"
+            # Attached views are read-only: a worker cannot corrupt the
+            # cluster-wide copy in place.
+            with pytest.raises(ValueError):
+                got["arrays"]["indices"][0] = 99
+        finally:
+            store.close(sweep=True)
+        assert shm_mod.list_run_segments(store.run_id) == []
+
+    def test_second_process_view_shares_one_copy(self):
+        first = _fresh_store()
+        second = SharedSegmentStore(first.run_id)
+        try:
+            status, claim = first.acquire("k")
+            csr = _sample_csr()
+            first.publish(claim, "csr", csr.to_shared_arrays())
+            status, got = second.acquire("k")
+            assert status == "value"
+            np.testing.assert_array_equal(got["arrays"]["indptr"], csr.indptr)
+            assert second.counters()["attaches"] >= 1
+        finally:
+            second.close()
+            first.close(sweep=True)
+
+    def test_checksum_rejects_torn_segment(self):
+        store = _fresh_store()
+        try:
+            status, claim = store.acquire("torn")
+            data_name = claim.data_name
+            store.publish(claim, "csr", _sample_csr().to_shared_arrays())
+            # Corrupt one payload byte behind the registry's back.
+            with open(f"/dev/shm/{data_name}", "r+b") as handle:
+                handle.seek(8)
+                byte = handle.read(1)
+                handle.seek(8)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+            # A torn segment must never be served: the reader detects
+            # the checksum mismatch and takes over the build slot.
+            fresh = SharedSegmentStore(store.run_id)
+            try:
+                status, got = fresh.acquire("torn")
+                assert status == "claim"
+                assert fresh.counters()["checksum_failures"] >= 1
+                got.abandon()
+            finally:
+                fresh.close()
+        finally:
+            store.close(sweep=True)
+
+    def test_sweep_orphans_reclaims_dead_runs(self):
+        store = _fresh_store()  # no lease held -> run reads as orphaned
+        status, claim = store.acquire("leak")
+        store.publish(claim, "csr", _sample_csr().to_shared_arrays())
+        names = shm_mod.list_run_segments(store.run_id)
+        assert names
+        store.close()  # detach WITHOUT sweeping: simulated unclean exit
+        removed = shm_mod.sweep_orphans()
+        assert set(names) <= set(removed)
+        assert shm_mod.list_run_segments(store.run_id) == []
+
+    def test_sweep_orphans_spares_live_runs(self):
+        store = _fresh_store(hold_lease=True)
+        try:
+            status, claim = store.acquire("alive")
+            store.publish(claim, "csr", _sample_csr().to_shared_arrays())
+            shm_mod.sweep_orphans()
+            status, got = store.acquire("alive")
+            assert status == "value"
+        finally:
+            store.close(sweep=True)
+
+
+class TestShmCacheBacking:
+    def test_two_managers_build_once(self):
+        """The cluster-wide guarantee in miniature: two cache managers
+        (two processes in production), one adjacency build."""
+        run = shm_mod.new_run_id()
+        store_a = SharedSegmentStore(run)
+        store_b = SharedSegmentStore(run)
+        cache_a = SharedCacheManager(max_entries=8, backing=ShmCacheBacking(store_a))
+        cache_b = SharedCacheManager(max_entries=8, backing=ShmCacheBacking(store_b))
+        key = ("uniform", "euclidean", 0.1)
+        try:
+            assert cache_a.get(key) is None  # miss claims the build
+            built = _sample_csr()
+            cache_a.put(key, built)
+            assert cache_a.cache_info()["shm_stores"] == 1
+
+            got = cache_b.get(key)  # other "process": attach, no build
+            assert got is not None
+            np.testing.assert_array_equal(got.indptr, built.indptr)
+            np.testing.assert_array_equal(got.indices, built.indices)
+            info_b = cache_b.cache_info()
+            assert info_b["shm_hits"] == 1
+            assert info_b["builds"] == 0
+        finally:
+            cache_a.clear()
+            cache_b.clear()
+            store_b.close()
+            store_a.close(sweep=True)
+
+    def test_abandoned_claim_releases_slot(self):
+        store = _fresh_store()
+        cache = SharedCacheManager(max_entries=8, backing=ShmCacheBacking(store))
+        key = ("uniform", "euclidean", 0.2)
+        try:
+            assert cache.get(key) is None
+            cache.abandon(key)
+            # The slot must be claimable again, not wedged "building".
+            status, claim = store.acquire(cache.backing._key_str(key), wait_s=5.0)
+            assert status == "claim"
+            claim.abandon()
+        finally:
+            store.close(sweep=True)
+
+
+# ----------------------------------------------------------------------
+# Worker config / routing plumbing (in-process)
+# ----------------------------------------------------------------------
+class TestWorkerConfigs:
+    def test_replicate_all_by_default(self):
+        configs = build_worker_configs(["a", "b"], 3)
+        assert all(c["datasets"] == ["a", "b"] for c in configs)
+
+    def test_sharded_replication(self):
+        configs = build_worker_configs(["a", "b", "c"], 3, replication=2)
+        assigned = [c["datasets"] for c in configs]
+        # dataset i lands on workers (i, i+1) % 3
+        assert assigned == [["a", "c"], ["a", "b"], ["b", "c"]]
+
+    def test_per_worker_faults_list(self):
+        crash = {"worker_crash_rate": 1.0, "worker_crash_limit": 1}
+        configs = build_worker_configs(["a"], 2, faults=[crash, None])
+        assert configs[0]["faults"] == crash
+        assert configs[1]["faults"] is None
+        with pytest.raises(ValueError, match="per-worker faults"):
+            build_worker_configs(["a"], 2, faults=[crash])
+
+    def test_bad_replication_rejected(self):
+        with pytest.raises(ValueError, match="replication"):
+            build_worker_configs(["a"], 2, replication=3)
+
+
+# ----------------------------------------------------------------------
+# Fault config validation (satellite: no silently-inert configs)
+# ----------------------------------------------------------------------
+class TestFaultConfigValidation:
+    def test_unknown_key_lists_valid_names(self):
+        with pytest.raises(ValueError) as err:
+            FaultConfig.from_dict({"bogus_rate": 0.5})
+        message = str(err.value)
+        assert "bogus_rate" in message
+        assert "worker_crash_rate" in message  # the valid names are listed
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"worker_crash_rate": 1.5},
+            {"worker_crash_rate": "high"},
+            {"worker_crash_limit": -1},
+            {"worker_crash_limit": True},
+            {"worker_stall_hard_s": -0.1},
+            {"seed": 1.5},
+        ],
+    )
+    def test_bad_values_rejected(self, payload):
+        with pytest.raises(ValueError):
+            FaultConfig.from_dict(payload)
+
+    def test_inert_rate_without_duration_rejected(self):
+        with pytest.raises(ValueError, match="inert"):
+            FaultConfig.from_dict({"worker_stall_hard_rate": 0.5})
+
+    def test_cli_serve_rejects_bad_faults(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown fault config keys"):
+            main(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--datasets",
+                    "uniform",
+                    "--faults",
+                    '{"typo_rate": 1.0}',
+                ]
+            )
+
+    def test_cli_serve_rejects_inert_faults(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="inert"):
+            main(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--datasets",
+                    "uniform",
+                    "--faults",
+                    '{"slow_build_rate": 0.5}',
+                ]
+            )
+
+
+# ----------------------------------------------------------------------
+# Client keep-alive (satellite)
+# ----------------------------------------------------------------------
+class TestClientKeepAlive:
+    def test_sequential_requests_reuse_one_connection(self):
+        registry = DatasetRegistry()
+        registry.register_spec(
+            "tiny", lambda: uniform_dataset(n=120, seed=7), family="uniform"
+        )
+        state = ServiceState(registry, cache=None, workers=2)
+        try:
+            with start_in_thread(state) as running:
+                with ServiceClient(running.host, running.port) as client:
+                    client.healthz()
+                    client.select("tiny", 0.2, engine=ENGINE)
+                    client.stats()
+                    assert client.opened_connections == 1
+                    client.close()  # simulated reset: reopen transparently
+                    client.healthz()
+                    assert client.opened_connections == 2
+        finally:
+            state.close()
+
+    def test_wait_until_healthy_single_client(self):
+        registry = DatasetRegistry()
+        registry.register_spec(
+            "tiny", lambda: uniform_dataset(n=120, seed=7), family="uniform"
+        )
+        state = ServiceState(registry, cache=None, workers=2)
+        try:
+            with start_in_thread(state) as running:
+                payload = wait_until_healthy(running.host, running.port, timeout=10)
+                assert payload["status"] == "ok"
+        finally:
+            state.close()
+
+
+# ----------------------------------------------------------------------
+# Real clusters (subprocess workers)
+# ----------------------------------------------------------------------
+class TestSupervisedCluster:
+    def test_smoke_parity_and_rollup(self):
+        """2 workers, one radius: parity with disc_select, one build
+        cluster-wide, clean shm teardown."""
+        cluster = start_supervised(["uniform"], 2, n=400, threads=2)
+        run_id = cluster.run_id
+        try:
+            reference = [
+                int(i)
+                for i in disc_select(
+                    uniform_dataset(n=400, seed=42),
+                    0.1,
+                    engine="grid",
+                    engine_options={"cell_size": 0.1},
+                ).selected
+            ]
+            with ServiceClient(cluster.host, cluster.port) as client:
+                assert client.healthz()["workers"] == {"healthy": 2}
+                # Several sequential requests: the rotating pick spreads
+                # them over both workers; answers must not depend on
+                # which worker served them.
+                for _ in range(4):
+                    response = client.select("uniform", 0.1, engine=ENGINE)
+                    assert response["result"]["selected"] == reference
+                stats = client.stats()
+            assert len(stats["workers"]) == 2
+            assert {w["state"] for w in stats["workers"]} == {"healthy"}
+            totals = stats["totals"]
+            # builds == unique radii cluster-wide: one worker built, the
+            # rest attached the shared segment.
+            assert totals["builds"] == 1
+            assert totals["shm_stores"] == 1
+            assert totals["shm_hits"] >= 1
+        finally:
+            removed = cluster.stop()
+        assert removed  # the run's segments existed and were swept
+        assert shm_mod.list_run_segments(run_id) == []
+
+    def test_crash_mid_request_is_replayed(self):
+        """Deterministic worker_crash on one worker: the client sees
+        200s only; the supervisor logs the replay and restarts the
+        corpse."""
+        crash = {"seed": 3, "worker_crash_rate": 1.0, "worker_crash_limit": 1}
+        cluster = start_supervised(
+            ["uniform"],
+            2,
+            n=300,
+            threads=2,
+            heartbeat_s=0.1,
+            faults=[crash, None],
+        )
+        try:
+            with ServiceClient(cluster.host, cluster.port) as client:
+                for _ in range(4):
+                    status, payload = client.request(
+                        "POST",
+                        "/select",
+                        {"dataset": "uniform", "radius": 0.1, "engine": ENGINE},
+                    )
+                    assert status == 200, payload
+                deadline = time.monotonic() + 30
+                supervisor = None
+                while time.monotonic() < deadline:
+                    supervisor = client.stats()["supervisor"]
+                    if supervisor["restarts"] >= 1:
+                        break
+                    time.sleep(0.2)
+                assert supervisor["replays"] >= 1
+                assert supervisor["crashes"] >= 1
+                assert supervisor["restarts"] >= 1
+                assert supervisor["quarantined"] == 0
+        finally:
+            cluster.stop()
+
+    def test_crash_loop_quarantines_and_503s(self):
+        """A worker that dies on every request trips the loop breaker;
+        with no replica left the front answers a structured 503."""
+        crash = {"seed": 5, "worker_crash_rate": 1.0}  # no limit: every time
+        cluster = start_supervised(
+            ["uniform"],
+            1,
+            n=200,
+            threads=2,
+            heartbeat_s=0.1,
+            quarantine_after=2,
+            faults=crash,
+        )
+        try:
+            with ServiceClient(cluster.host, cluster.port) as client:
+                status, payload = client.request(
+                    "POST",
+                    "/select",
+                    {"dataset": "uniform", "radius": 0.1, "engine": ENGINE},
+                )
+                assert status == 503
+                assert payload["error"]["code"] in ("no_workers", "replay_exhausted")
+                supervisor = client.stats()["supervisor"]
+                assert supervisor["quarantined"] == 1
+                assert supervisor["crashes"] >= 2
+        finally:
+            cluster.stop()
+
+    def test_worker_cli_reports_bad_config(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in ("src", env.get("PYTHONPATH")) if part
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "worker", "--config", "{not json"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            timeout=60,
+        )
+        assert proc.returncode == 2
+        message = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert "worker_error" in message
+
+
+# ----------------------------------------------------------------------
+# Chaos lane (kill -9 mid-trace; excluded from the default run)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+def test_kill9_mid_trace_loses_nothing():
+    """The acceptance scenario: SIGKILL a worker mid-zoom-trace.
+
+    Zero lost or hung requests, responses byte-identical to the
+    fault-free reference, the in-flight gauge drained, the worker
+    restarted, and the orphan sweep finds no leaked segment.
+    """
+    from repro.service.load import run_kill9_trace
+
+    out = run_kill9_trace(n=1200, clients=4, workers=2, kill_delay_s=0.3)
+    assert out["killed"] and "pid" in out["killed"]
+    assert out["requests"] == out["expected_requests"]
+    assert out["failures"] == 0, out["status_counts"]
+    assert out["byte_identical"], out["mismatched_radii"]
+    assert out["restarts"] >= 1
+    assert out["inflight_final"] == 0
+    assert out["leaked_segments"] == []
+
+
+@pytest.mark.chaos
+def test_chaos_fault_mix_under_supervision():
+    """The PR 6 fault mix (build failures, slow builds, stalls, resets)
+    replayed through the single-process chaos harness — the chaos lane
+    runs both generations of failure modes."""
+    from repro.service.load import run_chaos_trace
+
+    out = run_chaos_trace(
+        {
+            "seed": 11,
+            "build_failure_rate": 0.2,
+            "build_failure_limit": 4,
+            "slow_build_rate": 0.3,
+            "slow_build_s": 0.1,
+            "connection_reset_rate": 0.1,
+            "worker_stall_rate": 0.2,
+            "worker_stall_s": 0.1,
+        },
+        n=1200,
+    )
+    assert out["requests"] == out["expected_requests"]
+    assert out["byte_identical"], out["mismatched_radii"]
+    assert out["inflight_final"] == 0
