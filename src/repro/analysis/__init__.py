@@ -1,0 +1,56 @@
+"""Repo-aware static analysis: ``repro lint`` and the lock-order audit.
+
+Seven PRs of growth piled up invariants that existed only as prose and
+parity tests: counters mutated only under their declared lock,
+cancellation checkpoints in every hot loop, int32 id discipline for
+byte-identical selections, SharedMemory handles held before NumPy
+views are built, and no blocking calls on the asyncio front.  This
+package enforces them mechanically:
+
+* :mod:`repro.analysis.core` — the AST framework: rule registry,
+  per-file visitor pipeline, ``# repro-lint: disable=RULE -- reason``
+  suppressions, human + JSON renderers, nonzero exit on findings.
+* :mod:`repro.analysis.rules` — the repo-aware rules (one module per
+  rule family); importing this package registers them all.
+* :mod:`repro.analysis.lockaudit` — a runtime instrumented-lock shim
+  that records the lock acquisition graph while the test suite runs
+  and fails on cycles (``REPRO_LOCK_AUDIT=1 python -m pytest ...``).
+
+Entry points: ``repro lint [paths] [--rule NAME] [--format json]`` and
+``python -m repro.analysis [paths]``.  Exit code 0 means no findings.
+
+Suppression convention
+----------------------
+A finding is silenced by a trailing comment on the offending line::
+
+    self.hits += 1  # repro-lint: disable=guarded-attribute -- snapshot only, torn reads acceptable
+
+The reason string after ``--`` is mandatory: a suppression without one
+is itself reported (``suppression-format``), so every exception to an
+invariant carries its justification in the tree.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    main,
+    register,
+    render_json,
+    render_text,
+    run_paths,
+)
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "run_paths",
+]

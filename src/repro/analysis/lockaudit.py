@@ -1,0 +1,326 @@
+"""Runtime lock-order auditor: record lock acquisitions, fail on cycles.
+
+Static rules (:mod:`repro.analysis.rules`) check that guarded state is
+mutated under its lock; they cannot see the *order* in which two locks
+nest, which is what actually deadlocks.  This module instruments
+:func:`threading.Lock` and :func:`threading.RLock` so that running the
+test suite doubles as a lock-order experiment:
+
+- :func:`install` replaces the two factories with proxy-producing
+  versions.  Each proxy is named by the source line that created its
+  lock (all locks born at one line are one *site* — the discipline we
+  audit is per-site ordering, not per-instance).
+- While installed, every thread keeps a stack of currently-held sites;
+  acquiring site ``B`` while holding site ``A`` records the directed
+  edge ``A -> B``.
+- :func:`report` returns the accumulated graph plus any cycles found by
+  DFS.  A cycle across *distinct* sites means two call paths nest the
+  same locks in opposite orders — the classic ABBA deadlock, caught
+  even though the schedules that would actually deadlock never ran.
+
+Same-site edges (``A -> A``) are deliberately not recorded: acquiring
+two instances born at one line (e.g. ``with self._lock, other._lock``
+in ``AdjacencyCache.adopt``) is invisible to a site-granularity audit
+and would otherwise report every such pattern as a one-node cycle.
+They are instead surfaced separately in the report under
+``same_site_pairs`` so a human can check those few spots by eye.
+
+Activation: ``REPRO_LOCK_AUDIT=1 python -m pytest ...`` — conftest.py
+installs the shim before any :mod:`repro` module is imported and fails
+the session if the final graph has a cycle.  Everything here is
+stdlib-only and never enabled by default, so the production import path
+is untouched.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderError",
+    "assert_acyclic",
+    "cycles",
+    "install",
+    "installed",
+    "report",
+    "reset",
+    "uninstall",
+]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: Guards the global graph state below.  Always a *real* lock (created
+#: before install swaps the factories), so recording never recurses.
+_STATE_LOCK = _REAL_LOCK()
+_EDGES: Dict[Tuple[str, str], int] = {}
+_SAME_SITE: Set[str] = set()
+_SITES: Dict[str, int] = {}
+_INSTALLED = False
+
+_HELD = threading.local()
+
+
+class LockOrderError(AssertionError):
+    """The recorded acquisition graph contains an ordering cycle."""
+
+
+def _creation_site() -> str:
+    """``path:line`` of the first frame outside threading/this module."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith(("threading.py", "lockaudit.py")):
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = _HELD.stack = []
+    return stack
+
+
+def _record_acquire(site: str) -> None:
+    stack = _held_stack()
+    if stack:
+        holding = stack[-1]
+        if holding == site:
+            with _STATE_LOCK:
+                _SAME_SITE.add(site)
+        else:
+            with _STATE_LOCK:
+                _EDGES[(holding, site)] = _EDGES.get((holding, site), 0) + 1
+    stack.append(site)
+
+
+def _record_release(site: str) -> None:
+    stack = _held_stack()
+    # Locks are almost always released LIFO, but ``release`` from a
+    # non-owning thread (plain Locks allow it) or hand-over-hand
+    # patterns make FIFO legal: drop the innermost matching entry.
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i] == site:
+            del stack[i]
+            return
+
+
+class _AuditedLock:
+    """Proxy over a real lock/rlock recording site-order edges.
+
+    Implements the full lock protocol plus the private trio
+    (``_release_save`` / ``_acquire_restore`` / ``_is_owned``) that
+    :class:`threading.Condition` probes for, so audited RLocks keep
+    working as condition carriers (``Condition``, ``Event``, ``Queue``
+    all build on them).
+    """
+
+    __slots__ = ("_inner", "_site")
+
+    def __init__(self, inner, site: str) -> None:
+        self._inner = inner
+        self._site = site
+
+    # -- core protocol -------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _record_acquire(self._site)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _record_release(self._site)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "_AuditedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- Condition integration ----------------------------------------
+    def _release_save(self):
+        saved = getattr(self._inner, "_release_save", None)
+        if saved is not None:  # RLock: fully unwind recursion
+            state = saved()
+        else:  # plain Lock: Condition falls back to release/acquire
+            self._inner.release()
+            state = None
+        _record_release(self._site)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        restore = getattr(self._inner, "_acquire_restore", None)
+        if restore is not None:
+            restore(state)
+        else:
+            self._inner.acquire()
+        _record_acquire(self._site)
+
+    def _is_owned(self) -> bool:
+        owned = getattr(self._inner, "_is_owned", None)
+        if owned is not None:
+            return owned()
+        # Plain Lock heuristic mirroring threading.Condition's own.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __getattr__(self, name):
+        # Anything beyond the audited protocol (``_at_fork_reinit``,
+        # future stdlib probes) passes straight through to the real
+        # lock — the stdlib treats these as bookkeeping, not ordering.
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<audited {self._inner!r} site={self._site}>"
+
+
+def _audited_lock_factory():
+    site = _creation_site()
+    with _STATE_LOCK:
+        _SITES[site] = _SITES.get(site, 0) + 1
+    return _AuditedLock(_REAL_LOCK(), site)
+
+
+def _audited_rlock_factory():
+    site = _creation_site()
+    with _STATE_LOCK:
+        _SITES[site] = _SITES.get(site, 0) + 1
+    return _AuditedLock(_REAL_RLOCK(), site)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def install() -> None:
+    """Swap the ``threading`` factories for auditing proxies.
+
+    Patching the module globals also covers everything the stdlib
+    builds from them at call time — ``Condition()``, ``Event()``,
+    ``Semaphore()`` and ``queue.Queue`` all create their internal locks
+    through ``threading.Lock``/``threading.RLock``.  Locks created
+    *before* install stay real and unrecorded, which is why conftest
+    installs the shim before importing any :mod:`repro` module.
+    """
+    global _INSTALLED
+    if _INSTALLED:
+        return
+    threading.Lock = _audited_lock_factory
+    threading.RLock = _audited_rlock_factory
+    _INSTALLED = True
+
+
+def uninstall() -> None:
+    """Restore the real factories (existing proxies keep working)."""
+    global _INSTALLED
+    if not _INSTALLED:
+        return
+    threading.Lock = _REAL_LOCK
+    threading.RLock = _REAL_RLOCK
+    _INSTALLED = False
+
+
+def installed() -> bool:
+    return _INSTALLED
+
+
+def reset() -> None:
+    """Drop all recorded sites/edges (between tests, not mid-hold)."""
+    with _STATE_LOCK:
+        _EDGES.clear()
+        _SAME_SITE.clear()
+        _SITES.clear()
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+def cycles(edges: Optional[Dict[Tuple[str, str], int]] = None) -> List[List[str]]:
+    """Elementary cycles in the site graph (DFS, first per back edge).
+
+    Returns each cycle as a site list ``[a, b, ..., a]``.  An empty
+    list is the pass condition: every pair of locks is always taken in
+    one order.
+    """
+    if edges is None:
+        with _STATE_LOCK:
+            edges = dict(_EDGES)
+    graph: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, []).append(dst)
+    found: List[List[str]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    done: Set[str] = set()
+    for root in sorted(graph):
+        if root in done:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        path: List[str] = [root]
+        on_path = {root}
+        while stack:
+            node, idx = stack[-1]
+            nexts = graph.get(node, ())
+            if idx < len(nexts):
+                stack[-1] = (node, idx + 1)
+                succ = nexts[idx]
+                if succ in on_path:
+                    cycle = path[path.index(succ):] + [succ]
+                    # Canonicalise rotation so each cycle reports once.
+                    body = cycle[:-1]
+                    pivot = body.index(min(body))
+                    key = tuple(body[pivot:] + body[:pivot])
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        found.append(cycle)
+                elif succ not in done:
+                    stack.append((succ, 0))
+                    path.append(succ)
+                    on_path.add(succ)
+            else:
+                stack.pop()
+                path.pop()
+                on_path.discard(node)
+                done.add(node)
+    return found
+
+
+def report() -> dict:
+    """Snapshot of the audit: sites, edges, same-site pairs, cycles."""
+    with _STATE_LOCK:
+        edges = dict(_EDGES)
+        sites = dict(_SITES)
+        same = sorted(_SAME_SITE)
+    return {
+        "installed": _INSTALLED,
+        "sites": sites,
+        "edges": [
+            {"from": src, "to": dst, "count": count}
+            for (src, dst), count in sorted(edges.items())
+        ],
+        "same_site_pairs": same,
+        "cycles": cycles(edges),
+    }
+
+
+def assert_acyclic() -> dict:
+    """Raise :class:`LockOrderError` if the graph has a cycle.
+
+    Returns the report on success so callers can log edge counts.
+    """
+    snapshot = report()
+    if snapshot["cycles"]:
+        lines = ["lock-order cycle(s) detected:"]
+        for cycle in snapshot["cycles"]:
+            lines.append("  " + " -> ".join(cycle))
+        raise LockOrderError("\n".join(lines))
+    return snapshot

@@ -1,0 +1,10 @@
+"""The repo-aware rules; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401
+    asyncio_blocking,
+    cancellation_rules,
+    checkpoints,
+    dtypes,
+    guarded,
+    shm_rules,
+)

@@ -1,0 +1,65 @@
+"""blocking-in-async: no blocking calls on the asyncio event loop.
+
+Scope: modules tagged ``service``.  The front end is a single asyncio
+loop; one ``time.sleep`` in a handler stalls every in-flight request
+and every heartbeat.  Blocking work belongs on the executor
+(``loop.run_in_executor``) or behind ``await asyncio.sleep(...)``.
+
+Flags, lexically inside ``async def`` bodies (nested sync ``def``
+subtrees are excluded — they run wherever they are called from):
+
+* ``time.sleep(...)``
+* builtin ``open(...)``
+* ``socket.*`` constructors/connects
+* ``subprocess.*`` and ``os.system``
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import call_name
+
+_BLOCKING_PREFIXES = ("socket.", "subprocess.")
+_BLOCKING_EXACT = {"time.sleep", "os.system", "open"}
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk an async function's body, skipping nested function defs."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    name = "blocking-in-async"
+    description = (
+        "time.sleep / blocking socket, file and subprocess calls inside "
+        "async def in the service layer"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_scope("service"):
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _async_body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in _BLOCKING_EXACT or name.startswith(_BLOCKING_PREFIXES):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking call {name}(...) inside async def "
+                        f"{func.name!r} stalls the event loop (use "
+                        "await asyncio.sleep / loop.run_in_executor)",
+                    )

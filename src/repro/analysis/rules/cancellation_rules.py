@@ -1,0 +1,129 @@
+"""swallowed-cancellation: broad ``except`` must not eat OperationCancelled.
+
+``OperationCancelled`` subclasses ``RuntimeError``, so any
+``except Exception`` (or broader) on a code path that can checkpoint
+silently converts a cooperative cancellation into "keep going" — the
+request's deadline contract (free the slot within one checkpoint
+interval, answer 408/504) quietly breaks.
+
+Scope: modules that are cancellation-aware (reference
+``OperationCancelled`` or ``current_token``; fixtures can tag
+``scope=cancellation``).
+
+A handler catching ``OperationCancelled`` / ``RuntimeError`` /
+``Exception`` / ``BaseException`` (or bare) is flagged unless it:
+
+* re-raises (any ``raise`` in the handler body), or
+* binds the exception and actually uses it (mapping it to a response
+  is handling, not dropping), or
+* follows an earlier handler in the same ``try`` that catches
+  ``OperationCancelled`` specifically (the broad clause can no longer
+  see it), or
+* guards a pure-cleanup ``try`` body (a lone ``close``/``abandon``/
+  ``unlink``/``cancel``-style call with a ``pass`` handler —
+  non-cancellable teardown that must not mask the original error).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import call_name, caught_names
+
+_BROAD = {"Exception", "BaseException", "RuntimeError"}
+_CLEANUP_CALLS = {
+    "abandon",
+    "cancel",
+    "close",
+    "join",
+    "kill",
+    "release",
+    "set",
+    "shutdown",
+    "stop",
+    "terminate",
+    "unlink",
+    "_unlink_quiet",
+}
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_uses_binding(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for node in ast.walk(handler):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+def _is_cleanup_guard(try_node: ast.Try, handler: ast.ExceptHandler) -> bool:
+    if not all(isinstance(stmt, ast.Pass) for stmt in handler.body):
+        return False
+    for stmt in try_node.body:
+        if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+            return False
+        tail = call_name(stmt.value).rsplit(".", 1)[-1]
+        if tail not in _CLEANUP_CALLS:
+            return False
+    return bool(try_node.body)
+
+
+@register
+class SwallowedCancellationRule(Rule):
+    name = "swallowed-cancellation"
+    description = (
+        "except clauses that catch and drop OperationCancelled "
+        "(directly or via a broad Exception/RuntimeError catch)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not (
+            module.in_scope("cancellation")
+            or "OperationCancelled" in module.source
+            or "current_token" in module.source
+        ):
+            return
+        for try_node in ast.walk(module.tree):
+            if not isinstance(try_node, ast.Try):
+                continue
+            cancellation_handled = False
+            for handler in try_node.handlers:
+                caught = caught_names(handler)
+                explicit = "OperationCancelled" in caught
+                broad = bool(caught & _BROAD)
+                if explicit and (
+                    _handler_reraises(handler) or _handler_uses_binding(handler)
+                ):
+                    cancellation_handled = True
+                    continue
+                if not explicit and not broad:
+                    continue
+                if not explicit and cancellation_handled:
+                    continue  # a specific handler above already took it
+                if _handler_reraises(handler) or _handler_uses_binding(handler):
+                    continue
+                if _is_cleanup_guard(try_node, handler):
+                    continue
+                what = (
+                    "OperationCancelled"
+                    if explicit
+                    else f"{sorted(caught & _BROAD)[0]} (which includes "
+                    "OperationCancelled)"
+                )
+                yield self.finding(
+                    module,
+                    handler,
+                    f"except clause catches and drops {what}: re-raise "
+                    "cancellations (`except OperationCancelled: raise`) or "
+                    "handle the exception explicitly",
+                )

@@ -1,0 +1,79 @@
+"""checkpoint-in-hot-loop: hot-path loops must reach a cancellation
+checkpoint.
+
+Scope: modules tagged ``hot-path`` (``repro/graph/`` and the core
+selection paths).  The serving layer's deadline contract — a timed-out
+request frees its executor slot within one checkpoint interval —
+only holds if every data-sized loop on the selection path checkpoints.
+
+Candidate loops (the shapes that scale with the data):
+
+* every ``while`` loop;
+* ``for`` over ``range(...)`` with a non-constant bound (chunked
+  sweeps over ``n``);
+* ``for`` over ``enumerate(...)`` (per-cell / per-row sweeps).
+
+A candidate passes when its body contains a checkpoint call
+(``token.checkpoint()`` or any ``*checkpoint*`` helper) — or when an
+enclosing loop already checkpoints, which matches the repo's chunk
+granularity: the outer sweep checkpoints once per chunk and inner
+loops ride inside that budget.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import (
+    call_name,
+    contains_checkpoint,
+    iter_with_ancestors,
+)
+
+
+def _is_candidate(node: ast.AST) -> bool:
+    if isinstance(node, ast.While):
+        return True
+    if not isinstance(node, ast.For):
+        return False
+    iterator = node.iter
+    if not isinstance(iterator, ast.Call):
+        return False
+    name = call_name(iterator)
+    if name == "enumerate":
+        return True
+    if name == "range":
+        return any(not isinstance(arg, ast.Constant) for arg in iterator.args)
+    return False
+
+
+@register
+class CheckpointInHotLoopRule(Rule):
+    name = "checkpoint-in-hot-loop"
+    description = (
+        "data-sized loops in hot-path modules must contain (or sit "
+        "inside a loop containing) a cancellation checkpoint"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_scope("hot-path"):
+            return
+        for node, ancestors in iter_with_ancestors(module.tree):
+            if not _is_candidate(node):
+                continue
+            if contains_checkpoint(node):
+                continue
+            enclosing_loops: List[ast.AST] = [
+                a for a in ancestors if isinstance(a, (ast.For, ast.While))
+            ]
+            if any(contains_checkpoint(loop) for loop in enclosing_loops):
+                continue
+            shape = "while loop" if isinstance(node, ast.While) else "for loop"
+            yield self.finding(
+                module,
+                node,
+                f"hot-path {shape} has no reachable cancellation checkpoint "
+                "(call token.checkpoint() every CHECKPOINT_EVERY iterations)",
+            )

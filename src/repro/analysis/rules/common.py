@@ -1,0 +1,99 @@
+"""Shared AST helpers for the repo-aware rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "call_name",
+    "caught_names",
+    "contains_checkpoint",
+    "dotted",
+    "iter_with_ancestors",
+    "unparse",
+    "with_context_exprs",
+]
+
+
+def iter_with_ancestors(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Depth-first walk yielding ``(node, ancestors)`` (outermost first)."""
+    stack: List[Tuple[ast.AST, List[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + [node]
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_ancestors))
+
+
+def unparse(node: Optional[ast.AST]) -> str:
+    """``ast.unparse`` with whitespace normalised (empty for None)."""
+    if node is None:
+        return ""
+    return ast.unparse(node).replace(" ", "")
+
+
+def dotted(node: ast.AST) -> str:
+    """The dotted name of a Name/Attribute chain (``""`` otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(node: ast.Call) -> str:
+    """The dotted callee name of a call (``""`` for computed callees)."""
+    return dotted(node.func)
+
+
+def with_context_exprs(ancestors: Sequence[ast.AST]) -> Set[str]:
+    """Unparsed context expressions of every enclosing ``with`` block."""
+    exprs: Set[str] = set()
+    for node in ancestors:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                exprs.add(unparse(item.context_expr))
+    return exprs
+
+
+def contains_checkpoint(node: ast.AST) -> bool:
+    """True when the subtree calls a cancellation checkpoint.
+
+    Matches ``<token>.checkpoint(...)`` and any callee whose final name
+    component contains ``checkpoint`` (helper wrappers included).
+    """
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = call_name(child)
+            if "checkpoint" in name.rsplit(".", 1)[-1]:
+                return True
+    return False
+
+
+def caught_names(handler: ast.ExceptHandler) -> Set[str]:
+    """The exception type names an ``except`` clause catches.
+
+    A bare ``except:`` reports ``{"BaseException"}``; dotted types
+    report their final component (``resilience.OperationCancelled`` ->
+    ``OperationCancelled``).
+    """
+    if handler.type is None:
+        return {"BaseException"}
+    nodes = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: Set[str] = set()
+    for node in nodes:
+        name = dotted(node)
+        if name:
+            names.add(name.rsplit(".", 1)[-1])
+    return names

@@ -1,0 +1,95 @@
+"""dtype-discipline: id arrays in ``graph/`` are explicit int32.
+
+Selections are pinned byte-identical across engines; that only holds
+because every id-carrying array (CSR ``indices``, member lists, row
+ids) is explicitly ``np.int32`` end to end — an implicit platform
+default (int64 on linux) or a stray int64 in a selection output
+doubles memory and breaks the parity contract at the serialisation
+boundary.  ``indptr``/counts are deliberately int64 (edge counts
+overflow int32 at paper scale) and are not id arrays.
+
+Scope: modules tagged ``graph``.  Checks assignments whose target name
+looks like an id array (``ids``, ``*_ids``, ``indices``, ``members``,
+``rows``, ``cols``):
+
+* constructors (``np.empty/zeros/ones/full/arange/array/asarray``)
+  must pass an explicit ``dtype=``;
+* fresh constructors (not ``asarray`` — normalising an *input* id
+  array to int64 for index arithmetic is the repo's idiom) and
+  ``.astype(...)`` casts feeding such a name must not be int64.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import call_name, unparse
+
+_ID_NAME_RE = re.compile(r"(^|_)(ids?|indices|members|rows|cols)$")
+_CONSTRUCTORS = {"empty", "zeros", "ones", "full", "arange", "array", "asarray"}
+
+
+def _target_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dtype_kwarg(call: ast.Call) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    description = (
+        "id-array constructors in graph/ need explicit dtype=np.int32; "
+        "int64 must not leak into id arrays"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_scope("graph"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            name = _target_name(node.targets[0])
+            if name is None or not _ID_NAME_RE.search(name):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            callee = call_name(value)
+            tail = callee.rsplit(".", 1)[-1]
+            if tail in _CONSTRUCTORS and callee.split(".")[0] in ("np", "numpy"):
+                dtype = _dtype_kwarg(value)
+                if dtype is None:
+                    yield self.finding(
+                        module,
+                        value,
+                        f"id array {name!r} built by {callee} without an "
+                        "explicit dtype= (platform default is int64; id "
+                        "arrays are int32 by contract)",
+                    )
+                elif tail != "asarray" and "int64" in unparse(dtype):
+                    yield self.finding(
+                        module,
+                        value,
+                        f"id array {name!r} built with int64 dtype; id "
+                        "arrays are int32 by contract",
+                    )
+            elif tail == "astype" and "int64" in unparse(value):
+                yield self.finding(
+                    module,
+                    value,
+                    f"id array {name!r} cast to int64; id arrays are "
+                    "int32 by contract",
+                )

@@ -1,0 +1,147 @@
+"""guarded-attribute: mutations of ``_GUARDED_BY`` attrs outside their lock.
+
+Classes that share state across threads declare the guard map as a
+class attribute::
+
+    class SharedCacheManager:
+        _GUARDED_BY = {
+            "hits": "self._lock",       # mutate only under this lock
+            "inflight": "self._counter_lock",
+            "_rr": "event-loop",        # single-owner: asyncio loop only
+        }
+
+Values are either the unparsed lock expression a mutation must be
+lexically inside a ``with`` of, or the sentinel ``"event-loop"`` for
+attributes owned by the asyncio event loop (mutations must sit inside
+an ``async def``, or a sync helper whose docstring states it runs on
+the event loop).
+
+A helper that is documented to run with the lock already held — its
+docstring names the lock together with "held"/"holds" (e.g. "Caller
+holds ``self._lock``.") — is exempt: the contract is the docstring,
+and the rule makes breaking it visible at every new call site that
+forgets a ``with``.  ``__init__`` is exempt (no sharing yet).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import iter_with_ancestors, with_context_exprs
+
+EVENT_LOOP = "event-loop"
+
+
+def _guard_map(cls: ast.ClassDef) -> Dict[str, str]:
+    """The ``_GUARDED_BY`` literal dict declared in a class body."""
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "_GUARDED_BY"
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            out: Dict[str, str] = {}
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if isinstance(key, ast.Constant) and isinstance(value, ast.Constant):
+                    out[str(key.value)] = str(value.value)
+            return out
+    return {}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` mutates ``self.attr`` (directly or via
+    subscript, e.g. ``self.requests[k] = ...``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutation_targets(node: ast.AST) -> List[ast.AST]:
+    if isinstance(node, ast.Assign):
+        targets: List[ast.AST] = []
+        for target in node.targets:
+            targets.extend(target.elts if isinstance(target, ast.Tuple) else [target])
+        return targets
+    if isinstance(node, ast.AugAssign):
+        return [node.target]
+    return []
+
+
+def _docstring_grants(func: ast.AST, guard: str) -> bool:
+    doc = (ast.get_docstring(func) or "").lower()
+    if not doc:
+        return False
+    if guard == EVENT_LOOP:
+        return "event loop" in doc
+    tail = guard.rsplit(".", 1)[-1].lower()
+    return tail in doc and ("held" in doc or "holds" in doc or "hold" in doc)
+
+
+@register
+class GuardedAttributeRule(Rule):
+    name = "guarded-attribute"
+    description = (
+        "attributes declared in a class _GUARDED_BY map must be mutated "
+        "under their lock (or on the event loop for 'event-loop' attrs)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for cls_node in ast.walk(module.tree):
+            if not isinstance(cls_node, ast.ClassDef):
+                continue
+            guards = _guard_map(cls_node)
+            if not guards:
+                continue
+            yield from self._check_class(module, cls_node, guards)
+
+    def _check_class(
+        self, module: ModuleInfo, cls_node: ast.ClassDef, guards: Dict[str, str]
+    ) -> Iterable[Finding]:
+        for node, ancestors in iter_with_ancestors(cls_node):
+            for target in _mutation_targets(node):
+                attr = _self_attr(target)
+                if attr is None or attr not in guards:
+                    continue
+                guard = guards[attr]
+                funcs = [
+                    a
+                    for a in ancestors
+                    if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]
+                if not funcs:
+                    continue  # class-body default, not shared state yet
+                if any(f.name in ("__init__", "__post_init__") for f in funcs):
+                    continue
+                if guard == EVENT_LOOP:
+                    if any(isinstance(f, ast.AsyncFunctionDef) for f in funcs):
+                        continue
+                    if any(_docstring_grants(f, guard) for f in funcs):
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{cls_node.name}.{attr} is event-loop-owned but mutated "
+                        "outside an async def (document a sync helper with "
+                        "'event loop' in its docstring if it only runs there)",
+                    )
+                    continue
+                if guard in with_context_exprs(ancestors):
+                    continue
+                if any(_docstring_grants(f, guard) for f in funcs):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{cls_node.name}.{attr} mutated outside `with {guard}` "
+                    "(declared in _GUARDED_BY)",
+                )

@@ -1,0 +1,129 @@
+"""shm-lifecycle: SharedMemory handles must be held, closed or escape.
+
+PR 7 fixed a real segfault from exactly this: a NumPy view built from
+a duplicate ``SharedMemory`` handle that was later closed, unmapping
+memory live views still pointed at.  The repo's convention since is
+that views are built only from the *canonical* handle returned by the
+store's ``_hold`` registrar.
+
+Scope: any module that opens shared-memory segments (content match on
+``SharedMemory`` / ``_open_segment``; fixtures can tag ``scope=shm``).
+
+Checks, per function:
+
+* **view-from-unheld** — ``np.ndarray(..., buffer=h.buf)`` where ``h``
+  was opened in this function (``SharedMemory(...)`` /
+  ``_open_segment(...)``) and never passed through a ``*hold*`` call.
+* **leaked handle** — a handle opened into a local that is never
+  closed, unlinked, held, returned, stored on an object, or passed to
+  another call (ownership transfers count as escapes; a local that
+  does none of these is unreachable after the function returns and
+  the mapping leaks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import call_name
+
+_OPENERS = ("SharedMemory", "_open_segment")
+
+
+def _is_open_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node).rsplit(".", 1)[-1]
+    return name in _OPENERS
+
+
+def _is_hold_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    return "hold" in call_name(node).rsplit(".", 1)[-1]
+
+
+@register
+class ShmLifecycleRule(Rule):
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory handles must be held/closed/unlinked or escape; "
+        "NumPy views must come from held handles"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not (
+            module.in_scope("shm")
+            or "SharedMemory" in module.source
+            or "_open_segment" in module.source
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> Iterable[Finding]:
+        opened: Dict[str, ast.AST] = {}
+        held: Set[str] = set()
+        closed: Set[str] = set()
+        escaped: Set[str] = set()
+        views: List[ast.Call] = []
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if _is_open_call(node.value):
+                        opened.setdefault(target.id, node)
+                    if _is_hold_call(node.value):
+                        held.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    # Stored on an object: ownership transferred.
+                    if _is_open_call(node.value) or isinstance(node.value, ast.Name):
+                        if isinstance(node.value, ast.Name):
+                            escaped.add(node.value.id)
+            elif isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+                escaped.add(node.value.id)
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                tail = name.rsplit(".", 1)[-1]
+                if tail in ("close", "unlink") and "." in name:
+                    closed.add(name.rsplit(".", 1)[0].split(".")[0])
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
+                if tail == "ndarray":
+                    for kw in node.keywords:
+                        if kw.arg == "buffer":
+                            views.append(node)
+
+        for view in views:
+            buffer = next(kw.value for kw in view.keywords if kw.arg == "buffer")
+            if (
+                isinstance(buffer, ast.Attribute)
+                and buffer.attr == "buf"
+                and isinstance(buffer.value, ast.Name)
+            ):
+                handle = buffer.value.id
+                if handle in opened and handle not in held:
+                    yield self.finding(
+                        module,
+                        view,
+                        f"NumPy view built from unheld handle {handle!r}: build "
+                        "views only from the canonical handle returned by "
+                        "_hold(...) (a later close of a duplicate unmaps them)",
+                    )
+
+        for handle, node in opened.items():
+            if handle in held or handle in closed or handle in escaped:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"shared-memory handle {handle!r} is opened but never "
+                "closed, unlinked, held or handed off on any path",
+            )

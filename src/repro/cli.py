@@ -273,6 +273,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", required=True, metavar="JSON",
         help="worker config JSON emitted by the supervisor",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis (concurrency, cancellation, "
+        "dtype discipline); exits nonzero on findings",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("human", "json"), default="human", dest="fmt",
+        help="output format (default: human)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
     return parser
 
 
@@ -735,6 +757,17 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import main as lint_main
+
+    argv = list(args.paths) + ["--format", args.fmt]
+    for rule in args.rules or ():
+        argv += ["--rule", rule]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "select": _cmd_select,
@@ -744,6 +777,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "worker": _cmd_worker,
+    "lint": _cmd_lint,
 }
 
 

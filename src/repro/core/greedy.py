@@ -156,7 +156,10 @@ def greedy_cover(
         index, radius, coloring, is_candidate, initial_counts, prune=prune
     )
     heap = LazyMaxHeap()
+    seed_token = current_token()
     for object_id in range(index.n):
+        if seed_token is not None and object_id % CHECKPOINT_EVERY == 0:
+            seed_token.checkpoint()
         if is_candidate(object_id):
             heap.push(object_id, int(counts[object_id]))
 
@@ -449,7 +452,10 @@ def _seed_counts(
             )
         return counts
     counts = np.zeros(index.n, dtype=np.int64)
+    token = current_token()
     for object_id in range(index.n):
+        if token is not None and object_id % CHECKPOINT_EVERY == 0:
+            token.checkpoint()
         if not is_candidate(object_id):
             continue
         neighbors = query_neighbors(index, object_id, radius, prune=prune)

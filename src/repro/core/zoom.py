@@ -115,7 +115,10 @@ def zoom_in(
     previous_set = previous.selected_set()
     for black in previous.selected:
         coloring.set_black(black)
+    token = current_token()
     for object_id in range(index.n):
+        if token is not None and object_id % CHECKPOINT_EVERY == 0:
+            token.checkpoint()
         if object_id in previous_set:
             continue
         if tracker.covered_at(object_id, new_radius):

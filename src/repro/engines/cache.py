@@ -24,6 +24,15 @@ internal re-entrant lock, so a cache may be shared by concurrent
 sessions: the serving layer (:mod:`repro.service`) runs selections on a
 thread pool and its ``/stats`` endpoint snapshots counters while
 requests are in flight.
+
+Locking convention (enforced by ``repro lint``, rule
+``guarded-attribute``): every class sharing mutable state across
+threads declares a ``_GUARDED_BY`` class attribute mapping attribute
+name to the lock expression that must be held to mutate it (or the
+sentinel ``"event-loop"`` for asyncio-owned state).  Helpers that run
+with the lock already held say so in their docstring ("Caller holds
+``self._lock``."); the linter accepts that contract and flags any new
+call site that mutates outside a ``with``.
 """
 
 from __future__ import annotations
@@ -50,6 +59,14 @@ class AdjacencyCache:
         Soft byte budget over all cached adjacencies (None = unbounded);
         sizes come from each entry's ``nbytes``.
     """
+
+    #: Lock discipline, mechanically enforced by `repro lint`.
+    _GUARDED_BY = {
+        "_entries": "self._lock",
+        "hits": "self._lock",
+        "misses": "self._lock",
+        "evictions": "self._lock",
+    }
 
     def __init__(
         self,

@@ -284,6 +284,43 @@ hardware claim: the summary records `cpu_count` and a `core_bound`
 flag, and the >= 2.5x multi-worker bar applies only when the box
 actually has a core per worker (on a 1-core runner the processes
 time-slice one CPU and the recorded speedup is honestly < 1).
+
+## Static analysis — mechanically enforced invariants (PR 8)
+
+PRs 1-7 *documented* the concurrency contracts (counters under their
+lock, checkpoints in hot loops, held-handle shm views, int32 ids,
+nothing blocking on the event loop, cancellations never swallowed);
+`repro lint` (`repro.analysis`, stdlib-only AST rules) now *enforces*
+them, so the next regression is a red CI lane instead of a heisenbug.
+
+* **Ground truth in the code** — classes sharing mutable state declare
+  a `_GUARDED_BY` map (attribute -> lock expression, or the
+  `event-loop` sentinel for asyncio-owned state); the
+  `guarded-attribute` rule flags any mutation outside a `with` on that
+  lock, outside `async def` for event-loop state, and outside helpers
+  whose docstring states the caller-holds-lock contract.
+* **Suppression discipline** — deliberate exceptions are inline
+  (`# repro-lint: disable=RULE -- why`); the reason is mandatory and a
+  reasonless or unknown-rule suppression is itself a finding, so the
+  shipped tree lints clean *including* its own escape hatches.
+* **Runtime lock-order audit** — `REPRO_LOCK_AUDIT=1` swaps the
+  `threading` lock factories for recording proxies before any repro
+  module loads; the test run accumulates a site-granularity lock
+  acquisition graph and the session fails on an ordering cycle.  Over
+  the serving suites the graph is acyclic (34 lock sites, 7 ordered
+  edges at last measure) — the ABBA deadlock shape is excluded without
+  ever scheduling the deadlock.
+* **True positives fixed** — the sweep over `src/` caught two real
+  cancellation bugs in the serving layer: the shared cache's publish
+  path caught `OperationCancelled` in a broad `except` (a timed-out
+  request silently kept going), and a deadline expiring inside shm
+  decode destroyed an *intact* cluster-wide segment via the
+  corrupt-payload takeover path.  Both are fixed with regression tests
+  (`tests/test_analysis.py`).
+* **CI `lint` lane** — `repro lint src/` (exit 0 required), a
+  seeded-violation self-test proving each rule fires, and the
+  lock-order audit over `tests/test_service.py` +
+  `tests/test_supervisor.py`; nothing cached.
 """
 
 

@@ -249,7 +249,10 @@ class BlockedNeighborhood:
         """``|N_r(p_i)|`` for every object (self excluded; cached)."""
         if self._degrees is None:
             deg = self.sparse.degrees.astype(np.int64)
+            token = current_token()
             for s in range(self.num_sides):
+                if token is not None and s % 256 == 0:
+                    token.checkpoint()
                 members = self._side(self.side_partner[s])
                 deg[members] += self.side_ptr[s + 1] - self.side_ptr[s]
                 if self.side_is_clique[s]:

@@ -468,7 +468,7 @@ def _cell_pair_table(ukeys: np.ndarray, offsets: np.ndarray, classes: np.ndarray
 
         def fuse(keys: np.ndarray) -> np.ndarray:
             out = np.zeros(keys.shape[0], dtype=np.int64)
-            for j in range(dim):
+            for j in range(dim):  # repro-lint: disable=checkpoint-in-hot-loop -- loops over key dimensionality, not data
                 out = out * spans[j] + (keys[:, j] - kmin[j] + reach + 1)
             return out
 

@@ -67,7 +67,7 @@ class MaxSegmentTree:
         self.tree[self.size : self.size + self.n] = scores
         # One vectorised max per level builds all internal nodes in O(n).
         level = self.size
-        while level > 1:
+        while level > 1:  # repro-lint: disable=checkpoint-in-hot-loop -- O(log n) level sweep at build time
             half = level >> 1
             np.maximum(
                 self.tree[level : 2 * level : 2],
@@ -97,7 +97,7 @@ class MaxSegmentTree:
         item = tree.item  # scalar reads as plain Python ints
         node = 1
         size = self.size
-        while node < size:
+        while node < size:  # repro-lint: disable=checkpoint-in-hot-loop -- O(log n) root-to-leaf descent; callers checkpoint per pop
             left = node << 1
             node = left if item(left) >= item(left + 1) else left + 1
         return node - size
@@ -130,7 +130,7 @@ class MaxSegmentTree:
             # sibling leaves share parents and deduping the entry
             # frontier halves the gather width before the climb starts.
             pos = np.unique(pos)
-        while True:
+        while True:  # repro-lint: disable=checkpoint-in-hot-loop -- climbs tree levels (O(log n)); callers checkpoint per update
             left = pos << 1
             new = np.maximum(tree[left], tree[left + 1])
             changed = tree[pos] != new
@@ -152,7 +152,7 @@ class MaxSegmentTree:
         pos = object_id + self.size
         tree[pos] = value
         pos >>= 1
-        while pos:
+        while pos:  # repro-lint: disable=checkpoint-in-hot-loop -- O(log n) ancestor climb; callers checkpoint per pop
             left = pos << 1
             lv, rv = item(left), item(left + 1)
             new = lv if lv >= rv else rv

@@ -160,6 +160,28 @@ class SharedCacheManager:
         keeps ``builds == unique radii`` across a supervised cluster.
     """
 
+    #: Lock discipline, mechanically enforced by `repro lint` (rule
+    #: guarded-attribute; convention documented in repro.engines.cache).
+    _GUARDED_BY = {
+        "_entries": "self._lock",
+        "_stale": "self._lock",
+        "_pending": "self._lock",
+        "_breakers": "self._lock",
+        "_build_seconds": "self._lock",
+        "_backing_claims": "self._lock",
+        "hits": "self._lock",
+        "misses": "self._lock",
+        "evictions": "self._lock",
+        "expirations": "self._lock",
+        "builds": "self._lock",
+        "coalesced_builds": "self._lock",
+        "build_failures": "self._lock",
+        "stale_served": "self._lock",
+        "corrupt_entries": "self._lock",
+        "shm_hits": "self._lock",
+        "shm_stores": "self._lock",
+    }
+
     def __init__(
         self,
         max_entries: Optional[int] = 64,
@@ -214,7 +236,8 @@ class SharedCacheManager:
     # Internal helpers (call with self._lock held)
     # ------------------------------------------------------------------
     def _fresh_value(self, key: CacheKey):
-        """The fresh, intact value for ``key`` or None.
+        """The fresh, intact value for ``key`` or None.  Caller holds
+        ``self._lock``.
 
         Expired entries demote to the stale tier; corrupt entries are
         dropped (never demoted — a failed integrity check means the
@@ -238,6 +261,8 @@ class SharedCacheManager:
         return entry.value
 
     def _stale_value(self, key: CacheKey):
+        """The intact stale value for ``key`` or None.  Caller holds
+        ``self._lock``."""
         entry = self._stale.get(key)
         if entry is None:
             return None
@@ -249,6 +274,7 @@ class SharedCacheManager:
         return entry.value
 
     def _serve_stale(self, key: CacheKey, value, reason: str):
+        """Account a degraded stale hit.  Caller holds ``self._lock``."""
         self.stale_served += 1
         self.hits += 1
         token = current_token()
@@ -257,6 +283,8 @@ class SharedCacheManager:
         return value
 
     def _breaker(self, key: CacheKey) -> CircuitBreaker:
+        """The (created-on-first-use) breaker for ``key``.  Caller
+        holds ``self._lock``."""
         breaker = self._breakers.get(key)
         if breaker is None:
             breaker = CircuitBreaker(self.failure_threshold, self.breaker_reset_s)
@@ -264,6 +292,8 @@ class SharedCacheManager:
         return breaker
 
     def _claim(self, key: CacheKey) -> None:
+        """Claim the build slot for this thread.  Caller holds
+        ``self._lock``."""
         self._pending[key] = _PendingBuild(threading.get_ident())
         self.misses += 1
 
@@ -390,10 +420,10 @@ class SharedCacheManager:
         """
         try:
             status, got = self.backing.load_or_claim(key)
-        except BaseException:
+        except BaseException:  # repro-lint: disable=swallowed-cancellation -- deliberate: fall through to the local build, whose own checkpoints abort promptly under the same token
             # Includes OperationCancelled from the wait loop's
-            # checkpoints: fall through to the local build, whose own
-            # checkpoints abort promptly under the same token.
+            # checkpoints: any backing failure degrades to a local
+            # build rather than failing the request.
             return None
         if status == "value":
             self._install(key, got, count_build=False)
@@ -445,6 +475,16 @@ class SharedCacheManager:
                 if self.backing.publish(claim, value):
                     with self._lock:
                         self.shm_stores += 1
+            except OperationCancelled:
+                # The deadline expired mid-publish: release the
+                # cluster-wide claim so a healthy worker takes over the
+                # publish, and propagate so this request answers
+                # 408/504 instead of silently losing its cancellation.
+                try:
+                    claim.abandon()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+                raise
             except Exception:
                 try:
                     claim.abandon()
@@ -507,6 +547,7 @@ class SharedCacheManager:
                 self.evictions += 1
 
     def _evict_stale(self) -> None:
+        """Trim the stale tier to budget.  Caller holds ``self._lock``."""
         if self.max_entries is None:
             return
         while len(self._stale) > self.max_entries:
@@ -613,6 +654,13 @@ class SharedCacheView(AdjacencyCache):
     and no other change.  The view keeps its own hit/miss counters (what
     *this* session saw) next to the manager-wide ones.
     """
+
+    #: Lock discipline (see :mod:`repro.engines.cache`): the manager
+    #: guards the shared tiers; the view only owns its two counters.
+    _GUARDED_BY = {
+        "hits": "self._lock",
+        "misses": "self._lock",
+    }
 
     def __init__(self, manager: SharedCacheManager, dataset_id: str, metric) -> None:
         super().__init__()

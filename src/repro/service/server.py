@@ -200,6 +200,18 @@ class DiscServer:
     keep-alive) connections.
     """
 
+    #: Lock discipline (convention in :mod:`repro.engines.cache`): all
+    #: of the server's mutable state is owned by the asyncio event loop
+    #: — never touched from executor threads — so the guard is the
+    #: ``event-loop`` sentinel, not a lock expression.
+    _GUARDED_BY = {
+        "_inflight": "event-loop",
+        "_idem_inflight": "event-loop",
+        "_completed": "event-loop",
+        "_conn_tasks": "event-loop",
+        "_active_requests": "event-loop",
+    }
+
     def __init__(
         self,
         state: ServiceState,
@@ -449,6 +461,8 @@ class DiscServer:
             ) from None
 
     def _remember(self, idem: str, result: dict) -> None:
+        """Store a completed response for idempotent replay (runs on
+        the event loop, from ``_single_flight``)."""
         self._completed[idem] = result
         self._completed.move_to_end(idem)
         while len(self._completed) > IDEMPOTENCY_CACHE_SIZE:

@@ -57,6 +57,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cancellation import OperationCancelled
+
 __all__ = [
     "SegmentClaim",
     "SharedSegmentStore",
@@ -131,7 +133,7 @@ def _untrack(shm) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals moved
+    except Exception:  # pragma: no cover  # repro-lint: disable=swallowed-cancellation -- tracker unregister cannot checkpoint; failure degrades to tracker-managed lifecycle
         pass
 
 
@@ -690,6 +692,11 @@ class ShmCacheBacking:
         if status == "value":
             try:
                 return "value", decode_adjacency(got["kind"], got["arrays"])
+            except OperationCancelled:
+                # The segment is intact — the *request* ran out of
+                # budget.  Unlinking it here would destroy a good
+                # cluster-wide build over one caller's deadline.
+                raise
             except Exception:
                 # Undecodable payload (e.g. version skew): rebuild
                 # locally; the segment is replaced on our publish.

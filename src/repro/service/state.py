@@ -99,6 +99,22 @@ class ServiceState:
         cache-level points hang off the :class:`SharedCacheManager`).
     """
 
+    #: Lock discipline (convention in :mod:`repro.engines.cache`,
+    #: enforced by ``repro lint``): the ``/stats`` counters move under
+    #: the dedicated counter lock so hot-path increments never contend
+    #: with index builds, which serialise on ``self._lock``.
+    _GUARDED_BY = {
+        "requests": "self._counter_lock",
+        "responses": "self._counter_lock",
+        "computations": "self._counter_lock",
+        "coalesced_requests": "self._counter_lock",
+        "degraded_responses": "self._counter_lock",
+        "timeouts": "self._counter_lock",
+        "inflight": "self._counter_lock",
+        "_indexes": "self._lock",
+        "_index_locks": "self._lock",
+    }
+
     def __init__(
         self,
         registry: Optional[DatasetRegistry] = None,

@@ -351,6 +351,25 @@ class Supervisor:
     ``await start()``.
     """
 
+    #: Lock discipline (convention in :mod:`repro.engines.cache`): the
+    #: supervisor is single-threaded on its event loop, so every
+    #: counter and routing gauge is guarded by the ``event-loop``
+    #: sentinel rather than a lock.  Sync helpers that mutate these run
+    #: only as event-loop callees and say so in their docstrings.
+    _GUARDED_BY = {
+        "requests": "event-loop",
+        "responses": "event-loop",
+        "replays": "event-loop",
+        "restarts": "event-loop",
+        "crashes": "event-loop",
+        "stall_kills": "event-loop",
+        "quarantined": "event-loop",
+        "_active_requests": "event-loop",
+        "_rr": "event-loop",
+        "_restart_tasks": "event-loop",
+        "_conn_tasks": "event-loop",
+    }
+
     def __init__(
         self,
         worker_configs: Sequence[dict],
@@ -567,6 +586,8 @@ class Supervisor:
         return [slot for slot in healthy if dataset in slot.datasets]
 
     def _pick(self, dataset: Optional[str]) -> Optional[_WorkerSlot]:
+        """Least-loaded healthy replica, round-robin tie-break (runs on
+        the event loop, from ``_compute``)."""
         candidates = self._candidates(dataset)
         if not candidates:
             return None
@@ -763,6 +784,8 @@ class Supervisor:
             pass
 
     def _on_crash(self, slot: _WorkerSlot, reason: str) -> None:
+        """Mark a dead worker and schedule its restart (runs on the
+        event loop: heartbeat, request failover, or restart callback)."""
         slot.state = "restarting"
         slot.generation += 1
         slot.consecutive_probe_failures = 0

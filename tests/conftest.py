@@ -5,6 +5,17 @@ from __future__ import annotations
 import os
 import signal
 
+#: Opt-in runtime lock-order audit (``REPRO_LOCK_AUDIT=1``): swap the
+#: ``threading`` lock factories for recording proxies *before* any
+#: repro object is constructed, so every lock the library creates
+#: during the run lands in the acquisition graph.
+#: ``pytest_sessionfinish`` below fails the session on a cycle.
+_lockaudit = None
+if os.environ.get("REPRO_LOCK_AUDIT") == "1":
+    from repro.analysis import lockaudit as _lockaudit
+
+    _lockaudit.install()
+
 import numpy as np
 import pytest
 
@@ -45,6 +56,25 @@ def pytest_runtest_call(item):
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+def pytest_sessionfinish(session, exitstatus):
+    if _lockaudit is None:
+        return
+    snapshot = _lockaudit.report()
+    edges = len(snapshot["edges"])
+    sites = len(snapshot["sites"])
+    if snapshot["cycles"]:
+        print("\nrepro-lockaudit: FAIL — lock-order cycle(s) detected:")
+        for cycle in snapshot["cycles"]:
+            print("  " + " -> ".join(cycle))
+        session.exitstatus = 3
+    else:
+        print(
+            f"\nrepro-lockaudit: acyclic ({sites} lock sites, "
+            f"{edges} ordered edges, "
+            f"{len(snapshot['same_site_pairs'])} same-site pairs)"
+        )
+
 
 from repro.distance import EUCLIDEAN, HAMMING, MANHATTAN
 from repro.index import BruteForceIndex, GridIndex
