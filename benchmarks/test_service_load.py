@@ -18,7 +18,7 @@ from repro.service.load import (
 def test_service_load_records_win(register):
     payload = run_service_bench()
 
-    assert payload["schema"] == "bench-service-v3"
+    assert payload["schema"] == "bench-service-v4"
     # Every served selection matched a direct disc_select call — the
     # supervised multi-worker phase included.
     assert payload["parity"] is True
@@ -54,6 +54,16 @@ def test_service_load_records_win(register):
     assert multi["core_bound"] == (payload["cpu_count"] < multi["workers"])
     if not multi["core_bound"]:
         assert multi["speedup_vs_single_process"] >= 2.5
+
+    # Mutation-trace lane (PR 9): live churn through /mutate + repair.
+    # The repaired selection must be independently verified r-DisC
+    # diverse, at least as stable (Jaccard) as recomputing from
+    # scratch, and >= 5x faster than re-register + recompute.
+    mutation = payload["mutation"]
+    assert mutation["verified_disc_diverse"] is True
+    assert mutation["repair_at_least_as_stable"] is True
+    assert mutation["meets_5x"] is True
+    assert mutation["final_version"] == mutation["batches"]
 
     register("BENCH_service", render_service_table(payload))
     path = write_service_json(payload)

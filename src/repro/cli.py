@@ -259,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
         "before dropping connections",
     )
     p_serve.add_argument(
+        "--live", action="store_true",
+        help="serve the datasets as *mutable* live datasets: POST "
+        "/mutate accepts insert/delete batches, adjacency is maintained "
+        "incrementally, and selections can be repaired instead of "
+        "recomputed",
+    )
+    p_serve.add_argument(
         "--faults", default=None, metavar="JSON",
         help="fault-injection config as JSON (see repro.service.faults."
         "FaultConfig), e.g. '{\"seed\": 7, \"build_failure_rate\": 0.2}'",
@@ -493,6 +500,8 @@ def _cmd_serve(args) -> int:
     for name in names:
         try:
             registry.register_builtin(name, n=args.n, seed=args.seed)
+            if args.live:
+                registry.promote_live(name)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
     faults = None
@@ -597,6 +606,7 @@ def _serve_supervised(args, names) -> int:
             default_timeout_ms=args.default_timeout_ms,
             max_timeout_ms=args.max_timeout_ms,
             faults=faults,
+            live=args.live,
             drain_s=args.drain_timeout,
         )
     except ValueError as exc:
@@ -681,6 +691,12 @@ def _cmd_worker(args) -> int:
                 )
             else:
                 registry.register_builtin(name, n=n, seed=seed)
+        if config.get("live"):
+            # Mutable serving: every dataset becomes a MutableDataset
+            # (loaded now — version 0 must exist before the supervisor
+            # replays any mutation log at this worker).
+            for name in names:
+                registry.promote_live(name)
         faults = None
         if config.get("faults"):
             faults = FaultInjector(

@@ -29,6 +29,7 @@ from typing import List
 
 import numpy as np
 
+from repro.cancellation import CHECKPOINT_EVERY, current_token
 from repro.core._common import LazyMaxHeap, consume_stats
 from repro.core.coloring import Coloring
 from repro.core.result import DiscResult
@@ -93,11 +94,19 @@ def multiradius_disc(
     counts = np.array([len(cover_lists[i]) for i in range(index.n)], dtype=np.int64)
 
     heap = LazyMaxHeap()
+    token = current_token()
     for object_id in range(index.n):
+        if token is not None and object_id % CHECKPOINT_EVERY == 0:
+            token.checkpoint()
         heap.push(object_id, int(counts[object_id]))
 
     selected: List[int] = []
+    pops = 0
     while coloring.any_white():
+        if token is not None:
+            if pops % CHECKPOINT_EVERY == 0:
+                token.checkpoint()
+            pops += 1
         pick = heap.pop_valid(lambda i: int(counts[i]), coloring.is_white)
         if pick is None:
             raise RuntimeError("multi-radius greedy lost track of white objects")
@@ -159,8 +168,16 @@ def verify_multiradius(points, metric, selected, radii) -> dict:
     uncovered = [int(i) for i in np.nonzero(closest > radii)[0]]
 
     too_close = []
+    token = current_token()
+    pairs = 0
     for a in range(len(ids)):
         for b in range(a + 1, len(ids)):
+            # O(|S|^2) pair scan: checkpoint inside the inner loop so a
+            # deadline can interrupt large verifications mid-row.
+            if token is not None:
+                if pairs % CHECKPOINT_EVERY == 0:
+                    token.checkpoint()
+                pairs += 1
             i, j = ids[a], ids[b]
             if metric.distance(points[i], points[j]) <= min(radii[i], radii[j]):
                 too_close.append((i, j))

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.cancellation import CHECKPOINT_EVERY, current_token
 from repro.core.result import DiscResult
 from repro.distance import get_metric
 from repro.validation import validate_radius
@@ -147,18 +148,30 @@ class StreamingDisC:
             if self._black_ids
             else None
         )
-        for candidate in self.alive_ids():
+        token = current_token()
+        for i, candidate in enumerate(self.alive_ids()):
+            if token is not None and i % CHECKPOINT_EVERY == 0:
+                token.checkpoint()
             if self._distance_to_blacks(self._points[candidate]) > self.radius:
                 self._select(candidate)
         # Refresh closest-black distances for the snapshot API.
         for i, alive in enumerate(self._alive):
+            if token is not None and i % CHECKPOINT_EVERY == 0:
+                token.checkpoint()
             if alive:
                 self._closest_black[i] = self._distance_to_blacks(self._points[i])
         return True
 
     def extend(self, points) -> int:
         """Consume many objects; return how many were selected."""
-        return sum(1 for p in np.asarray(points) if self.add(p))
+        token = current_token()
+        count = 0
+        for i, point in enumerate(np.asarray(points)):
+            if token is not None and i % CHECKPOINT_EVERY == 0:
+                token.checkpoint()
+            if self.add(point):
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     def result(self) -> DiscResult:

@@ -24,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.cancellation import CHECKPOINT_EVERY, current_token
 from repro.core._common import (
     LazyMaxHeap,
     attach_fresh_coloring,
@@ -99,9 +100,17 @@ def weighted_disc(
             )
         else:
             heap = LazyMaxHeap()
+            token = current_token()
             for object_id in range(index.n):
+                if token is not None and object_id % CHECKPOINT_EVERY == 0:
+                    token.checkpoint()
                 heap.push(object_id, quantised(object_id))
+            pops = 0
             while coloring.any_white():
+                if token is not None:
+                    if pops % CHECKPOINT_EVERY == 0:
+                        token.checkpoint()
+                    pops += 1
                 pick = heap.pop_valid(quantised, coloring.is_white)
                 if pick is None:
                     raise RuntimeError(
@@ -168,7 +177,13 @@ def _weighted_csr(
     tree = MaxSegmentTree(scores)
     candidate_mask = codes == white_code
 
+    token = current_token()
+    pops = 0
     while coloring.any_white():
+        if token is not None:
+            if pops % CHECKPOINT_EVERY == 0:
+                token.checkpoint()
+            pops += 1
         pick = tree.argmax()
         if scores[pick] < 0:
             raise RuntimeError("weighted greedy lost track of white objects")

@@ -321,6 +321,42 @@ them, so the next regression is a red CI lane instead of a heisenbug.
   seeded-violation self-test proving each rule fires, and the
   lock-order audit over `tests/test_service.py` +
   `tests/test_supervisor.py`; nothing cached.
+
+## Live datasets — mutable serving, O(delta) per batch (PR 9)
+
+The paper's zoom knob assumed a frozen point set; `repro.live` removes
+that assumption without touching the immutable fast paths (responses
+for non-live datasets stay byte-identical).
+
+* **Versioned overlay** — `MutableDataset`: ids are arrival positions
+  forever, deletes are tombstones, every batch bumps the version and
+  restamps the identity (`name@v<k>`) that keys caches, shm segments
+  and single-flight — stale state is unreachable by construction, and
+  `/select`/`/zoom` responses carry `version` + `selected_global`.
+* **Incremental adjacency** — `IncrementalNeighborhood` pins the
+  initial grid plan and feeds each insert batch through the
+  cell-offset classification, so new edges cost the touched cells'
+  neighborhoods, not n; compacted snapshots are byte-identical to a
+  fresh build (parity-tested under interleaved churn).
+* **The hot path never compacts** — cache buckets migrate *lazily*
+  (the recipe, pinned to the batch's alive mask, materialises on first
+  read; counted as `migrations`, never `builds`), and `/mutate` repair
+  takes the O(delta) frontier walk: survivors are kept verbatim,
+  greedy re-cover runs only over neighborhoods orphaned by deleted
+  blacks plus out-of-coverage inserts — proven pick-for-pick identical
+  to the full compacted-snapshot repair.
+* **Measured contract** (`BENCH_service.json`, `bench-service-v4`,
+  mutation lane: 10 batches × 10% churn, clustered n=20k): repaired
+  selections independently verified r-DisC diverse every batch;
+  Jaccard stability ≈0.95 vs ≈0.39 for recompute-from-scratch;
+  `/mutate`+repair ≥5x faster than re-register + recompute (6.9x at
+  last measure).
+* **Crash-consistency** — under `--workers N` the front serialises
+  mutations per dataset, applies them on every replica, and keeps the
+  authoritative log; the chaos lane `kill -9`s a worker mid-stream and
+  asserts zero lost mutations, full-log replay before the restarted
+  replica takes traffic, and convergence of every replica on the same
+  version.
 """
 
 

@@ -7,6 +7,7 @@ from repro.graph.blocked import (
     build_grid_auto,
 )
 from repro.graph.csr import CSRNeighborhood, build_csr_grid, build_csr_pairwise
+from repro.graph.incremental import IncrementalNeighborhood
 from repro.graph.priority import MaxSegmentTree
 from repro.graph.build import (
     build_neighborhood_graph,
@@ -23,6 +24,7 @@ from repro.graph.exact import (
 __all__ = [
     "BlockedNeighborhood",
     "CSRNeighborhood",
+    "IncrementalNeighborhood",
     "MaxSegmentTree",
     "build_blocked_grid",
     "build_csr_grid",

@@ -1,0 +1,22 @@
+"""Live (mutable) served datasets — the online DisC scenario.
+
+The paper's zoom machinery adapts a solution when the *radius* moves;
+this package adapts it when the *data* moves: versioned mutable
+datasets (:class:`MutableDataset`), incrementally maintained adjacency
+(:class:`~repro.graph.incremental.IncrementalNeighborhood`), and
+paper-style greedy selection repair (:func:`repair_selection`) that
+patches a previous black set after an insert/delete batch instead of
+recomputing it.
+"""
+
+from repro.live.dataset import MutableDataset, MutationError
+from repro.live.repair import jaccard, repair_selection
+from repro.live.serving import LiveCacheView
+
+__all__ = [
+    "LiveCacheView",
+    "MutableDataset",
+    "MutationError",
+    "jaccard",
+    "repair_selection",
+]

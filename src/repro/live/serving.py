@@ -1,0 +1,53 @@
+"""Serving-side glue for live datasets.
+
+:class:`LiveCacheView` is the one seam between the live subsystem and
+the shared adjacency cache: it *is* a
+:class:`~repro.service.cache.SharedCacheView` (same keying, same
+single-flight and shm semantics — the dataset_id it scopes is already
+version-stamped), but a miss is answered from the live dataset's
+incremental adjacency instead of letting the engine run a full grid
+build.  The first request at a radius pays the incremental structure's
+initial build once; every post-mutation request pays only the
+alive-mask compaction of the maintained structure.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import SharedCacheManager, SharedCacheView
+
+__all__ = ["LiveCacheView"]
+
+
+class LiveCacheView(SharedCacheView):
+    """A :class:`SharedCacheView` whose misses build incrementally.
+
+    Attached by :meth:`repro.service.state.ServiceState.ensure_index`
+    to indexes over live-dataset snapshots.  ``get`` keeps the
+    manager's full miss protocol (single-flight claim, breaker, shm
+    attach) and, when this thread ends up owning the build slot,
+    resolves it with
+    :meth:`~repro.live.dataset.MutableDataset.adjacency_snapshot`
+    instead of returning None — so the engine's own builder never runs
+    for a live dataset, and waiters/other workers receive the published
+    snapshot exactly as they would a built one.
+    """
+
+    def __init__(
+        self, manager: SharedCacheManager, dataset_id: str, metric, live
+    ) -> None:
+        super().__init__(manager, dataset_id, metric)
+        self.live = live
+
+    def get(self, key: float):
+        value = super().get(key)
+        if value is not None:
+            return value
+        # This thread owns the build slot for the composite key.
+        composite = self._key(key)
+        try:
+            csr, _ = self.live.adjacency_snapshot(key)
+        except BaseException as exc:
+            self.manager.fail(composite, exc)
+            raise
+        self.manager.put(composite, csr)
+        return csr

@@ -73,7 +73,12 @@ from repro.cancellation import OperationCancelled, current_token
 from repro.engines.cache import AdjacencyCache
 from repro.service.resilience import BuildFailed, CircuitBreaker, CircuitOpen
 
-__all__ = ["SharedCacheManager", "SharedCacheView", "radius_bucket"]
+__all__ = [
+    "LazyMigration",
+    "SharedCacheManager",
+    "SharedCacheView",
+    "radius_bucket",
+]
 
 #: Composite cache key: (dataset_id, metric_name, radius_bucket).
 CacheKey = Tuple[str, str, float]
@@ -96,6 +101,28 @@ def radius_bucket(radius: float) -> float:
 
 def _entry_bytes(value) -> int:
     return int(getattr(value, "nbytes", 0))
+
+
+class LazyMigration:
+    """A migrated live-dataset bucket awaiting its first read.
+
+    :meth:`SharedCacheManager.migrate_dataset` installs the *recipe* —
+    a zero-argument resolver pinned to the just-mutated version's alive
+    mask — instead of the compacted CSR, so the mutation hot path pays
+    nothing for buckets no request reads between batches (compaction is
+    O(nnz); a mutation batch is O(delta)).  The first read materialises
+    the CSR outside the cache lock and swaps it into the entry: it
+    counts as a hit, never as a build or a miss, because the adjacency
+    was carried across versions, not rebuilt.  ``nbytes`` is the
+    incremental structure's footprint estimate, keeping the byte budget
+    honest until the real CSR replaces it.
+    """
+
+    __slots__ = ("resolve", "nbytes")
+
+    def __init__(self, resolve, nbytes: int = 0) -> None:
+        self.resolve = resolve
+        self.nbytes = int(nbytes)
 
 
 @dataclass
@@ -180,6 +207,7 @@ class SharedCacheManager:
         "corrupt_entries": "self._lock",
         "shm_hits": "self._lock",
         "shm_stores": "self._lock",
+        "migrations": "self._lock",
     }
 
     def __init__(
@@ -226,6 +254,7 @@ class SharedCacheManager:
         self.corrupt_entries = 0
         self.shm_hits = 0
         self.shm_stores = 0
+        self.migrations = 0
 
     # ------------------------------------------------------------------
     def view(self, dataset_id: str, metric) -> "SharedCacheView":
@@ -309,6 +338,30 @@ class SharedCacheManager:
         return remaining is not None and remaining < estimate * REBUILD_SAFETY
 
     # ------------------------------------------------------------------
+    def _materialise(self, key: CacheKey, value):
+        """Swap a :class:`LazyMigration` for its compacted CSR on first
+        read.
+
+        Runs *outside* the manager lock: resolving takes the live
+        dataset's lock (and a compaction's worth of work), and the
+        mutation path nests live-lock → cache-lock, so resolving under
+        the cache lock would invert the order.  Concurrent readers
+        resolve to the same snapshot object (the live dataset caches
+        one per version); an entry migrated away mid-resolve simply
+        isn't re-installed.
+        """
+        if not isinstance(value, LazyMigration):
+            return value
+        csr = value.resolve()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._stale.get(key)
+            if entry is not None and entry.value is value:
+                entry.value = csr
+                entry.stamp = type(csr).__name__
+        return csr
+
     def get(self, key: CacheKey):
         """The cached adjacency, or None — in which case the caller owns
         the build and must :meth:`put` (or :meth:`fail`/:meth:`abandon`)
@@ -321,6 +374,12 @@ class SharedCacheManager:
         open — or the ambient deadline cannot fit a rebuild — a stale
         value is served degraded instead of building.
         """
+        value = self._get(key)
+        if value is None:
+            return None
+        return self._materialise(key, value)
+
+    def _get(self, key: CacheKey):
         deadline = time.monotonic() + self.build_wait_s
         while True:
             with self._lock:
@@ -405,9 +464,11 @@ class SharedCacheManager:
             value = self._fresh_value(key)
             if value is not None:
                 self.hits += 1
-                return value
-            self.misses += 1
+            else:
+                self.misses += 1
+        if value is None:
             return None
+        return self._materialise(key, value)
 
     def _backing_fetch(self, key: CacheKey):
         """Try the cross-process tier after a local miss-claim.
@@ -534,6 +595,73 @@ class SharedCacheManager:
             pending.error = exc  # must precede the wake-up
             pending.event.set()
 
+    # ------------------------------------------------------------------
+    # Live-dataset migration
+    # ------------------------------------------------------------------
+    def migrate_dataset(self, old_dataset_id, new_dataset_id, patcher) -> int:
+        """Re-key ``old_dataset_id``'s entries to ``new_dataset_id``,
+        patching each value through ``patcher(metric_name, bucket)``.
+
+        The live-dataset mutation path: instead of dropping every cached
+        adjacency of a mutated dataset (whole-entry invalidation), each
+        *fresh* entry's radius bucket is patched incrementally — the
+        patcher returns the value for the new version, typically a
+        :class:`LazyMigration` whose compacted CSR materialises on first
+        read — and installed under the new version-stamped dataset id.
+        Patched keys count as ``migrations``, never as builds.  Every
+        key of the old version (fresh tier, stale tier, breakers,
+        build-time estimates, shm segments) is then dropped: the old
+        version is unreachable, scoped precisely to the dataset that
+        mutated.
+
+        A patcher returning None (or raising) drops that bucket instead
+        of migrating it — the next request rebuilds it under the new
+        key.  Returns the number of migrated buckets.
+        """
+        with self._lock:
+            old_keys = [
+                key
+                for key in set(self._entries) | set(self._stale)
+                if key[0] == old_dataset_id
+            ]
+            fresh_keys = [key for key in old_keys if key in self._entries]
+        migrated = 0
+        for key in fresh_keys:
+            _, metric_name, bucket = key
+            try:
+                value = patcher(metric_name, bucket)
+            except OperationCancelled:
+                raise
+            except Exception:
+                value = None
+            if value is None:
+                continue
+            new_key = (new_dataset_id, metric_name, bucket)
+            now = time.monotonic()
+            expires = None if self.ttl_s is None else now + self.ttl_s
+            with self._lock:
+                self._entries[new_key] = _Entry(value, expires)
+                self._entries.move_to_end(new_key)
+                self._stale.pop(new_key, None)
+                self.migrations += 1
+                self._evict()
+            migrated += 1
+        with self._lock:
+            for key in old_keys:
+                self._entries.pop(key, None)
+                self._stale.pop(key, None)
+                self._breakers.pop(key, None)
+                self._build_seconds.pop(key, None)
+        if self.backing is not None:
+            for key in old_keys:
+                try:
+                    self.backing.drop(key)
+                except OperationCancelled:
+                    raise
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        return migrated
+
     def _evict(self) -> None:
         with self._lock:
             while len(self._entries) > 1 and (
@@ -598,6 +726,7 @@ class SharedCacheManager:
                 "corrupt_entries": self.corrupt_entries,
                 "shm_hits": self.shm_hits,
                 "shm_stores": self.shm_stores,
+                "migrations": self.migrations,
                 "backing": (
                     None if self.backing is None else self.backing.info()
                 ),

@@ -215,8 +215,16 @@ class ServiceClient:
         method: str = "greedy",
         engine=None,
         timeout_ms: Optional[float] = None,
+        previous: Optional[dict] = None,
         **zoom_options,
     ) -> dict:
+        """Zoom ``dataset`` from ``radius`` to ``to``.
+
+        ``previous`` (``{"selected": [...], "closest_black": [...]?,
+        "closest_black_exact": bool?, "version": int?}``) replays a
+        held solution so the server adapts it instead of recomputing
+        the base selection.
+        """
         payload = {
             "dataset": dataset,
             "radius": radius,
@@ -224,11 +232,39 @@ class ServiceClient:
             "method": method,
             **zoom_options,
         }
+        if previous is not None:
+            payload["previous"] = previous
         if engine is not None:
             payload["engine"] = engine
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         return self._checked("POST", "/zoom", payload)
+
+    def mutate(
+        self,
+        dataset: str,
+        *,
+        inserts=None,
+        deletes=None,
+        repair: Optional[dict] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> dict:
+        """Apply one insert/delete batch to a *live* dataset.
+
+        ``repair={"radius": r, "previous": [global ids], "verify":
+        bool?}`` additionally repairs a held selection against the
+        post-mutation version.
+        """
+        payload: dict = {"dataset": dataset}
+        if inserts is not None:
+            payload["inserts"] = inserts
+        if deletes is not None:
+            payload["deletes"] = [int(i) for i in deletes]
+        if repair is not None:
+            payload["repair"] = repair
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._checked("POST", "/mutate", payload)
 
     def datasets(self) -> dict:
         return self._checked("GET", "/datasets")

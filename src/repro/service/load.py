@@ -46,6 +46,13 @@ SIGKILL a worker mid-trace and assert zero lost requests (the front
 replays them), byte-parity, a completed restart, and no leaked
 ``/dev/shm`` segments after shutdown.
 
+The **mutation** lane (PR 9) churns a *live* dataset through ``POST
+/mutate`` batches carrying selection-repair requests and compares the
+wall-clock against the immutable alternative (re-register the churned
+points, recompute from scratch, every batch) — recording the repaired
+selection's independently verified Definition 1 validity and the
+Jaccard stability of consecutive selections in both lanes.
+
 Reported per phase: wall-clock, throughput, latency percentiles, the
 server's ``/stats`` computation/coalescing/timeout counters and the
 shared cache's hit/miss/build accounting.  ``python -m repro bench
@@ -461,6 +468,172 @@ def _run_supervised_phase(
     }
 
 
+def _run_mutation_phase(
+    *,
+    workload: str,
+    n: int,
+    engine_payload: dict,
+    cache_entries: int,
+    ttl_s: Optional[float],
+    churn_fraction: float = 0.10,
+    batches: int = 10,
+) -> dict:
+    """The PR 9 mutation-trace lane: ``/mutate`` + repair vs recompute.
+
+    One deterministic churn plan (``churn_fraction`` of ``n`` inserted
+    and as much deleted, split over ``batches`` batches) is applied two
+    ways:
+
+    * **mutate** — over HTTP against a *live* dataset: each batch is
+      one ``POST /mutate`` carrying a selection-repair request, so the
+      response hands back a valid selection adapted from the one the
+      client already holds (wall-clock includes the incremental
+      adjacency maintenance and scoped cache migration);
+    * **recompute** — the immutable alternative: re-register the
+      churned point set as a fresh dataset and run a full
+      :func:`~repro.api.disc_select` from scratch, every batch.
+
+    The final repaired selection is re-checked with the independent
+    :func:`~repro.core.verify.verify_disc` checker (both Definition 1
+    conditions), and each lane records the Jaccard similarity between
+    consecutive selections — repair exists to maximise exactly that
+    stability, recompute maximises nothing of the sort.
+    """
+    from repro.api import disc_select
+    from repro.core.verify import verify_disc
+    from repro.live.repair import jaccard
+
+    data = _WORKLOADS[workload](n)
+    radius = bench_radius(workload, n)
+    dim = data.points.shape[1]
+    rng = np.random.default_rng(1729)
+    per_batch = max(1, int(n * churn_fraction / batches))
+
+    # Build the shared churn plan first: inserts drawn inside the
+    # workload's bounding box, deletes over the still-alive ids (which
+    # include earlier inserts).  Both lanes replay the identical plan.
+    lo, hi = data.points.min(axis=0), data.points.max(axis=0)
+    plan_alive = np.ones(n, dtype=bool)
+    plan: List[tuple] = []
+    for _ in range(batches):
+        inserts = lo + rng.random((per_batch, dim)) * (hi - lo)
+        deletes = np.sort(
+            rng.choice(np.flatnonzero(plan_alive), size=per_batch, replace=False)
+        )
+        plan_alive[deletes] = False
+        plan_alive = np.concatenate([plan_alive, np.ones(per_batch, dtype=bool)])
+        plan.append((inserts, deletes))
+
+    # ---- mutate lane: HTTP /mutate + repair against a live dataset --
+    registry = DatasetRegistry()
+    registry.register_array(workload, data.points, data.metric)
+    registry.promote_live(workload)
+    state = ServiceState(
+        registry,
+        cache=SharedCacheManager(max_entries=cache_entries, ttl_s=ttl_s),
+        workers=2,
+        coalesce=True,
+        reuse_indexes=True,
+    )
+    repair_jaccards: List[float] = []
+    batch_latencies: List[float] = []
+    migrated_total = 0
+    try:
+        with start_in_thread(state) as running:
+            with ServiceClient(running.host, running.port) as client:
+                base = client.select(workload, radius, engine=engine_payload)
+                initial = list(base["selected_global"])
+                previous = initial
+                t0 = time.perf_counter()
+                for inserts, deletes in plan:
+                    batch_t0 = time.perf_counter()
+                    response = client.mutate(
+                        workload,
+                        inserts=inserts.tolist(),
+                        deletes=[int(i) for i in deletes],
+                        repair={"radius": radius, "previous": previous},
+                    )
+                    batch_latencies.append(time.perf_counter() - batch_t0)
+                    previous = response["repair"]["selected"]
+                    repair_jaccards.append(response["repair"]["jaccard_previous"])
+                    migrated_total += response["migrated_buckets"]
+                mutate_s = time.perf_counter() - t0
+            # Independent post-hoc check of the final repaired selection
+            # (out of band — never trust the lane being measured).
+            live = state.registry.get_live(workload)
+            handle = live.snapshot_handle()
+            local_of = {
+                int(g): i for i, g in enumerate(handle.spec["alive_ids"])
+            }
+            report = verify_disc(
+                handle.dataset.points,
+                handle.dataset.metric,
+                [local_of[int(g)] for g in previous],
+                radius,
+            )
+            final_version = live.version
+    finally:
+        state.close()
+
+    # ---- recompute lane: re-register + full selection per batch -----
+    points_all = np.array(data.points, dtype=float)
+    alive = np.ones(n, dtype=bool)
+    prev_global = np.asarray(initial, dtype=np.int64)
+    recompute_jaccards: List[float] = []
+    recompute_s = 0.0
+    base_registry = DatasetRegistry()
+    for version, (inserts, deletes) in enumerate(plan, start=1):
+        points_all = np.concatenate([points_all, inserts])
+        alive = np.concatenate([alive, np.ones(inserts.shape[0], dtype=bool)])
+        alive[deletes] = False
+        t0 = time.perf_counter()
+        handle = base_registry.register_array(
+            f"{workload}-recompute-v{version}", points_all[alive], data.metric
+        )
+        result = disc_select(
+            handle.dataset,
+            radius,
+            engine=engine_payload["name"],
+            engine_options=engine_payload["options"],
+        )
+        recompute_s += time.perf_counter() - t0
+        alive_ids = np.flatnonzero(alive)
+        selected_global = alive_ids[np.asarray(result.selected, dtype=np.int64)]
+        recompute_jaccards.append(jaccard(selected_global, prev_global))
+        prev_global = selected_global
+
+    repair_mean = round(float(np.mean(repair_jaccards)), 4)
+    recompute_mean = round(float(np.mean(recompute_jaccards)), 4)
+    speedup = round(recompute_s / mutate_s, 3) if mutate_s else None
+    return {
+        "mode": "mutation",
+        "radius": round(radius, 6),
+        "batches": batches,
+        "churn_fraction": churn_fraction,
+        "churn_per_batch": per_batch,
+        "inserted_total": per_batch * batches,
+        "deleted_total": per_batch * batches,
+        "final_version": final_version,
+        "final_selection_size": len(previous),
+        "verified_disc_diverse": bool(report.is_disc_diverse),
+        "migrated_buckets_total": migrated_total,
+        "mutate": {
+            "duration_s": round(mutate_s, 6),
+            "latency": _latency_summary(batch_latencies),
+            "jaccard_mean": repair_mean,
+            "jaccard_min": round(float(np.min(repair_jaccards)), 4),
+        },
+        "recompute": {
+            "duration_s": round(recompute_s, 6),
+            "jaccard_mean": recompute_mean,
+            "jaccard_min": round(float(np.min(recompute_jaccards)), 4),
+        },
+        "speedup_vs_recompute": speedup,
+        "meets_5x": bool(speedup is not None and speedup >= 5.0),
+        "repair_at_least_as_stable": bool(repair_mean >= recompute_mean),
+    }
+
+
 def _trace_setup(workload: str, n: int, pattern: Optional[List[float]]):
     """Radii, engine payload and fault-free reference selections."""
     from repro.api import disc_select
@@ -589,6 +762,16 @@ def run_service_bench(
     supervised["parity"] = True
     phases["supervised"] = supervised
 
+    # Mutation-trace lane: live dataset churn via /mutate + repair vs
+    # the immutable re-register + recompute alternative (PR 9).
+    mutation = _run_mutation_phase(
+        workload=workload,
+        n=n,
+        engine_payload=engine_payload,
+        cache_entries=cache_entries,
+        ttl_s=ttl_s,
+    )
+
     speedup = (
         round(no_cache["duration_s"] / shared_phase["duration_s"], 3)
         if shared_phase["duration_s"]
@@ -598,7 +781,7 @@ def run_service_bench(
     unique_radii = len(set(radii))
     shared_rps = shared_phase["throughput_rps"] or 0.0
     return {
-        "schema": "bench-service-v3",
+        "schema": "bench-service-v4",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "repro": __version__,
@@ -646,6 +829,7 @@ def run_service_bench(
             "replays": supervised["supervisor"]["replays"],
             "leaked_segments": supervised["leaked_segments"],
         },
+        "mutation": mutation,
     }
 
 
@@ -870,6 +1054,19 @@ def render_service_table(payload: dict) -> str:
             f"{multiworker['unique_radii']} unique radii cluster-wide, "
             f"{multiworker['shm_hits']} shm attaches, "
             f"{multiworker['restarts']} restarts"
+        )
+    mutation = payload.get("mutation")
+    if mutation is not None:
+        table += (
+            f"\nmutation lane: {mutation['batches']} batches x "
+            f"{mutation['churn_per_batch']} churn "
+            f"({mutation['churn_fraction']:.0%} of n), "
+            f"/mutate+repair {mutation['mutate']['duration_s']:.3f}s vs "
+            f"recompute {mutation['recompute']['duration_s']:.3f}s = "
+            f"{mutation['speedup_vs_recompute']}x, "
+            f"jaccard {mutation['mutate']['jaccard_mean']} vs "
+            f"{mutation['recompute']['jaccard_mean']}, "
+            f"verified: {mutation['verified_disc_diverse']}"
         )
     return table
 

@@ -72,11 +72,20 @@ class DatasetHandle:
 
 
 class DatasetRegistry:
-    """Name -> dataset catalogue with load-once semantics."""
+    """Name -> dataset catalogue with load-once semantics.
+
+    Datasets are immutable by default.  A dataset *promoted to live*
+    (:meth:`register_live` / :meth:`promote_live`) is instead backed by
+    a :class:`~repro.live.dataset.MutableDataset`: :meth:`get` returns
+    the current version's frozen snapshot handle (``dataset_id`` =
+    ``name@v<version>``), and :meth:`get_live` exposes the mutable
+    overlay to the ``/mutate`` path.
+    """
 
     def __init__(self) -> None:
         self._specs: Dict[str, dict] = {}
         self._handles: Dict[str, DatasetHandle] = {}
+        self._live: Dict[str, object] = {}
         self._lock = threading.Lock()
         self._load_locks: Dict[str, threading.Lock] = {}
 
@@ -127,15 +136,82 @@ class DatasetRegistry:
             self._handles[name] = handle
         return handle
 
+    def register_live(self, name: str, dataset: Dataset):
+        """Register ``dataset`` as a *mutable* live dataset.
+
+        Returns the backing :class:`~repro.live.dataset.MutableDataset`.
+        """
+        from repro.live.dataset import MutableDataset
+
+        live = MutableDataset(name, dataset)
+        with self._lock:
+            if name in self._specs or name in self._handles or name in self._live:
+                raise ValueError(f"dataset {name!r} is already registered")
+            self._live[name] = live
+        return live
+
+    def promote_live(self, name: str):
+        """Convert a registered (possibly lazy) dataset into a live one.
+
+        The spec is loaded if needed; the loaded points seed version 0.
+        Returns the :class:`~repro.live.dataset.MutableDataset`.
+        """
+        from repro.live.dataset import MutableDataset
+
+        with self._lock:
+            existing = self._live.get(name)
+        if existing is not None:
+            return existing
+        handle = self.get(name)  # loads via the normal guarded path
+        live = MutableDataset(name, handle.dataset)
+        with self._lock:
+            already = self._live.get(name)
+            if already is not None:
+                return already
+            self._live[name] = live
+            self._handles.pop(name, None)
+            self._specs.pop(name, None)
+        return live
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def get_live(self, name: str):
+        """The :class:`MutableDataset` behind a live name (KeyError → 404
+        for unknown names, ValueError → 400 for immutable ones)."""
+        with self._lock:
+            live = self._live.get(name)
+            if live is not None:
+                return live
+            if name in self._specs or name in self._handles:
+                raise ValueError(
+                    f"dataset {name!r} is immutable; serve it with live "
+                    "registration to accept mutations"
+                )
+        known = self.names()
+        raise KeyError(f"unknown dataset {name!r}; registered: {known}")
+
+    def is_live(self, name: str) -> bool:
+        with self._lock:
+            return name in self._live
+
+    def live_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._live)
+
     def get(self, name: str) -> DatasetHandle:
         """The handle for ``name``, loading it on first request.
 
-        Raises ``KeyError`` for unregistered names (the server maps this
-        to a 404).
+        For live datasets this is the *current version's* frozen
+        snapshot handle.  Raises ``KeyError`` for unregistered names
+        (the server maps this to a 404).
         """
+        with self._lock:
+            live = self._live.get(name)
+        if live is not None:
+            # Outside the registry lock: the snapshot serialises on the
+            # live dataset's own lock (one lock at a time, no ordering).
+            return live.snapshot_handle()
         with self._lock:
             handle = self._handles.get(name)
             if handle is not None:
@@ -170,11 +246,17 @@ class DatasetRegistry:
 
     def names(self) -> List[str]:
         with self._lock:
-            return sorted(set(self._specs) | set(self._handles))
+            return sorted(
+                set(self._specs) | set(self._handles) | set(self._live)
+            )
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
-            return name in self._specs or name in self._handles
+            return (
+                name in self._specs
+                or name in self._handles
+                or name in self._live
+            )
 
     def __len__(self) -> int:
         return len(self.names())
@@ -184,9 +266,12 @@ class DatasetRegistry:
         out = []
         for name in self.names():
             with self._lock:
+                live = self._live.get(name)
                 handle = self._handles.get(name)
                 spec = self._specs.get(name)
-            if handle is not None:
+            if live is not None:
+                out.append(live.describe())
+            elif handle is not None:
                 out.append(
                     {
                         "id": name,

@@ -16,7 +16,16 @@ Endpoints
 ``POST /zoom``
     ``{"dataset": name, "radius": r, "to": r2, ...}`` → selects at
     ``r`` (with closest-black tracking) and adapts to ``r2`` via
-    zoom-in/zoom-out; returns both results.
+    zoom-in/zoom-out; returns both results.  With ``"previous":
+    {"selected": [...], ...}`` the client's held solution is adapted
+    directly — no base recompute.
+``POST /mutate``
+    ``{"dataset": name, "inserts": [[...]...], "deletes": [ids...],
+    "repair": {"radius": r, "previous": [ids...]}?}`` against a *live*
+    dataset → applies the batch, migrates warm cache entries to the new
+    version, optionally repairs the client's selection.  Mutations
+    never coalesce by content (each batch is a distinct state
+    transition); retries deduplicate via ``idempotency_key``.
 ``GET /datasets``
     The registry catalogue.
 ``GET /healthz``
@@ -210,6 +219,7 @@ class DiscServer:
         "_completed": "event-loop",
         "_conn_tasks": "event-loop",
         "_active_requests": "event-loop",
+        "_mutation_seq": "event-loop",
     }
 
     def __init__(
@@ -230,6 +240,7 @@ class DiscServer:
         self._completed: "OrderedDict[str, dict]" = OrderedDict()
         self._conn_tasks: set = set()
         self._active_requests = 0
+        self._mutation_seq = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -346,13 +357,13 @@ class DiscServer:
                     return 200, self.state.stats()
                 if path == "/datasets":
                     return 200, {"datasets": self.state.registry.describe()}
-                if path in ("/select", "/zoom"):
+                if path in ("/select", "/zoom", "/mutate"):
                     return 405, error_body(
                         "method_not_allowed", f"{path} requires POST"
                     )
                 return 404, error_body("not_found", f"unknown path {path!r}")
             if method == "POST":
-                if path in ("/select", "/zoom"):
+                if path in ("/select", "/zoom", "/mutate"):
                     faults = self.state.faults
                     if faults is not None:
                         # Process-level chaos (worker_crash /
@@ -366,6 +377,8 @@ class DiscServer:
                     return await self._select(body or {})
                 if path == "/zoom":
                     return await self._zoom(body or {})
+                if path == "/mutate":
+                    return await self._mutate(body or {})
                 if path in ("/healthz", "/stats", "/datasets"):
                     return 405, error_body(
                         "method_not_allowed", f"{path} requires GET"
@@ -426,17 +439,46 @@ class DiscServer:
 
     async def _zoom(self, payload: dict) -> Tuple[int, dict]:
         payload, timeout_ms, idem = extract_request_meta(payload)
-        handle, request, to_radius, zoom_options = self.state.validate_zoom(payload)
-        token = self.state.deadline_token(timeout_ms)
-        key = canonical_key(
-            "zoom",
-            handle.dataset_id,
-            {"request": request.to_dict(), "to": to_radius, **zoom_options},
+        handle, request, to_radius, zoom_options, previous = (
+            self.state.validate_zoom(payload)
         )
+        token = self.state.deadline_token(timeout_ms)
+        key_payload = {
+            "request": request.to_dict(), "to": to_radius, **zoom_options,
+        }
+        if previous is not None:
+            # The client's held solution is part of the request identity
+            # — two zooms from different selections must not coalesce.
+            key_payload["previous"] = previous["selected"]
+        key = canonical_key("zoom", handle.dataset_id, key_payload)
         shared, coalesced = await self._single_flight(
             key, idem, token,
             lambda: self.state.run_zoom(
-                handle, request, to_radius, zoom_options, token
+                handle, request, to_radius, zoom_options, token,
+                previous=previous,
+            ),
+        )
+        response = dict(shared)
+        response["coalesced"] = coalesced
+        return 200, response
+
+    async def _mutate(self, payload: dict) -> Tuple[int, dict]:
+        payload, timeout_ms, idem = extract_request_meta(payload)
+        live, inserts, deletes, repair = self.state.validate_mutate(payload)
+        token = self.state.deadline_token(timeout_ms)
+        # A mutation is a state transition, never a cacheable read: two
+        # identical-looking batches are two distinct mutations, so the
+        # single-flight key carries a per-server nonce and only the
+        # idempotency path (client retries of ONE logical batch) ever
+        # joins or replays.
+        self._mutation_seq += 1
+        key = canonical_key(
+            "mutate", live.name, {"seq": self._mutation_seq}
+        )
+        shared, coalesced = await self._single_flight(
+            key, idem, token,
+            lambda: self.state.run_mutate(
+                live, inserts, deletes, repair, token
             ),
         )
         response = dict(shared)

@@ -717,6 +717,19 @@ class ShmCacheBacking:
     def abandon(self, claim) -> None:
         claim.abandon()
 
+    def drop(self, key) -> None:
+        """Unlink the segments of one cache key (idempotent).
+
+        The live-dataset migration path: a mutated dataset's old
+        version-stamped keys are unreachable (every new request carries
+        the new ``name@v`` id), so their segments are garbage the run
+        sweep would only collect at shutdown — drop them eagerly.  Any
+        worker may call this; a concurrent reader that already attached
+        keeps its mapping (the unlink removes the *name*), and a racing
+        attach simply misses and rebuilds under the new key.
+        """
+        self.store._takeover(self._key_str(key))
+
     def info(self) -> dict:
         return self.store.counters()
 

@@ -34,8 +34,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.cancellation import CancellationToken, cancellation_scope
 from repro.core import zoom_in, zoom_out
+from repro.core.result import DiscResult
 from repro.requests import METHODS, EngineSpec, SelectRequest
-from repro.service.cache import SharedCacheManager
+from repro.service.cache import LazyMigration, SharedCacheManager
 from repro.service.registry import DatasetHandle, DatasetRegistry
 from repro.service.resilience import resolve_deadline
 from repro.validation import validate_radius
@@ -111,6 +112,7 @@ class ServiceState:
         "degraded_responses": "self._counter_lock",
         "timeouts": "self._counter_lock",
         "inflight": "self._counter_lock",
+        "mutations_applied": "self._counter_lock",
         "_indexes": "self._lock",
         "_index_locks": "self._lock",
     }
@@ -172,6 +174,7 @@ class ServiceState:
         self.degraded_responses = 0
         self.timeouts = 0
         self.inflight = 0
+        self.mutations_applied = 0
         self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -199,6 +202,10 @@ class ServiceState:
     def count_degraded(self) -> None:
         with self._counter_lock:
             self.degraded_responses += 1
+
+    def count_mutation(self) -> None:
+        with self._counter_lock:
+            self.mutations_applied += 1
 
     def adjust_inflight(self, delta: int) -> int:
         """Move the in-flight gauge under the counter lock.
@@ -260,18 +267,25 @@ class ServiceState:
             )
         return handle, request.validate()
 
-    def validate_zoom(self, payload: dict) -> Tuple[DatasetHandle, SelectRequest, float, dict]:
+    def validate_zoom(
+        self, payload: dict
+    ) -> Tuple[DatasetHandle, SelectRequest, float, dict, Optional[dict]]:
         """Resolve a ``/zoom`` body: select at ``radius``, adapt to ``to``.
 
-        Returns ``(handle, select_request, to_radius, zoom_options)``;
-        ``zoom_options`` carries ``greedy`` (zoom-in) / ``variant``
-        (zoom-out).
+        Returns ``(handle, select_request, to_radius, zoom_options,
+        previous)``; ``zoom_options`` carries ``greedy`` (zoom-in) /
+        ``variant`` (zoom-out).  ``previous`` is the validated
+        client-held base solution when the body carries one (see
+        :meth:`_validate_previous`), else None — with it the server
+        *adapts* the client's selection instead of recomputing the base
+        selection first.
         """
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         if "to" not in payload:
             raise ValueError("zoom body is missing the 'to' field")
         to_radius = validate_radius(payload["to"], name="to")
+        raw_previous = payload.get("previous")
         if "request" in payload:
             # Same nested form /select accepts.
             select_payload = {
@@ -286,6 +300,11 @@ class ServiceState:
                 for key, value in payload.items()
                 if key in ("dataset", "radius", "method", "method_options", "engine")
             }
+            if raw_previous is not None and "radius" not in select_payload:
+                # A client replaying its held solution need not restate
+                # the radius it was computed at.
+                if isinstance(raw_previous, dict) and "radius" in raw_previous:
+                    select_payload["radius"] = raw_previous["radius"]
         handle, request = self.validate_select(select_payload)
         if to_radius == request.radius:
             raise ValueError(
@@ -295,10 +314,142 @@ class ServiceState:
             "greedy": bool(payload.get("greedy", True)),
             "variant": payload.get("variant", "a"),
         }
+        previous = self._validate_previous(handle, request, raw_previous)
         # The closest-black distances of Section 5.2 are what makes the
         # base solution zoomable.
         request = request.with_options(track_closest_black=True).validate()
-        return handle, request, to_radius, zoom_options
+        return handle, request, to_radius, zoom_options, previous
+
+    @staticmethod
+    def _validate_previous(
+        handle: DatasetHandle, request: SelectRequest, raw
+    ) -> Optional[dict]:
+        """Validate a client-held ``previous`` solution for ``/zoom``.
+
+        Accepted shape: ``{"selected": [ids...], "radius": r?,
+        "closest_black": [...]?, "closest_black_exact": bool?,
+        "version": int?}``.  Ids must be valid rows of the handle;
+        ``closest_black`` (when provided) must cover every row.  For
+        live datasets a stale ``version`` is rejected so a client never
+        adapts a selection against points it was not computed on.
+        """
+        if raw is None:
+            return None
+        if not isinstance(raw, dict):
+            raise ValueError("'previous' must be an object")
+        unknown = set(raw) - {
+            "selected", "radius", "closest_black", "closest_black_exact",
+            "version",
+        }
+        if unknown:
+            raise ValueError(
+                f"'previous' has unknown fields {sorted(unknown)}"
+            )
+        if "selected" not in raw:
+            raise ValueError("'previous' is missing the 'selected' field")
+        selected_raw = raw["selected"]
+        if not isinstance(selected_raw, (list, tuple)):
+            raise ValueError("'previous.selected' must be a list of ids")
+        selected = []
+        for value in selected_raw:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    "'previous.selected' must contain integer ids"
+                )
+            if not 0 <= value < handle.n:
+                raise ValueError(
+                    f"'previous.selected' id {value} is out of range for "
+                    f"dataset {handle.dataset_id!r} (n={handle.n})"
+                )
+            selected.append(int(value))
+        if len(set(selected)) != len(selected):
+            raise ValueError("'previous.selected' contains duplicate ids")
+        if "radius" in raw:
+            prev_radius = validate_radius(raw["radius"], name="previous.radius")
+            if prev_radius != request.radius:
+                raise ValueError(
+                    f"'previous.radius' ({prev_radius}) disagrees with the "
+                    f"request radius ({request.radius})"
+                )
+        closest = raw.get("closest_black")
+        if closest is not None:
+            if not isinstance(closest, (list, tuple)) or len(closest) != handle.n:
+                raise ValueError(
+                    "'previous.closest_black' must list one distance per "
+                    f"point (n={handle.n})"
+                )
+        if "version" in raw:
+            version = raw["version"]
+            if isinstance(version, bool) or not isinstance(version, int):
+                raise ValueError("'previous.version' must be an integer")
+            live_version = handle.spec.get("version")
+            if handle.spec.get("live") and version != live_version:
+                raise ValueError(
+                    f"'previous.version' ({version}) is stale: dataset "
+                    f"{handle.spec.get('name')!r} is at version {live_version}; "
+                    "re-select or repair via /mutate"
+                )
+        return {
+            "selected": selected,
+            "closest_black": None if closest is None else list(closest),
+            "closest_black_exact": bool(raw.get("closest_black_exact", False)),
+        }
+
+    def validate_mutate(self, payload: dict):
+        """Resolve a ``/mutate`` body → ``(live, inserts, deletes, repair)``.
+
+        Body shape: ``{"dataset": name, "inserts": [[...], ...]?,
+        "deletes": [ids...]?, "repair": {"radius": r, "previous":
+        [ids...], "verify": bool?}?}``.  Unknown datasets raise
+        ``KeyError`` (→ 404); immutable datasets and malformed batches
+        raise ``ValueError`` (→ 400).  Coordinate/id coercion happens in
+        :meth:`MutableDataset.apply` (its :class:`MutationError` is a
+        ``ValueError``), so nothing is applied before validation passes.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        if "dataset" not in payload:
+            raise ValueError("request body is missing the 'dataset' field")
+        unknown = set(payload) - {"dataset", "inserts", "deletes", "repair"}
+        if unknown:
+            raise ValueError(f"mutate body has unknown fields {sorted(unknown)}")
+        live = self.registry.get_live(str(payload["dataset"]))
+        inserts = payload.get("inserts")
+        deletes = payload.get("deletes")
+        if inserts is None and deletes is None:
+            raise ValueError(
+                "mutate body needs 'inserts' and/or 'deletes'"
+            )
+        repair = payload.get("repair")
+        if repair is not None:
+            if not isinstance(repair, dict):
+                raise ValueError("'repair' must be an object")
+            unknown = set(repair) - {"radius", "previous", "verify"}
+            if unknown:
+                raise ValueError(
+                    f"'repair' has unknown fields {sorted(unknown)}"
+                )
+            if "radius" not in repair or "previous" not in repair:
+                raise ValueError(
+                    "'repair' needs 'radius' and 'previous' (the selection "
+                    "to repair)"
+                )
+            radius = validate_radius(repair["radius"], name="repair.radius")
+            previous = repair["previous"]
+            if not isinstance(previous, (list, tuple)) or not all(
+                isinstance(i, int) and not isinstance(i, bool) and i >= 0
+                for i in previous
+            ):
+                raise ValueError(
+                    "'repair.previous' must be a list of non-negative "
+                    "global ids"
+                )
+            repair = {
+                "radius": radius,
+                "previous": [int(i) for i in previous],
+                "verify": bool(repair.get("verify", False)),
+            }
+        return live, inserts, deletes, repair
 
     # ------------------------------------------------------------------
     # Index management
@@ -341,12 +492,45 @@ class ServiceState:
             )
             index = entry.create(dataset.points, dataset.metric, accelerate, options)
             if self.cache is not None:
-                index.set_adjacency_cache(
-                    self.cache.view(handle.dataset_id, dataset.metric)
-                )
+                index.set_adjacency_cache(self._cache_view(handle))
             with self._lock:
                 self._indexes[key] = index
             return index
+
+    def _cache_view(self, handle: DatasetHandle):
+        """The cache view an index for ``handle`` should attach to.
+
+        Live datasets get a :class:`~repro.live.serving.LiveCacheView`
+        so cache misses resolve through the incremental adjacency
+        (cheap alive-mask snapshot) instead of the engine's full
+        rebuild; immutable datasets keep the plain shared view.
+        """
+        if handle.spec.get("live"):
+            from repro.live.serving import LiveCacheView
+
+            live = self.registry.get_live(handle.spec["name"])
+            return LiveCacheView(
+                self.cache, handle.dataset_id, handle.dataset.metric, live
+            )
+        return self.cache.view(handle.dataset_id, handle.dataset.metric)
+
+    def _drop_stale_live_indexes(self, name: str, keep_dataset_id: str) -> int:
+        """Evict serving indexes of superseded versions of live ``name``.
+
+        Old versions' handles are unreachable once the registry serves
+        the new snapshot, so their indexes (keyed by the version-stamped
+        ``dataset_id``) would only leak memory.
+        """
+        prefix = f"{name}@v"
+        dropped = 0
+        with self._lock:
+            for key in list(self._indexes):
+                dataset_id = key[0]
+                if dataset_id.startswith(prefix) and dataset_id != keep_dataset_id:
+                    del self._indexes[key]
+                    self._index_locks.pop(key, None)
+                    dropped += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # Execution (runs in worker threads)
@@ -379,13 +563,35 @@ class ServiceState:
         degraded = token.degraded is not None
         if degraded:
             self.count_degraded()
-        return {
+        response = {
             "dataset": handle.dataset_id,
             "request": request.to_dict(),
             "result": result.to_dict(),
             "elapsed_s": round(time.perf_counter() - t0, 6),
             "degraded": degraded,
         }
+        self._stamp_live(handle, response, result)
+        return response
+
+    @staticmethod
+    def _stamp_live(handle: DatasetHandle, response: dict, result) -> None:
+        """Version-stamp a live dataset's response.
+
+        Adds ``version`` and ``selected_global`` (the selection mapped
+        through the snapshot's local→global id map), so the client sees
+        stable ids it can later delete or repair — consistent with the
+        version the request actually computed on even if the dataset
+        mutated mid-flight.  Immutable responses are untouched.
+        """
+        spec = handle.spec
+        if not spec.get("live"):
+            return
+        response["version"] = spec.get("version")
+        alive_ids = spec.get("alive_ids")
+        if alive_ids is not None:
+            response["selected_global"] = [
+                int(alive_ids[i]) for i in result.selected
+            ]
 
     def run_zoom(
         self,
@@ -394,8 +600,16 @@ class ServiceState:
         to_radius: float,
         zoom_options: dict,
         token: Optional[CancellationToken] = None,
+        previous: Optional[dict] = None,
     ) -> dict:
-        """Select at ``request.radius``, then adapt to ``to_radius``."""
+        """Select at ``request.radius``, then adapt to ``to_radius``.
+
+        With ``previous`` (a validated client-held solution from
+        :meth:`validate_zoom`) the base selection is *not* recomputed:
+        the client's selected set becomes the zoom's starting point —
+        the session statefulness of the paper's Section 5.2 without the
+        server holding per-client state.
+        """
         self.count_computation()
         if token is None:
             token = CancellationToken()
@@ -405,10 +619,13 @@ class ServiceState:
             if self.faults is not None:
                 self.faults.on_compute()
             index = self.ensure_index(handle, request.engine)
-            algorithm = METHODS[request.method]
-            first = algorithm(
-                index, request.radius, **dict(request.method_options)
-            )
+            if previous is not None:
+                first = self._result_from_previous(request, previous)
+            else:
+                algorithm = METHODS[request.method]
+                first = algorithm(
+                    index, request.radius, **dict(request.method_options)
+                )
             if to_radius < request.radius:
                 direction = "in"
                 adapted = zoom_in(
@@ -424,7 +641,7 @@ class ServiceState:
         degraded = token.degraded is not None
         if degraded:
             self.count_degraded()
-        return {
+        response = {
             "dataset": handle.dataset_id,
             "request": request.to_dict(),
             "to": float(to_radius),
@@ -434,6 +651,145 @@ class ServiceState:
             "elapsed_s": round(time.perf_counter() - t0, 6),
             "degraded": degraded,
         }
+        if previous is not None:
+            response["adapted_previous"] = True
+        self._stamp_live(handle, response, adapted)
+        return response
+
+    @staticmethod
+    def _result_from_previous(request: SelectRequest, previous: dict):
+        """Rebuild a :class:`DiscResult` from a client-held solution.
+
+        ``closest_black_exact`` is only honoured when the distances were
+        actually supplied; otherwise zoom-in recomputes them from the
+        selected set (:func:`~repro.core.zoom.recompute_closest_black`
+        path inside ``zoom_in``).
+        """
+        import numpy as np
+
+        closest = previous.get("closest_black")
+        closest_arr = None if closest is None else np.asarray(closest, dtype=float)
+        exact = bool(previous.get("closest_black_exact")) and closest_arr is not None
+        return DiscResult(
+            selected=list(previous["selected"]),
+            radius=request.radius,
+            algorithm="client-previous",
+            closest_black=closest_arr,
+            meta={"closest_black_exact": exact},
+        )
+
+    def run_mutate(
+        self,
+        live,
+        inserts,
+        deletes,
+        repair: Optional[dict] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> dict:
+        """One mutation batch end to end: apply, migrate caches, repair.
+
+        Everything runs under the live dataset's lock so concurrent
+        mutations serialise and the cache migration + repair observe
+        exactly the version this batch produced.  The adjacency work is
+        incremental (appends touch only the affected grid cells; deletes
+        are an alive-mask filter), and fresh-tier cache entries migrate
+        to the new version's keys instead of being dropped — the next
+        ``/select`` hits warm.
+        """
+        self.count_computation()
+        if token is None:
+            token = CancellationToken()
+        t0 = time.perf_counter()
+        with cancellation_scope(token):
+            token.checkpoint()
+            if self.faults is not None:
+                self.faults.on_compute()
+            with live.lock:
+                old_id = live.dataset_id
+                delta = live.apply(inserts, deletes)
+                new_id = live.dataset_id
+
+                def patcher(metric_name: str, bucket: float):
+                    if metric_name != live.metric.name:
+                        return None
+                    # Lazy: install the recipe, not the compacted CSR.
+                    # The mask pins the bucket to *this* version even
+                    # if the dataset mutates again before the first
+                    # read resolves it.
+                    mask = live.alive_mask()
+
+                    def resolve(bucket=bucket, mask=mask):
+                        return live.adjacency_snapshot_for_mask(
+                            bucket, mask
+                        )
+
+                    return LazyMigration(
+                        resolve, live.adjacency_nbytes(bucket)
+                    )
+
+                migrated = 0
+                if self.cache is not None:
+                    migrated = self.cache.migrate_dataset(
+                        old_id, new_id, patcher
+                    )
+                self._drop_stale_live_indexes(live.name, new_id)
+                repair_out = None
+                if repair is not None:
+                    repair_out = self._repair_selection(live, repair, delta)
+        self.count_mutation()
+        degraded = token.degraded is not None
+        if degraded:
+            self.count_degraded()
+        response = {
+            "dataset": live.name,
+            "dataset_id": new_id,
+            "version": delta["version"],
+            "inserted": delta["inserted"],
+            "deleted": delta["deleted"],
+            "n_alive": delta["n_alive"],
+            "n_total": delta["n_total"],
+            "migrated_buckets": migrated,
+            "elapsed_s": round(time.perf_counter() - t0, 6),
+            "degraded": degraded,
+        }
+        if repair_out is not None:
+            response["repair"] = repair_out
+        return response
+
+    @staticmethod
+    def _repair_selection(live, repair: dict, delta: dict) -> dict:
+        """Repair a client selection against the just-mutated version.
+
+        Takes the O(delta) path: the batch the caller just applied is
+        exactly the delta between the version ``previous`` was computed
+        for and the current one, so the frontier walk never compacts
+        the adjacency.  Runs inside the caller's cancellation scope, so
+        the greedy re-cover loop honours the request deadline.
+        """
+        from repro.live.repair import repair_selection_delta
+
+        adjacency = live.ensure_adjacency(repair["radius"])
+        out = repair_selection_delta(
+            adjacency,
+            live.alive_mask(),
+            repair["previous"],
+            deleted=delta["deleted"],
+            inserted=delta["inserted"],
+        )
+        if repair.get("verify"):
+            from repro.core.verify import verify_disc
+
+            handle = live.snapshot_handle()
+            report = verify_disc(
+                handle.dataset.points,
+                handle.dataset.metric,
+                out["local"],
+                repair["radius"],
+            )
+            out["verified"] = bool(report.is_disc_diverse)
+        out.pop("local", None)
+        out["radius"] = float(repair["radius"])
+        return out
 
     # ------------------------------------------------------------------
     # Introspection
@@ -449,6 +805,7 @@ class ServiceState:
                 "degraded_responses": self.degraded_responses,
                 "timeouts": self.timeouts,
                 "inflight": self.inflight,
+                "mutations_applied": self.mutations_applied,
             }
         with self._lock:
             indexes = [

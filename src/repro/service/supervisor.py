@@ -364,10 +364,14 @@ class Supervisor:
         "crashes": "event-loop",
         "stall_kills": "event-loop",
         "quarantined": "event-loop",
+        "mutations_routed": "event-loop",
+        "mutations_replayed": "event-loop",
         "_active_requests": "event-loop",
         "_rr": "event-loop",
         "_restart_tasks": "event-loop",
         "_conn_tasks": "event-loop",
+        "_mutation_logs": "event-loop",
+        "_mutation_locks": "event-loop",
     }
 
     def __init__(
@@ -422,6 +426,16 @@ class Supervisor:
         self.crashes = 0
         self.stall_kills = 0
         self.quarantined = 0
+        self.mutations_routed = 0
+        self.mutations_replayed = 0
+        #: The authoritative ordered mutation history per live dataset.
+        #: Workers are replicas of this log: a fresh worker (restarted
+        #: after a crash — version 0 again) replays it in order before
+        #: taking traffic, so every healthy replica converges on the
+        #: same version.
+        self._mutation_logs: Dict[str, List[dict]] = {}
+        #: Per-dataset ordering: one mutation fan-out at a time.
+        self._mutation_locks: Dict[str, asyncio.Lock] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -550,12 +564,14 @@ class Supervisor:
                 return 200, await self._rollup()
             if path == "/datasets":
                 return await self._forward_get(path)
-            if path in ("/select", "/zoom"):
+            if path in ("/select", "/zoom", "/mutate"):
                 return 405, error_body("method_not_allowed", f"{path} requires POST")
             return 404, error_body("not_found", f"unknown path {path!r}")
         if method == "POST":
             if path in ("/select", "/zoom"):
                 return await self._compute(path, body)
+            if path == "/mutate":
+                return await self._mutate_fanout(body)
             if path in ("/healthz", "/stats", "/datasets"):
                 return 405, error_body("method_not_allowed", f"{path} requires GET")
             return 404, error_body("not_found", f"unknown path {path!r}")
@@ -673,6 +689,92 @@ class Supervisor:
             finally:
                 slot.inflight -= 1
             return status, payload
+
+    async def _mutate_fanout(self, body) -> Tuple[int, dict]:
+        """Apply one mutation batch to *every* healthy replica.
+
+        Reads route to any one replica, so a write must reach them all
+        — under a per-dataset lock so concurrent batches apply in one
+        order everywhere.  A replica that dies mid-batch is not retried
+        here: its restart replays the front's authoritative mutation
+        log from scratch (a fresh worker is back at version 0 anyway),
+        which is what makes ``kill -9`` mid-stream lose nothing.  The
+        batch is durable once >= 1 replica applied it; zero successes
+        → 503 and the batch is *not* logged (the client retries).
+        """
+        body = dict(body or {})
+        dataset = body.get("dataset")
+        if not isinstance(dataset, str):
+            return 400, error_body(
+                "bad_request", "mutate body needs a 'dataset' name"
+            )
+        if not body.get("idempotency_key"):
+            body["idempotency_key"] = uuid.uuid4().hex
+        # Wait for a replica BEFORE taking the dataset lock: a
+        # restarting replica's log replay needs that lock, so waiting
+        # while holding it would deadlock the very recovery we wait on.
+        deadline = time.monotonic() + NO_WORKER_WAIT_S
+        while not self._candidates(dataset):
+            if (
+                not self._replica_pending(dataset)
+                or time.monotonic() >= deadline
+            ):
+                return 503, error_body(
+                    "no_workers",
+                    f"no healthy worker for dataset {dataset!r}; retry shortly",
+                )
+            await asyncio.sleep(0.05)
+        lock = self._mutation_locks.setdefault(dataset, asyncio.Lock())
+        async with lock:
+            raw = _json_bytes(body)
+            successes: List[dict] = []
+            first_error: Optional[Tuple[int, dict]] = None
+            for slot in self._candidates(dataset):
+                if slot.state != "healthy":
+                    continue
+                slot.inflight += 1
+                try:
+                    status, payload = await self._proxy(slot, "POST", "/mutate", raw)
+                except _TRANSPORT_ERRORS:
+                    # Same corpse detection as _compute — but no
+                    # failover replay: the restart's log replay is the
+                    # delivery path for this replica.
+                    generation = slot.generation
+                    for _ in range(5):
+                        if slot.state != "healthy" or slot.generation != generation:
+                            break
+                        process = slot.process
+                        if process is not None and process.poll() is not None:
+                            self._on_crash(slot, "exit")
+                            break
+                        await asyncio.sleep(0.02)
+                    continue
+                finally:
+                    slot.inflight -= 1
+                if status == 200:
+                    successes.append(payload)
+                elif first_error is None:
+                    first_error = (status, payload)
+            if not successes:
+                if first_error is not None:
+                    return first_error
+                return 503, error_body(
+                    "no_workers",
+                    f"no replica applied the mutation for {dataset!r}; retry",
+                )
+            log_entry = {
+                key: value
+                for key, value in body.items()
+                # Replays need the state transition, not the read-side
+                # extras (repair re-runs would be wasted work) or a
+                # stale deadline.
+                if key not in ("repair", "timeout_ms")
+            }
+            self._mutation_logs.setdefault(dataset, []).append(log_entry)
+            self.mutations_routed += 1
+            response = dict(successes[0])
+            response["replicas_applied"] = len(successes)
+            return 200, response
 
     async def _forward_get(self, path: str) -> Tuple[int, dict]:
         slot = self._pick(None)
@@ -835,9 +937,55 @@ class Supervisor:
             process.kill()
             return
         slot.process = process
-        slot.state = "healthy"
+        try:
+            await self._replay_mutations(slot)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # The fresh worker could not absorb the mutation history —
+            # treat it like any other startup failure.
+            process.kill()
+            if slot.state == "restarting":
+                self._on_crash(slot, "replay-failed")
+            return
         slot.restarts += 1
         self.restarts += 1
+
+    async def _replay_mutations(self, slot: _WorkerSlot) -> None:
+        """Bring a fresh worker up to date, then mark it healthy.
+
+        A restarted worker is back at version 0 of every live dataset
+        it serves; the front's per-dataset logs are replayed in order
+        over its private connection.  The dataset locks are held across
+        the replay *and* the healthy flip, so no fan-out can slip a new
+        batch in between (which this replica would miss) — new
+        mutations queue behind the replay and then see the slot
+        healthy.  Locks are acquired in sorted dataset order; the
+        fan-out path holds at most one at a time, so the ordering
+        cannot deadlock.
+        """
+        datasets = sorted(slot.datasets)
+        acquired: List[asyncio.Lock] = []
+        try:
+            for name in datasets:
+                lock = self._mutation_locks.setdefault(name, asyncio.Lock())
+                await lock.acquire()
+                acquired.append(lock)
+            for name in datasets:
+                for entry in self._mutation_logs.get(name, []):
+                    status, payload = await self._proxy(
+                        slot, "POST", "/mutate", _json_bytes(entry)
+                    )
+                    if status != 200:
+                        raise RuntimeError(
+                            f"mutation replay for {name!r} answered {status}: "
+                            f"{payload}"
+                        )
+                    self.mutations_replayed += 1
+            slot.state = "healthy"
+        finally:
+            for lock in acquired:
+                lock.release()
 
     # ------------------------------------------------------------------
     # Stats rollup
@@ -885,6 +1033,12 @@ class Supervisor:
                 "crashes": self.crashes,
                 "stall_kills": self.stall_kills,
                 "quarantined": self.quarantined,
+                "mutations_routed": self.mutations_routed,
+                "mutations_replayed": self.mutations_replayed,
+                "mutation_log": {
+                    name: len(entries)
+                    for name, entries in self._mutation_logs.items()
+                },
                 "heartbeat_s": self.heartbeat_s,
                 "workers": len(self.slots),
             },
@@ -996,6 +1150,7 @@ def build_worker_configs(
     run_id: Optional[str] = None,
     replication: Optional[int] = None,
     host: str = "127.0.0.1",
+    live: bool = False,
     drain_s: float = 5.0,
 ) -> List[dict]:
     """One config dict per worker slot, with the dataset assignment.
@@ -1062,6 +1217,7 @@ def build_worker_configs(
                     else None
                 ),
                 "run_id": run_id,
+                "live": live,
                 "drain_s": drain_s,
             }
         )

@@ -1,0 +1,114 @@
+"""Chaos lane for live datasets: kill -9 mid-mutation-stream (PR 9).
+
+A 2-worker supervised cluster serves one *live* dataset while a client
+streams mutation batches.  One worker is SIGKILLed mid-stream; the
+front must keep accepting mutations on the survivor, replay the full
+authoritative log into the restarted worker before it takes traffic,
+and converge every replica on the same version.  Asserted invariants:
+
+* zero lost mutations — every replica's live version equals the
+  front's mutation-log length;
+* post-crash selects answer at the converged version;
+* clean shm teardown — no orphaned segments after ``stop()``.
+
+Excluded from tier-1 (``-m chaos`` selects it; CI's chaos lane runs on
+main pushes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.service.shm as shm_mod
+from repro.service import ServiceClient
+from repro.service.supervisor import start_supervised
+
+RADIUS = 0.1
+ENGINE = {"name": "grid", "options": {"cell_size": RADIUS}}
+
+
+def _worker_versions(stats: dict, dataset: str) -> list:
+    """The live dataset's version on every healthy replica."""
+    versions = []
+    for worker in stats["workers"]:
+        payload = worker.get("stats")
+        if not payload:
+            continue
+        for row in payload["datasets"]:
+            if row["id"] == dataset and row.get("live"):
+                versions.append(row["version"])
+    return versions
+
+
+@pytest.mark.chaos
+def test_kill9_mid_mutation_stream_converges():
+    rng = np.random.default_rng(29)
+    cluster = start_supervised(
+        ["uniform"], 2, n=600, seed=42, threads=2, heartbeat_s=0.1, live=True
+    )
+    run_id = cluster.run_id
+    applied = 0
+    try:
+        with ServiceClient(cluster.host, cluster.port) as client:
+            base = client.select("uniform", RADIUS, engine=ENGINE)
+            assert base["version"] == 0
+            previous = base["selected_global"]
+
+            for _ in range(3):
+                response = client.mutate(
+                    "uniform",
+                    inserts=rng.random((4, 2)).tolist(),
+                    deletes=[int(i) for i in rng.choice(previous, 1)],
+                    repair={"radius": RADIUS, "previous": previous},
+                )
+                applied += 1
+                previous = response["repair"]["selected"]
+                assert response["version"] == applied
+                assert response["replicas_applied"] == 2
+
+            cluster.kill_worker(0)
+
+            # Keep mutating while the corpse is detected and restarted:
+            # the survivor absorbs the stream, the front logs every batch.
+            for _ in range(4):
+                response = client.mutate(
+                    "uniform",
+                    inserts=rng.random((4, 2)).tolist(),
+                    repair={"radius": RADIUS, "previous": previous},
+                )
+                applied += 1
+                previous = response["repair"]["selected"]
+                assert response["version"] == applied
+
+            # Wait for the restart + replay to converge both replicas.
+            deadline = time.monotonic() + 30
+            stats = None
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                versions = _worker_versions(stats, "uniform")
+                if len(versions) == 2 and set(versions) == {applied}:
+                    break
+                time.sleep(0.2)
+            supervisor = stats["supervisor"]
+            assert supervisor["crashes"] >= 1
+            assert supervisor["restarts"] >= 1
+            assert supervisor["mutations_routed"] == applied
+            assert supervisor["mutation_log"] == {"uniform": applied}
+            # Zero lost mutations: every replica sits at exactly the
+            # logged version (replay delivered the batches the corpse
+            # missed, and only those).
+            assert _worker_versions(stats, "uniform") == [applied, applied]
+            assert supervisor["mutations_replayed"] >= 1
+
+            # The converged cluster serves version-stamped selects from
+            # either replica.
+            for _ in range(4):
+                response = client.select("uniform", RADIUS, engine=ENGINE)
+                assert response["version"] == applied
+    finally:
+        cluster.stop()
+    assert shm_mod.list_run_segments(run_id) == []
+    assert shm_mod.sweep_orphans() == []

@@ -1,0 +1,284 @@
+"""Unit tests for the ``repro.live`` subsystem (PR 9).
+
+Covers the three layers beneath the ``/mutate`` endpoint:
+
+* :class:`MutableDataset` — versioning, stable arrival ids, batch
+  validation, compaction, snapshot handles;
+* :class:`IncrementalNeighborhood` — byte-parity of incremental
+  snapshots with fresh CSR builds across insert/delete churn;
+* :func:`repair_selection` — Definition 1 validity of repaired
+  selections plus the kept/added/removed accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import verify_disc
+from repro.datasets import Dataset
+from repro.distance import EUCLIDEAN
+from repro.graph import IncrementalNeighborhood, build_csr_pairwise
+from repro.live import LiveCacheView, MutableDataset, MutationError
+from repro.live.repair import jaccard, repair_selection, repair_selection_delta
+
+RADIUS = 0.15
+
+
+def _dataset(points, name="live-test"):
+    return Dataset(name=name, points=np.asarray(points, dtype=float), metric=EUCLIDEAN)
+
+
+def _live(rng, n=40, **kwargs):
+    return MutableDataset("live-test", _dataset(rng.random((n, 2))), **kwargs)
+
+
+class TestMutableDataset:
+    def test_versioned_identity(self, rng):
+        live = _live(rng)
+        assert live.dataset_id == "live-test@v0"
+        delta = live.apply(inserts=rng.random((3, 2)))
+        assert delta["version"] == 1
+        assert live.dataset_id == "live-test@v1"
+        assert delta["inserted"] == [40, 41, 42]
+
+    def test_ids_are_arrival_positions_forever(self, rng):
+        live = _live(rng, n=10)
+        live.apply(deletes=[3, 7])
+        delta = live.apply(inserts=rng.random((2, 2)))
+        # Tombstones never renumber: inserts continue after every id
+        # ever assigned, and alive_ids skips the dead ones.
+        assert delta["inserted"] == [10, 11]
+        assert live.n_total == 12
+        assert live.n_alive == 10
+        alive = live.alive_ids()
+        assert 3 not in alive and 7 not in alive
+        assert {10, 11} <= set(int(i) for i in alive)
+
+    def test_empty_batch_rejected(self, rng):
+        live = _live(rng)
+        with pytest.raises(MutationError, match="empty"):
+            live.apply()
+        assert live.version == 0
+
+    def test_bad_deletes_rejected_before_applying(self, rng):
+        live = _live(rng, n=10)
+        with pytest.raises(MutationError, match="unknown ids"):
+            live.apply(deletes=[99])
+        with pytest.raises(MutationError, match="duplicate"):
+            live.apply(deletes=[1, 1])
+        live.apply(deletes=[4])
+        with pytest.raises(MutationError, match="already-deleted"):
+            live.apply(deletes=[4])
+        # Validation happens before anything mutates: a batch mixing a
+        # valid insert with a bad delete must not leak the insert.
+        with pytest.raises(MutationError):
+            live.apply(inserts=[[0.5, 0.5]], deletes=[4])
+        assert live.n_total == 10
+        assert live.version == 1
+
+    def test_bad_inserts_rejected(self, rng):
+        live = _live(rng)
+        with pytest.raises(MutationError, match="points"):
+            live.apply(inserts=[[1.0, 2.0, 3.0]])
+        with pytest.raises(MutationError, match="non-finite"):
+            live.apply(inserts=[[np.nan, 0.0]])
+
+    def test_compaction_preserves_points(self, rng):
+        live = _live(rng, n=8, compact_every=2)
+        rows = [rng.random((1, 2)) for _ in range(5)]
+        expected = np.concatenate([live.points_all()] + rows)
+        for row in rows:
+            live.apply(inserts=row)
+        assert live.compactions >= 2
+        np.testing.assert_array_equal(live.points_all(), expected)
+
+    def test_snapshot_handle_frozen_and_cached(self, rng):
+        live = _live(rng, n=12)
+        live.apply(deletes=[0, 5])
+        handle = live.snapshot_handle()
+        assert handle.dataset_id == "live-test@v1"
+        assert handle.spec["live"] is True
+        assert handle.spec["version"] == 1
+        assert handle.dataset.points.shape[0] == 10
+        with pytest.raises(ValueError):
+            handle.dataset.points[0, 0] = 99.0
+        assert live.snapshot_handle() is handle  # cached per version
+        live.apply(inserts=[[0.5, 0.5]])
+        assert live.snapshot_handle() is not handle
+
+    def test_mutation_log_records_deltas(self, rng):
+        live = _live(rng, n=6)
+        live.apply(inserts=[[0.1, 0.2]])
+        live.apply(deletes=[2])
+        log = live.mutation_log()
+        assert [d["version"] for d in log] == [1, 2]
+        assert log[0]["inserted"] == [6]
+        assert log[1]["deleted"] == [2]
+
+
+class TestIncrementalAdjacency:
+    def _fresh(self, points):
+        return build_csr_pairwise(np.asarray(points), EUCLIDEAN, RADIUS)
+
+    def _assert_parity(self, incremental, points, alive):
+        snap = incremental.snapshot_csr(alive)
+        fresh = self._fresh(np.asarray(points)[alive])
+        np.testing.assert_array_equal(snap.indptr, fresh.indptr)
+        np.testing.assert_array_equal(snap.indices, fresh.indices)
+
+    def test_append_matches_fresh_build(self, rng):
+        points = rng.random((60, 2))
+        incremental = IncrementalNeighborhood(points[:40], EUCLIDEAN, RADIUS)
+        points_so_far = points[:40]
+        for batch_end in (50, 60):
+            count = batch_end - points_so_far.shape[0]
+            points_so_far = points[:batch_end]
+            incremental.append(points_so_far, count)
+            alive = np.ones(batch_end, dtype=bool)
+            self._assert_parity(incremental, points_so_far, alive)
+
+    def test_alive_mask_filtering_matches_fresh_build(self, rng):
+        points = rng.random((80, 2))
+        incremental = IncrementalNeighborhood(points, EUCLIDEAN, RADIUS)
+        alive = np.ones(80, dtype=bool)
+        alive[rng.choice(80, size=25, replace=False)] = False
+        self._assert_parity(incremental, points, alive)
+
+    def test_interleaved_churn_parity(self, rng):
+        """Inserts and deletes interleaved across many versions."""
+        points = rng.random((50, 2))
+        incremental = IncrementalNeighborhood(points, EUCLIDEAN, RADIUS)
+        alive = np.ones(50, dtype=bool)
+        for _ in range(6):
+            batch = rng.random((7, 2))
+            points = np.concatenate([points, batch])
+            incremental.append(points, 7)
+            alive = np.concatenate([alive, np.ones(7, dtype=bool)])
+            victims = rng.choice(np.flatnonzero(alive), size=4, replace=False)
+            alive[victims] = False
+            self._assert_parity(incremental, points, alive)
+
+    def test_dataset_adjacency_snapshot_parity(self, rng):
+        live = _live(rng, n=50)
+        live.apply(inserts=rng.random((10, 2)), deletes=[1, 2, 3])
+        live.apply(inserts=rng.random((5, 2)), deletes=[50, 51])
+        csr, alive_ids = live.adjacency_snapshot(RADIUS)
+        fresh = self._fresh(live.points_all()[live.alive_mask()])
+        np.testing.assert_array_equal(csr.indptr, fresh.indptr)
+        np.testing.assert_array_equal(csr.indices, fresh.indices)
+        np.testing.assert_array_equal(alive_ids, live.alive_ids())
+        # Same version, same bucket: one snapshot object is reused.
+        assert live.adjacency_snapshot(RADIUS)[0] is csr
+
+
+class TestRepairSelection:
+    def _select(self, live):
+        """A valid selection over the current version, in global ids."""
+        from repro.api import disc_select
+
+        handle = live.snapshot_handle()
+        result = disc_select(handle.dataset, RADIUS, engine="grid")
+        alive_ids = live.alive_ids()
+        return [int(alive_ids[i]) for i in result.selected]
+
+    def _assert_valid(self, live, repaired):
+        handle = live.snapshot_handle()
+        report = verify_disc(
+            handle.dataset.points, EUCLIDEAN, repaired["local"], RADIUS
+        )
+        assert report.is_disc_diverse, str(report)
+
+    def test_repair_after_churn_is_disc_diverse(self, rng):
+        live = _live(rng, n=200)
+        previous = self._select(live)
+        alive = live.alive_ids()
+        victims = [int(i) for i in rng.choice(alive, size=20, replace=False)]
+        live.apply(inserts=rng.random((20, 2)), deletes=victims)
+        csr, alive_ids = live.adjacency_snapshot(RADIUS)
+        repaired = repair_selection(csr, alive_ids, previous)
+        self._assert_valid(live, repaired)
+        # Accounting: kept ∪ added == selected, removed == previous we lost.
+        assert sorted(repaired["kept"] + repaired["added"]) == repaired["selected"]
+        assert set(repaired["removed"]) == set(previous) - set(repaired["kept"])
+        assert repaired["jaccard_previous"] == jaccard(
+            repaired["selected"], previous
+        )
+
+    def test_survivors_kept_verbatim(self, rng):
+        live = _live(rng, n=150)
+        previous = self._select(live)
+        # Delete only non-selected points: every previous black survives
+        # and deletes never add edges, so the selection needs no repair
+        # beyond covering freshly-uncovered points (there are none).
+        spare = sorted(set(int(i) for i in live.alive_ids()) - set(previous))
+        live.apply(deletes=spare[:10])
+        csr, alive_ids = live.adjacency_snapshot(RADIUS)
+        repaired = repair_selection(csr, alive_ids, previous)
+        assert repaired["kept"] == sorted(previous)
+        assert repaired["removed"] == []
+        assert repaired["jaccard_previous"] == 1.0
+        self._assert_valid(live, repaired)
+
+    def test_repair_covers_inserts_outside_coverage(self, rng):
+        live = _live(rng, n=30)
+        previous = self._select(live)
+        # An insert far outside the unit square cannot be covered by
+        # any existing black: repair must add it (or a neighbor).
+        live.apply(inserts=[[5.0, 5.0]])
+        csr, alive_ids = live.adjacency_snapshot(RADIUS)
+        repaired = repair_selection(csr, alive_ids, previous)
+        assert 30 in repaired["added"]
+        self._assert_valid(live, repaired)
+
+    def test_empty_previous_degenerates_to_greedy_cover(self, rng):
+        live = _live(rng, n=60)
+        csr, alive_ids = live.adjacency_snapshot(RADIUS)
+        repaired = repair_selection(csr, alive_ids, [])
+        assert repaired["kept"] == []
+        self._assert_valid(live, repaired)
+
+    def test_delta_path_matches_full_repair(self, rng):
+        """The O(delta) frontier repair (what ``/mutate`` runs) must be
+        pick-for-pick identical to the full compacted-snapshot repair
+        whenever ``previous`` is fresh — same greedy, same tie-breaks,
+        no compaction."""
+        live = _live(rng, n=300)
+        previous = self._select(live)
+        for _ in range(4):
+            alive = live.alive_ids()
+            victims = [int(i) for i in rng.choice(alive, size=12, replace=False)]
+            delta = live.apply(inserts=rng.random((10, 2)), deletes=victims)
+            csr, alive_ids = live.adjacency_snapshot(RADIUS)
+            full = repair_selection(csr, alive_ids, previous)
+            fast = repair_selection_delta(
+                live.ensure_adjacency(RADIUS),
+                live.alive_mask(),
+                previous,
+                deleted=delta["deleted"],
+                inserted=delta["inserted"],
+            )
+            assert fast == full
+            self._assert_valid(live, fast)
+            previous = fast["selected"]
+
+    def test_jaccard_basics(self):
+        assert jaccard([], []) == 1.0
+        assert jaccard([1, 2], [1, 2]) == 1.0
+        assert jaccard([1, 2], [3, 4]) == 0.0
+        assert jaccard([1, 2, 3], [2, 3, 4]) == 0.5
+
+
+class TestLiveCacheView:
+    def test_miss_resolves_from_incremental_adjacency(self, rng):
+        from repro.service.cache import SharedCacheManager
+
+        live = _live(rng, n=40)
+        manager = SharedCacheManager(max_entries=8)
+        view = LiveCacheView(manager, live.dataset_id, EUCLIDEAN, live)
+        first = view.get(RADIUS)
+        assert first is live.adjacency_snapshot(RADIUS)[0]
+        assert view.get(RADIUS) is first  # now a plain cache hit
+        assert manager.hits >= 1
+        # The build slot was resolved (counted) by the live path itself.
+        assert manager.builds == 1

@@ -1,0 +1,144 @@
+"""Edge cases for :class:`StreamingDisC` expiry and degenerate inputs.
+
+PR 9 hardening: the live-serving stack leans on the streaming repair
+rule, so the invariants are pinned here independently of the service —
+removal errors, duplicate objects, the ``r = 0`` degenerate radius, and
+a randomized add/remove stream asserting Definition 1 after *every*
+mutation plus ``rebuild()`` parity at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import verify_disc
+from repro.core.extensions import StreamingDisC
+from repro.distance import EUCLIDEAN
+
+
+def _assert_window_disc(stream: StreamingDisC, points: np.ndarray, radius: float):
+    """Definition 1 over the *alive* window, in arrival-id space."""
+    alive = stream.alive_ids()
+    assert alive, "helper expects a non-empty window"
+    local_of = {arrival: local for local, arrival in enumerate(alive)}
+    window = np.stack([points[i] for i in alive])
+    selected = [local_of[b] for b in stream.selected_ids]
+    report = verify_disc(window, EUCLIDEAN, selected, radius)
+    assert report.is_disc_diverse, str(report)
+
+
+class TestRemoveErrors:
+    def test_remove_nonexistent_raises_index_error(self):
+        stream = StreamingDisC(radius=0.2)
+        stream.add([0.5, 0.5])
+        with pytest.raises(IndexError, match="out of range"):
+            stream.remove(1)
+        with pytest.raises(IndexError, match="out of range"):
+            stream.remove(-1)
+
+    def test_remove_twice_raises_value_error(self):
+        stream = StreamingDisC(radius=0.2)
+        stream.add([0.1, 0.1])
+        stream.add([0.9, 0.9])
+        stream.remove(0)
+        with pytest.raises(ValueError, match="already removed"):
+            stream.remove(0)
+
+    def test_failed_remove_leaves_state_intact(self):
+        stream = StreamingDisC(radius=0.2)
+        stream.add([0.1, 0.1])
+        with pytest.raises(IndexError):
+            stream.remove(7)
+        assert stream.n_alive == 1
+        assert stream.selected_ids == [0]
+
+    def test_remove_grey_never_repairs(self):
+        stream = StreamingDisC(radius=0.5)
+        stream.add([0.5, 0.5])
+        stream.add([0.6, 0.5])  # grey: covered by arrival 0
+        assert stream.remove(1) is False
+        assert stream.selected_ids == [0]
+        assert stream.n_alive == 1
+
+
+class TestDuplicates:
+    def test_duplicate_covers_then_replaces_its_black(self):
+        stream = StreamingDisC(radius=0.1)
+        stream.add([0.5, 0.5])
+        assert stream.add([0.5, 0.5]) is False  # exact duplicate is grey
+        # Expiring the black leaves the duplicate uncovered; repair must
+        # promote it (distance 0 < any positive radius elsewhere).
+        assert stream.remove(0) is True
+        assert stream.selected_ids == [1]
+        assert stream.n_alive == 1
+
+    def test_many_duplicates_keep_one_representative(self):
+        stream = StreamingDisC(radius=0.1)
+        for _ in range(5):
+            stream.add([0.3, 0.7])
+        assert stream.size == 1
+        for victim in (0, 1, 2, 3):
+            stream.remove(victim)
+            assert stream.size == 1
+        assert stream.alive_ids() == [4]
+        assert stream.selected_ids == [4]
+
+
+class TestZeroRadius:
+    def test_all_distinct_points_selected(self):
+        stream = StreamingDisC(radius=0.0)
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]])
+        assert stream.extend(points) == 3
+        assert stream.selected_ids == [0, 1, 2]
+        _assert_window_disc(stream, points, 0.0)
+
+    def test_duplicates_stay_grey_at_zero_radius(self):
+        stream = StreamingDisC(radius=0.0)
+        points = np.array([[0.4, 0.4], [0.4, 0.4], [0.8, 0.8]])
+        assert stream.extend(points) == 2
+        assert stream.selected_ids == [0, 2]
+        stream.remove(0)
+        assert stream.selected_ids == [2, 1]  # survivor order, then repair
+        _assert_window_disc(stream, points, 0.0)
+
+
+class TestRandomizedStream:
+    def test_definition_one_after_every_mutation(self, rng):
+        radius = 0.18
+        points = rng.random((120, 2))
+        stream = StreamingDisC(radius=radius)
+        removable: list[int] = []
+        for i, point in enumerate(points):
+            stream.add(point)
+            removable.append(i)
+            _assert_window_disc(stream, points, radius)
+            # Interleave removals (~1 in 3 arrivals), of arbitrary
+            # color: grey removals must be no-ops, black removals must
+            # repair back to a maximal independent set.
+            if i >= 4 and rng.random() < 0.34:
+                victim = removable.pop(int(rng.integers(len(removable))))
+                stream.remove(victim)
+                _assert_window_disc(stream, points, radius)
+        assert stream.n_alive == len(removable)
+
+    def test_rebuild_parity_after_churn(self, rng):
+        radius = 0.2
+        points = rng.random((90, 2))
+        stream = StreamingDisC(radius=radius)
+        stream.extend(points)
+        for victim in rng.choice(90, size=30, replace=False):
+            stream.remove(int(victim))
+        _assert_window_disc(stream, points, radius)
+        rebuilt = stream.rebuild()
+        # rebuild() returns arrival ids restricted to the alive window
+        # and must satisfy Definition 1 over exactly that window.
+        alive = stream.alive_ids()
+        assert set(rebuilt.selected) <= set(alive)
+        local_of = {arrival: local for local, arrival in enumerate(alive)}
+        window = np.stack([points[i] for i in alive])
+        report = verify_disc(
+            window, EUCLIDEAN, [local_of[b] for b in rebuilt.selected], radius
+        )
+        assert report.is_disc_diverse, str(report)
+        assert rebuilt.size <= stream.size
