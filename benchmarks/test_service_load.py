@@ -18,7 +18,7 @@ from repro.service.load import (
 def test_service_load_records_win(register):
     payload = run_service_bench()
 
-    assert payload["schema"] == "bench-service-v4"
+    assert payload["schema"] == "bench-service-v5"
     # Every served selection matched a direct disc_select call — the
     # supervised multi-worker phase included.
     assert payload["parity"] is True
@@ -54,6 +54,20 @@ def test_service_load_records_win(register):
     assert multi["core_bound"] == (payload["cpu_count"] < multi["workers"])
     if not multi["core_bound"]:
         assert multi["speedup_vs_single_process"] >= 2.5
+
+    # Tracing-overhead lane (PR 10): the traced replay of the shared
+    # phase must emit schema-valid span records for every request while
+    # costing <= 5% added p50 latency.
+    tracing = payload["tracing"]
+    traced = payload["phases"]["traced"]
+    assert traced["requests"] == payload["requests_per_phase"]
+    assert tracing["trace_records"] >= traced["requests"]
+    assert tracing["invalid_records"] == 0
+    assert "selection" in tracing["phases_seen"]
+    assert tracing["responses_with_server_timing"] == traced["requests"]
+    assert tracing["responses_with_trace_header"] == traced["requests"]
+    assert tracing["overhead_pct"] is not None
+    assert tracing["within_target"] is True
 
     # Mutation-trace lane (PR 9): live churn through /mutate + repair.
     # The repaired selection must be independently verified r-DisC

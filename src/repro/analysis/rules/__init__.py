@@ -7,4 +7,5 @@ from repro.analysis.rules import (  # noqa: F401
     dtypes,
     guarded,
     shm_rules,
+    span_discipline,
 )

@@ -1,0 +1,111 @@
+"""span-discipline: the observability contract of the serving layer.
+
+Scope: modules tagged ``service`` (the handler check); the metric-name
+check runs everywhere — a malformed name registered from any module
+would poison the merged ``/metrics`` exposition.
+
+Two checks:
+
+* **Handlers open a request span.**  An async function that both reads
+  an HTTP request (``read_http_request`` / ``_read_request``) and
+  writes a response (``write_http_response``) is a connection handler;
+  it must wrap the request in ``with ...request_scope(...)`` so every
+  phase recorded below it lands in a trace and every response can carry
+  the ``X-Repro-Trace`` join key.  Read-only wrappers (a helper that
+  merely awaits the parser) are not handlers and are not flagged.
+
+* **Metric names are well-formed.**  A literal first argument to
+  ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` must match
+  ``repro_[a-z0-9_]+`` — the same regex
+  :mod:`repro.obs.metrics` enforces at runtime, enforced here so a
+  misnamed instrument fails the lint lane instead of the first request
+  that touches it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import call_name
+
+#: Mirrors ``repro.obs.metrics.METRIC_NAME_RE`` (kept literal so the
+#: linter can run over a tree that does not import).
+_METRIC_NAME_RE = re.compile(r"repro_[a-z0-9_]+\Z")
+
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+_REQUEST_READERS = {"read_http_request", "_read_request"}
+_RESPONSE_WRITERS = {"write_http_response"}
+
+
+def _calls(func: ast.AST) -> Iterator[str]:
+    """Leaf callee names of every call in ``func``'s subtree."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name:
+                yield name.rsplit(".", 1)[-1]
+
+
+def _opens_request_scope(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call) and call_name(expr).rsplit(
+                ".", 1
+            )[-1].endswith("request_scope"):
+                return True
+    return False
+
+
+@register
+class SpanDisciplineRule(Rule):
+    name = "span-discipline"
+    description = (
+        "HTTP handlers must open a request span; metric names must "
+        "match repro_[a-z0-9_]+"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = call_name(node)
+            if "." not in name:  # bare helpers are not the registry API
+                continue
+            if name.rsplit(".", 1)[-1] not in _METRIC_FACTORIES:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            if not _METRIC_NAME_RE.fullmatch(first.value):
+                yield self.finding(
+                    module,
+                    node,
+                    f"metric name {first.value!r} must match "
+                    f"{_METRIC_NAME_RE.pattern!r} (lowercase, "
+                    "repro_-prefixed)",
+                )
+
+        if not module.in_scope("service"):
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            names = set(_calls(func))
+            if not (names & _REQUEST_READERS and names & _RESPONSE_WRITERS):
+                continue
+            if not _opens_request_scope(func):
+                yield self.finding(
+                    module,
+                    func,
+                    f"HTTP handler {func.name!r} reads and answers "
+                    "requests without opening a request span (wrap the "
+                    "request in `with trace.request_scope(...)`)",
+                )

@@ -270,6 +270,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection config as JSON (see repro.service.faults."
         "FaultConfig), e.g. '{\"seed\": 7, \"build_failure_rate\": 0.2}'",
     )
+    p_serve.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="write one JSONL trace record per completed request "
+        "(size-capped rotation to PATH.1; with --workers N>1 each "
+        "worker writes PATH.w<k> and the front writes PATH)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect request-trace JSONL logs written via --trace-log",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize", help="slowest-span rollup across one or more logs"
+    )
+    p_trace_sum.add_argument("paths", nargs="+", metavar="PATH")
+    p_trace_sum.add_argument(
+        "--top", type=int, default=10,
+        help="how many slowest traces to list (default 10)",
+    )
+    p_trace_sum.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_trace_val = trace_sub.add_parser(
+        "validate",
+        help="schema-validate every record; exits nonzero on problems",
+    )
+    p_trace_val.add_argument("paths", nargs="+", metavar="PATH")
 
     p_worker = sub.add_parser(
         "worker",
@@ -536,7 +564,11 @@ def _cmd_serve(args) -> int:
 
     async def _main() -> None:
         server = DiscServer(
-            state, host=args.host, port=args.port, drain_s=args.drain_timeout
+            state,
+            host=args.host,
+            port=args.port,
+            drain_s=args.drain_timeout,
+            trace_log=args.trace_log,
         )
         await server.start()
         print(
@@ -608,6 +640,7 @@ def _serve_supervised(args, names) -> int:
             faults=faults,
             live=args.live,
             drain_s=args.drain_timeout,
+            trace_log=args.trace_log,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -736,6 +769,7 @@ def _cmd_worker(args) -> int:
             host=config.get("host") or "127.0.0.1",
             port=0,
             drain_s=float(config.get("drain_s") or 5.0),
+            trace_log=config.get("trace_log"),
         )
         await server.start()
         print(
@@ -773,6 +807,33 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.sink import (
+        iter_trace_records,
+        render_trace_summary,
+        summarize_traces,
+        validate_trace_record,
+    )
+
+    if args.trace_command == "summarize":
+        summary = summarize_traces(args.paths, top=args.top)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_trace_summary(summary))
+        return 0
+    records = problems = 0
+    for path in args.paths:
+        for i, record in enumerate(iter_trace_records(path)):
+            records += 1
+            found = validate_trace_record(record)
+            for problem in found:
+                print(f"{path}: record {i}: {problem}")
+            problems += len(found)
+    print(f"[trace validate] {records} record(s) checked, {problems} problem(s)")
+    return 0 if problems == 0 else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import main as lint_main
 
@@ -793,6 +854,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "worker": _cmd_worker,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -41,6 +41,8 @@ import threading
 from collections import OrderedDict
 from typing import Optional
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["AdjacencyCache"]
 
 
@@ -84,6 +86,11 @@ class AdjacencyCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._m_lookups = obs_metrics.registry().counter(
+            "repro_session_cache_lookups_total",
+            "Per-session adjacency cache lookups by outcome.",
+            ("outcome",),
+        )
 
     # ------------------------------------------------------------------
     def get(self, key: float):
@@ -93,10 +100,12 @@ class AdjacencyCache:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        self._m_lookups.inc(outcome="miss" if value is None else "hit")
+        return value
 
     def peek(self, key: float):
         """Like :meth:`get`, but promises no follow-up :meth:`put`.

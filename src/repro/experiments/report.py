@@ -357,6 +357,55 @@ for non-live datasets stay byte-identical).
   asserts zero lost mutations, full-log replay before the restarted
   replica takes traffic, and convergence of every replica on the same
   version.
+
+## Observability — tracing, metrics, phase profiling (PR 10)
+
+PRs 5-9 grew a serving stack whose interesting behavior (coalescing,
+stale tiers, replays, lazy migration) was visible only as aggregate
+counters; `repro.obs` (stdlib-only, imported *by* the service, never
+the reverse) makes each request tell its own story.
+
+* **Span-tree tracing** — the handler opens an ambient
+  `request_scope` (contextvars, the `repro.cancellation` pattern);
+  library code opens `phase(...)` children with zero plumbing —
+  `validate`, `selection`, `cache-lookup`, `adjacency-build`,
+  `shm-attach`, `repair` — and pays one `ContextVar.get` when tracing
+  is off.  The executor hop re-enters the loop's span via
+  `attach`.  Every response carries `X-Repro-Trace:
+  <trace_id>:<span_id>` plus a `Server-Timing` header
+  (total/build/select, parsed by `ServiceClient.last_server_timing`).
+* **Cross-process propagation** — the supervisor front mints the
+  trace id and stamps the header on the proxied worker request,
+  re-stamped identically on every replay attempt, and the worker's
+  root span adopts it: one id correlates the front record, the worker
+  that died mid-request, and the replica that answered (asserted by
+  the chaos lane's `trace_correlation` and by
+  `tests/test_obs.py` under deterministic crash faults).
+* **Metrics registry** — `repro.obs.metrics`: counters, gauges,
+  fixed-bucket histograms behind one lock (snapshots are consistent
+  cuts); names enforced to `repro_[a-z0-9_]+` at registration *and*
+  by lint.  `GET /metrics` serves the Prometheus text format
+  (`text/plain; version=0.0.4`); `/stats` folds in the same snapshot
+  plus executor `queue_depth`; the supervised front merges worker
+  snapshots (counters/gauges sum, histograms sum bucket-wise) into
+  one cluster exposition and a rollup that now carries
+  migration/degraded/queue-depth totals.
+* **Trace sink** — `--trace-log PATH` appends one JSONL record per
+  completed request (`repro-trace-v1`: request feature vector +
+  per-phase durations + status), size-capped with `PATH.1` rotation;
+  workers write `PATH.w<k>`.  `repro trace summarize` rolls logs up
+  into per-phase p50/p90/max and the slowest traces; `repro trace
+  validate` is the CI schema gate over the smoke lane's emitted log.
+* **span-discipline lint** — the `service`-scoped rule fails CI when
+  an HTTP handler reads and answers requests without opening a
+  request span, and when any literal metric name (any scope) violates
+  the registry regex.
+* **Measured overhead** — the `tracing` lane of `python -m repro
+  bench --service` (schema v5) replays the shared-cache trace with
+  tracing+sink off and on in a balanced order and records the p50
+  delta: within the <= 5% acceptance bar (about -2% at last measure —
+  the per-request cost is a few span objects and one buffered JSONL
+  append, below run-to-run noise).
 """
 
 

@@ -13,6 +13,7 @@ alive-mask compaction of the maintained structure.
 
 from __future__ import annotations
 
+from repro.obs import trace as obs_trace
 from repro.service.cache import SharedCacheManager, SharedCacheView
 
 __all__ = ["LiveCacheView"]
@@ -49,5 +50,9 @@ class LiveCacheView(SharedCacheView):
         except BaseException as exc:
             self.manager.fail(composite, exc)
             raise
+        # put() records the adjacency-build span from the claim
+        # timestamp; this annotation marks it as the incremental path
+        # (alive-mask compaction, not a ground-up engine build).
+        obs_trace.annotate(live_incremental=True)
         self.manager.put(composite, csr)
         return csr

@@ -1,0 +1,304 @@
+"""Trace sink: completed traces as size-capped JSONL, plus the rollup
+behind ``repro trace summarize`` and the CI schema validator.
+
+One line per completed request (``--trace-log PATH``):
+
+.. code-block:: json
+
+    {"schema": "repro-trace-v1", "trace_id": "9f…", "ts_unix": 1754650000.123,
+     "method": "POST", "path": "/select", "status": 200,
+     "worker": {"worker_id": 1, "pid": 4242},
+     "features": {"dataset": "clustered", "n": 20000, "radius": 0.05,
+                  "metric": "euclidean", "engine": "grid", "method": "greedy"},
+     "duration_ms": 41.7,
+     "spans": [{"name": "validate", "duration_ms": 0.2},
+               {"name": "selection", "duration_ms": 38.1,
+                "children": [{"name": "adjacency-build", "duration_ms": 30.4}]}],
+     "annotations": {"coalesced": false}}
+
+``schema`` is the version field — bump :data:`TRACE_SCHEMA` on any
+shape change.  These records carry the request feature vector next to
+measured phase durations: exactly what a future ``bench --tune``
+policy campaign fits against (ROADMAP, workload-adaptive policy).
+
+Rotation is size-capped: when the file would exceed ``max_bytes`` the
+current log is renamed to ``PATH.1`` (replacing any previous one) and
+a fresh file starts — bounded disk, and the newest records always in
+``PATH``.  Stdlib-only; must never import :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceSink",
+    "build_record",
+    "iter_trace_records",
+    "render_trace_summary",
+    "summarize_traces",
+    "validate_trace_record",
+]
+
+#: Version stamp carried by every record.
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+def build_record(
+    root: Span,
+    status: int,
+    method: str,
+    path: str,
+    worker: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSONL record for a finished request span."""
+    annotations = dict(root.annotations)
+    features = annotations.pop("features", {})
+    record: Dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "trace_id": root.trace_id,
+        "span_id": root.span_id,
+        "ts_unix": round(root.started_unix, 6),
+        "method": method,
+        "path": path,
+        "status": int(status),
+        "worker": worker,
+        "features": features,
+        "duration_ms": round(root.elapsed_ms(), 3),
+        "spans": [child.to_dict() for child in root.children],
+    }
+    if root.parent_id is not None:
+        record["parent_span_id"] = root.parent_id
+    if annotations:
+        record["annotations"] = annotations
+    return record
+
+
+class TraceSink:
+    """Append-only JSONL writer with size-capped rotation."""
+
+    _GUARDED_BY = {
+        "_file": "self._lock",
+        "_size": "self._lock",
+        "written": "self._lock",
+    }
+
+    def __init__(
+        self, path: str, max_bytes: int = 16 * 1024 * 1024
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.path = path
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+        self.written = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one record; rotate first if it would burst the cap."""
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            if self._file.closed:
+                return
+            if self._size + len(data) > self.max_bytes and self._size > 0:
+                self._rotate()
+            self._file.write(line)
+            self._file.flush()
+            self._size += len(data)
+            self.written += 1
+
+    def _rotate(self) -> None:
+        """Caller holds ``self._lock``."""
+        self._file.close()
+        backup = self.path + ".1"
+        try:
+            os.replace(self.path, backup)
+        except OSError:
+            pass
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+# ----------------------------------------------------------------------
+# Validation (the CI lane runs this over every emitted log)
+# ----------------------------------------------------------------------
+def _check_span(span: Any, problems: List[str], where: str) -> None:
+    if not isinstance(span, dict):
+        problems.append(f"{where}: span is not an object")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        problems.append(f"{where}: missing span name")
+    if not isinstance(span.get("duration_ms"), (int, float)) or span["duration_ms"] < 0:
+        problems.append(f"{where}: bad duration_ms")
+    for i, child in enumerate(span.get("children", [])):
+        _check_span(child, problems, f"{where}.children[{i}]")
+
+
+def validate_trace_record(record: Any) -> List[str]:
+    """Problems with one parsed record; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["record is not an object"]
+    if record.get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"schema is {record.get('schema')!r}, expected {TRACE_SCHEMA!r}"
+        )
+    if not isinstance(record.get("trace_id"), str) or not record.get("trace_id"):
+        problems.append("missing trace_id")
+    if not isinstance(record.get("ts_unix"), (int, float)):
+        problems.append("missing ts_unix")
+    if not isinstance(record.get("method"), str):
+        problems.append("missing method")
+    if not isinstance(record.get("path"), str):
+        problems.append("missing path")
+    if not isinstance(record.get("status"), int):
+        problems.append("missing status")
+    duration = record.get("duration_ms")
+    if not isinstance(duration, (int, float)) or duration < 0:
+        problems.append("bad duration_ms")
+    if not isinstance(record.get("features"), dict):
+        problems.append("features must be an object")
+    spans = record.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be a list")
+    else:
+        for i, span in enumerate(spans):
+            _check_span(span, problems, f"spans[{i}]")
+    return problems
+
+
+def iter_trace_records(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield parsed records from one JSONL file (blank lines skipped;
+    a torn final line from a killed process is ignored)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+# ----------------------------------------------------------------------
+# Summaries (`repro trace summarize`)
+# ----------------------------------------------------------------------
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+def _walk_record_spans(record: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    stack = list(record.get("spans", []))
+    while stack:
+        span = stack.pop()
+        if isinstance(span, dict):
+            yield span
+            stack.extend(span.get("children", []))
+
+
+def summarize_traces(paths: Iterable[str], top: int = 10) -> Dict[str, Any]:
+    """Aggregate trace logs into per-phase rollups + slowest traces."""
+    phase_samples: Dict[str, List[float]] = {}
+    traces: List[Dict[str, Any]] = []
+    records = invalid = 0
+    statuses: Dict[str, int] = {}
+    for path in paths:
+        for record in iter_trace_records(path):
+            if validate_trace_record(record):
+                invalid += 1
+                continue
+            records += 1
+            statuses[str(record["status"])] = statuses.get(str(record["status"]), 0) + 1
+            for span in _walk_record_spans(record):
+                phase_samples.setdefault(span["name"], []).append(
+                    float(span["duration_ms"])
+                )
+            slowest_phase = None
+            slowest_ms = -1.0
+            for span in _walk_record_spans(record):
+                if float(span["duration_ms"]) > slowest_ms:
+                    slowest_ms = float(span["duration_ms"])
+                    slowest_phase = span["name"]
+            traces.append(
+                {
+                    "trace_id": record["trace_id"],
+                    "path": record["path"],
+                    "status": record["status"],
+                    "duration_ms": float(record["duration_ms"]),
+                    "slowest_phase": slowest_phase,
+                }
+            )
+    phases: Dict[str, Any] = {}
+    for name, samples in phase_samples.items():
+        samples.sort()
+        phases[name] = {
+            "count": len(samples),
+            "total_ms": round(sum(samples), 3),
+            "mean_ms": round(sum(samples) / len(samples), 3),
+            "p50_ms": round(_percentile(samples, 0.5), 3),
+            "p90_ms": round(_percentile(samples, 0.9), 3),
+            "max_ms": round(samples[-1], 3),
+        }
+    traces.sort(key=lambda t: t["duration_ms"], reverse=True)
+    return {
+        "records": records,
+        "invalid": invalid,
+        "statuses": statuses,
+        "phases": phases,
+        "slowest": traces[:top],
+    }
+
+
+def render_trace_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable slowest-span rollup."""
+    lines = [
+        f"traces: {summary['records']} valid, {summary['invalid']} invalid",
+        "statuses: "
+        + (
+            ", ".join(
+                f"{code}={count}" for code, count in sorted(summary["statuses"].items())
+            )
+            or "none"
+        ),
+        "",
+        f"{'phase':<20} {'count':>7} {'total_ms':>10} {'mean_ms':>9} "
+        f"{'p50_ms':>9} {'p90_ms':>9} {'max_ms':>9}",
+    ]
+    by_total = sorted(
+        summary["phases"].items(), key=lambda kv: kv[1]["total_ms"], reverse=True
+    )
+    for name, stats in by_total:
+        lines.append(
+            f"{name:<20} {stats['count']:>7} {stats['total_ms']:>10.3f} "
+            f"{stats['mean_ms']:>9.3f} {stats['p50_ms']:>9.3f} "
+            f"{stats['p90_ms']:>9.3f} {stats['max_ms']:>9.3f}"
+        )
+    if summary["slowest"]:
+        lines.append("")
+        lines.append("slowest traces:")
+        for trace in summary["slowest"]:
+            lines.append(
+                f"  {trace['duration_ms']:>9.3f} ms  {trace['status']}  "
+                f"{trace['path']:<10} {trace['trace_id']}  "
+                f"(slowest phase: {trace['slowest_phase']})"
+            )
+    return "\n".join(lines)

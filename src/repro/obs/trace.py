@@ -1,0 +1,310 @@
+"""Request tracing: an ambient, contextvars-based span tree.
+
+A *trace* is one logical request; a *span* is one timed phase of it.
+The root span is opened by the first HTTP handler that sees the
+request (:func:`request_scope`); nested phases open children
+(:func:`phase`).  The ambient current span lives in a
+:class:`contextvars.ContextVar` — exactly the pattern of
+:mod:`repro.cancellation` — so library code deep in the stack can
+annotate or open sub-phases without any plumbed-through handle, and
+code running outside a request (unit tests, batch scripts) pays a
+single ``ContextVar.get`` returning ``None``.
+
+Cross-process propagation uses the ``X-Repro-Trace`` header
+(``<trace_id>`` or ``<trace_id>:<parent_span_id>``): the supervisor
+front mints the id, stamps the header on the proxied worker request
+(re-stamped identically on every replay attempt), and the worker's
+root span adopts it — one id then correlates the front span, the
+worker that died mid-request, and the replica that answered.
+
+Thread hop: ``loop.run_in_executor`` does not copy context, so the
+server captures :func:`current_span` on the event loop and re-enters
+it inside the executor thunk with :func:`attach`.  A request's phases
+run sequentially (loop -> one executor thread -> loop), so ``Span``
+needs no lock.
+
+Dependency-free by design: this module must never import
+:mod:`repro.service` (the service imports *us*).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "annotate",
+    "annotate_root",
+    "attach",
+    "current_span",
+    "format_trace_header",
+    "new_span_id",
+    "new_trace_id",
+    "parse_trace_header",
+    "phase",
+    "phase_totals",
+    "record_phase",
+    "request_scope",
+]
+
+#: Request/response header carrying ``trace_id[:span_id]``.
+TRACE_HEADER = "X-Repro-Trace"
+
+_HEX = set("0123456789abcdef")
+
+_CURRENT: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_trace_span", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id."""
+    return os.urandom(4).hex()
+
+
+def _is_hex(value: str) -> bool:
+    return bool(value) and set(value) <= _HEX
+
+
+def parse_trace_header(value: Optional[str]) -> Tuple[Optional[str], Optional[str]]:
+    """Parse an ``X-Repro-Trace`` value into ``(trace_id, parent_span_id)``.
+
+    Malformed values yield ``(None, None)`` — a bad header mints a new
+    trace rather than erroring the request.
+    """
+    if not value:
+        return None, None
+    parts = value.strip().lower().split(":")
+    if len(parts) > 2 or not _is_hex(parts[0]) or len(parts[0]) > 32:
+        return None, None
+    parent = None
+    if len(parts) == 2:
+        if not _is_hex(parts[1]) or len(parts[1]) > 32:
+            return None, None
+        parent = parts[1]
+    return parts[0], parent
+
+
+def format_trace_header(span: "Span") -> str:
+    """Render ``trace_id:span_id`` for the outgoing hop."""
+    return f"{span.trace_id}:{span.span_id}"
+
+
+class Span:
+    """One timed phase of a trace; a node in the request's span tree."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "annotations",
+        "children",
+        "started_unix",
+        "duration_ms",
+        "_t0",
+        "_root",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent: Optional["Span"] = None,
+    ) -> None:
+        self.name = name
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id: Optional[str] = parent.span_id
+            self._root: "Span" = parent._root
+        else:
+            self.trace_id = trace_id or new_trace_id()
+            self.parent_id = None
+            self._root = self
+        self.span_id = new_span_id()
+        self.annotations: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+        self.started_unix = time.time()
+        self.duration_ms: Optional[float] = None
+        self._t0 = time.perf_counter()
+
+    @property
+    def root(self) -> "Span":
+        return self._root
+
+    def child(self, name: str) -> "Span":
+        span = Span(name, parent=self)
+        self.children.append(span)
+        return span
+
+    def annotate(self, **kv: Any) -> None:
+        self.annotations.update(kv)
+
+    def elapsed_ms(self) -> float:
+        """Duration so far (or the final duration once finished)."""
+        if self.duration_ms is not None:
+            return self.duration_ms
+        return (time.perf_counter() - self._t0) * 1000.0
+
+    def finish(self) -> "Span":
+        if self.duration_ms is None:
+            self.duration_ms = (time.perf_counter() - self._t0) * 1000.0
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        stack = [self]
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "duration_ms": round(self.elapsed_ms(), 3),
+        }
+        if self.annotations:
+            out["annotations"] = dict(self.annotations)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, duration_ms={self.duration_ms})"
+        )
+
+
+def current_span() -> Optional[Span]:
+    """The ambient span, or ``None`` outside any request scope."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def request_scope(
+    name: str,
+    header: Optional[str] = None,
+    trace_id: Optional[str] = None,
+) -> Iterator[Span]:
+    """Open the *root* span of a request and install it ambiently.
+
+    ``header`` (an incoming ``X-Repro-Trace`` value) wins over
+    ``trace_id``; absent both, a fresh id is minted.  The span is
+    finished on exit — the handler reads ``span.duration_ms`` / emits
+    the sink record *after* the ``with`` block.
+    """
+    if header is not None:
+        parsed_id, parent_id = parse_trace_header(header)
+        if parsed_id is not None:
+            trace_id = parsed_id
+    else:
+        parent_id = None
+    span = Span(name, trace_id=trace_id)
+    if header is not None and parent_id is not None:
+        span.parent_id = parent_id
+    handle = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT.reset(handle)
+        span.finish()
+
+
+@contextlib.contextmanager
+def phase(name: str, **annotations: Any) -> Iterator[Optional[Span]]:
+    """Open a child span under the ambient one; no-op without a trace.
+
+    Yields the new span (or ``None`` when tracing is inactive, which
+    costs one ``ContextVar.get``).
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        yield None
+        return
+    span = parent.child(name)
+    if annotations:
+        span.annotations.update(annotations)
+    handle = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT.reset(handle)
+        span.finish()
+
+
+@contextlib.contextmanager
+def attach(span: Optional[Span]) -> Iterator[Optional[Span]]:
+    """Re-enter ``span`` in another context (the executor-thunk hop).
+
+    ``attach(None)`` is a no-op scope, so callers can capture
+    ``current_span()`` unconditionally and wrap the thunk either way.
+    """
+    if span is None:
+        yield None
+        return
+    handle = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT.reset(handle)
+
+
+def annotate(**kv: Any) -> None:
+    """Annotate the ambient span; silently no-op outside a trace."""
+    span = _CURRENT.get()
+    if span is not None:
+        span.annotations.update(kv)
+
+
+def annotate_root(**kv: Any) -> None:
+    """Annotate the *root* of the ambient trace (feature vectors live
+    on the root so the sink record finds them in one place)."""
+    span = _CURRENT.get()
+    if span is not None:
+        span.root.annotations.update(kv)
+
+
+def record_phase(name: str, duration_ms: float, **annotations: Any) -> Optional[Span]:
+    """Append an already-measured phase as a finished child span.
+
+    For code that timed work before tracing could wrap it — e.g. the
+    shared cache knows an adjacency build's duration only at publish
+    time.  No-op (returns ``None``) outside a trace.
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        return None
+    span = parent.child(name)
+    span.duration_ms = float(duration_ms)
+    if annotations:
+        span.annotations.update(annotations)
+    return span
+
+
+def phase_totals(root: Span) -> Dict[str, float]:
+    """Sum finished descendant durations by span name (ms).
+
+    The root itself is excluded — it is the total, not a phase.  This
+    feeds the ``Server-Timing`` response header: ``build`` is the
+    ``adjacency-build`` (+ ``shm-attach``) total, ``select`` is the
+    ``selection`` total net of builds nested inside it.
+    """
+    totals: Dict[str, float] = {}
+    for span in root.walk():
+        if span is root or span.duration_ms is None:
+            continue
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration_ms
+    return totals

@@ -253,6 +253,24 @@ class SelectRequest:
             return "Basic-DisC (Pruned)"
         return METHOD_NAMES[method]
 
+    def trace_features(self) -> dict:
+        """The request's slice of the trace feature vector.
+
+        The observability sink (:mod:`repro.obs.sink`) records one
+        feature dict per request — this contributes the fields only the
+        request knows (radius/method/engine); the serving state adds
+        the dataset-side ones (name, n, metric, live version).  Kept
+        flat and JSON-scalar so a policy-fitting campaign can consume
+        the JSONL rows directly.
+        """
+        engine = EngineSpec.from_dict(self.engine)
+        return {
+            "radius": float(self.radius),
+            "method": self.method,
+            "engine": engine.name,
+            "engine_options": dict(engine.options),
+        }
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         return {

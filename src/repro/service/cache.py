@@ -71,6 +71,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.cancellation import OperationCancelled, current_token
 from repro.engines.cache import AdjacencyCache
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.resilience import BuildFailed, CircuitBreaker, CircuitOpen
 
 __all__ = [
@@ -255,6 +257,34 @@ class SharedCacheManager:
         self.shm_hits = 0
         self.shm_stores = 0
         self.migrations = 0
+        # Prometheus-side mirrors of the counters above.  The metrics
+        # lock is a leaf (nothing is acquired while it is held), so
+        # bumping these under self._lock cannot create a lock-order
+        # cycle; registration is get-or-create, so every manager in the
+        # process shares one family.
+        metrics = obs_metrics.registry()
+        self._m_lookups = metrics.counter(
+            "repro_cache_lookups_total",
+            "Shared adjacency cache lookups by outcome.",
+            ("outcome",),
+        )
+        self._m_builds = metrics.counter(
+            "repro_adjacency_builds_total",
+            "Adjacency builds completed by cache-owning threads.",
+        )
+        self._m_shm_attaches = metrics.counter(
+            "repro_shm_attaches_total",
+            "Adjacencies attached from the cross-process shm tier.",
+        )
+        self._m_migrations = metrics.counter(
+            "repro_cache_migrations_total",
+            "Cache buckets carried across live-dataset versions.",
+        )
+        self._m_phase = metrics.histogram(
+            "repro_phase_duration_seconds",
+            "Measured duration of one traced request phase.",
+            ("phase",),
+        )
 
     # ------------------------------------------------------------------
     def view(self, dataset_id: str, metric) -> "SharedCacheView":
@@ -306,6 +336,7 @@ class SharedCacheManager:
         """Account a degraded stale hit.  Caller holds ``self._lock``."""
         self.stale_served += 1
         self.hits += 1
+        self._m_lookups.inc(outcome="stale")
         token = current_token()
         if token is not None:
             token.mark_degraded(f"stale-adjacency:{reason}")
@@ -325,6 +356,7 @@ class SharedCacheManager:
         ``self._lock``."""
         self._pending[key] = _PendingBuild(threading.get_ident())
         self.misses += 1
+        self._m_lookups.inc(outcome="miss")
 
     def _rebuild_too_tight(self, key: CacheKey) -> bool:
         """Would a rebuild overshoot the ambient deadline?"""
@@ -386,12 +418,14 @@ class SharedCacheManager:
                 value = self._fresh_value(key)
                 if value is not None:
                     self.hits += 1
+                    self._m_lookups.inc(outcome="hit")
                     return value
                 pending = self._pending.get(key)
                 if pending is not None and pending.owner == threading.get_ident():
                     # Re-entrant miss (builder probing again): keep
                     # ownership, let it proceed with its build.
                     self.misses += 1
+                    self._m_lookups.inc(outcome="miss")
                     return None
                 if pending is None:
                     # No build in flight: we would become the builder —
@@ -451,6 +485,7 @@ class SharedCacheManager:
                 if value is not None:
                     self.hits += 1
                     self.coalesced_builds += 1
+                    self._m_lookups.inc(outcome="hit")
                     return value
                 if key not in self._pending:
                     self._claim(key)
@@ -466,6 +501,7 @@ class SharedCacheManager:
                 self.hits += 1
             else:
                 self.misses += 1
+        self._m_lookups.inc(outcome="hit" if value is not None else "miss")
         if value is None:
             return None
         return self._materialise(key, value)
@@ -480,7 +516,8 @@ class SharedCacheManager:
         publish.  Any backing failure degrades to a local build.
         """
         try:
-            status, got = self.backing.load_or_claim(key)
+            with obs_trace.phase("shm-attach"):
+                status, got = self.backing.load_or_claim(key)
         except BaseException:  # repro-lint: disable=swallowed-cancellation -- deliberate: fall through to the local build, whose own checkpoints abort promptly under the same token
             # Includes OperationCancelled from the wait loop's
             # checkpoints: any backing failure degrades to a local
@@ -490,6 +527,7 @@ class SharedCacheManager:
             self._install(key, got, count_build=False)
             with self._lock:
                 self.shm_hits += 1
+            self._m_shm_attaches.inc()
             return got
         if status == "claim":
             with self._lock:
@@ -523,6 +561,15 @@ class SharedCacheManager:
             self._evict()
         if pending is not None:
             pending.event.set()
+        if count_build:
+            self._m_builds.inc()
+            if pending is not None:
+                # The build ran inside the engine, below any span seam;
+                # reconstruct it retroactively from the claim timestamp
+                # so traces still show where a slow request's time went.
+                build_s = max(0.0, now - pending.claimed_at)
+                obs_trace.record_phase("adjacency-build", build_s * 1000.0)
+                self._m_phase.observe(build_s, phase="adjacency-build")
 
     def put(self, key: CacheKey, value) -> None:
         """Insert a built adjacency; wakes any coalesced waiters and
@@ -645,6 +692,7 @@ class SharedCacheManager:
                 self._stale.pop(new_key, None)
                 self.migrations += 1
                 self._evict()
+            self._m_migrations.inc()
             migrated += 1
         with self._lock:
             for key in old_keys:
@@ -802,7 +850,8 @@ class SharedCacheView(AdjacencyCache):
 
     # ------------------------------------------------------------------
     def get(self, key: float):
-        value = self.manager.get(self._key(key))
+        with obs_trace.phase("cache-lookup", radius=float(key)):
+            value = self.manager.get(self._key(key))
         with self._lock:
             if value is None:
                 self.misses += 1

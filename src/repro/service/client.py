@@ -28,7 +28,39 @@ from typing import Optional
 
 from repro.service.resilience import RetryPolicy
 
-__all__ = ["ServiceClient", "ServiceError", "RetryPolicy", "wait_until_healthy"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "RetryPolicy",
+    "parse_server_timing",
+    "wait_until_healthy",
+]
+
+
+def parse_server_timing(value: Optional[str]) -> Optional[dict]:
+    """Parse a ``Server-Timing`` header into ``{metric: milliseconds}``.
+
+    The server emits ``total;dur=41.7, build;dur=30.4, select;dur=7.9``;
+    entries without a parseable ``dur`` are skipped.  Returns ``None``
+    for an absent/empty header so callers can tell "no header" from
+    "zero durations".
+    """
+    if not value:
+        return None
+    out: dict = {}
+    for part in value.split(","):
+        name, _, params = part.strip().partition(";")
+        name = name.strip()
+        if not name:
+            continue
+        for param in params.split(";"):
+            key, _, raw = param.strip().partition("=")
+            if key.strip() == "dur":
+                try:
+                    out[name] = float(raw)
+                except ValueError:
+                    pass
+    return out or None
 
 #: Connection-level failures worth retrying (the server may have closed
 #: a keep-alive socket, reset mid-response, or not be up yet).
@@ -100,6 +132,12 @@ class ServiceClient:
         #: TCP connections this client has opened over its lifetime —
         #: 1 for an all-keep-alive session; +1 per reset-and-reopen.
         self.opened_connections = 0
+        #: Parsed ``Server-Timing`` of the most recent response
+        #: (``{"total": ms, "build": ms, "select": ms}``) or None.
+        self.last_server_timing: Optional[dict] = None
+        #: ``X-Repro-Trace`` value of the most recent response
+        #: (``trace_id:span_id``) or None — join key into the trace log.
+        self.last_trace: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -125,6 +163,10 @@ class ServiceClient:
                 self.close()
                 if attempt:
                     raise
+        self.last_server_timing = parse_server_timing(
+            response.getheader("Server-Timing")
+        )
+        self.last_trace = response.getheader("X-Repro-Trace")
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
         return response.status, decoded
 

@@ -76,6 +76,8 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro import __version__
+from repro.obs import trace as obs_trace
+from repro.obs.sink import TraceSink, build_record
 from repro.service.faults import InjectedFault
 from repro.service.resilience import (
     BuildFailed,
@@ -128,13 +130,16 @@ _REASONS = {
 
 async def read_http_request(
     reader,
-) -> Optional[Tuple[str, str, bool, Optional[dict]]]:
+) -> Optional[Tuple[str, str, bool, Optional[dict], Dict[str, str]]]:
     """Parse one HTTP/1.1 request from a stream; None on clean EOF.
 
-    Shared by :class:`DiscServer` and the supervisor front (both speak
-    the same minimal dialect).  Framing errors that make the connection
-    unusable surface as sentinel paths (``\\x00too-large`` etc.) so the
-    caller can still answer before dropping the connection.
+    Returns ``(method, path, keep_alive, body, headers)`` — header
+    names lowercased, so the trace header is ``headers.get
+    ("x-repro-trace")``.  Shared by :class:`DiscServer` and the
+    supervisor front (both speak the same minimal dialect).  Framing
+    errors that make the connection unusable surface as sentinel paths
+    (``\\x00too-large`` etc.) so the caller can still answer before
+    dropping the connection.
     """
     request_line = await reader.readline()
     if not request_line:
@@ -164,10 +169,10 @@ async def read_http_request(
     if length < 0:
         # Unparsable/negative Content-Length: answer 400 and drop
         # the connection (the body framing is unknowable).
-        return method.upper(), "\x00bad-length", False, None
+        return method.upper(), "\x00bad-length", False, None, headers
     if length > MAX_BODY_BYTES:
         # Drain enough to answer, then force-close the connection.
-        return method.upper(), "\x00too-large", False, None
+        return method.upper(), "\x00too-large", False, None, headers
     body: Optional[dict] = None
     if length:
         raw = await reader.readexactly(length)
@@ -176,20 +181,41 @@ async def read_http_request(
         except (UnicodeDecodeError, json.JSONDecodeError):
             body = {"\x00invalid-json": True}
     path = target.split("?", 1)[0]
-    return method.upper(), path, keep_alive, body
+    return method.upper(), path, keep_alive, body, headers
 
 
 async def write_http_response(
-    writer, status: int, payload: dict, keep_alive: bool
+    writer,
+    status: int,
+    payload: dict,
+    keep_alive: bool,
+    extra_headers=None,
 ) -> None:
-    """Serialise one JSON response (module-level twin of the reader)."""
-    body = _json_bytes(payload)
+    """Serialise one response (module-level twin of the reader).
+
+    ``payload`` is JSON unless it carries the ``\\x00text`` sentinel
+    key, in which case that value goes out verbatim as Prometheus-style
+    ``text/plain`` (the ``/metrics`` endpoint).  ``extra_headers`` is
+    an iterable of ``(name, value)`` pairs — ``X-Repro-Trace`` and
+    ``Server-Timing`` ride here.
+    """
+    text = payload.get("\x00text") if isinstance(payload, dict) else None
+    if text is not None:
+        body = text.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = _json_bytes(payload)
+        content_type = "application/json"
+    extra = ""
+    for name, value in extra_headers or ():
+        extra += f"{name}: {value}\r\n"
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"Server: repro-disc/{__version__}\r\n"
+        f"{extra}"
         "\r\n"
     ).encode("latin-1")
     writer.write(head + body)
@@ -229,11 +255,35 @@ class DiscServer:
         port: int = 8722,
         *,
         drain_s: float = 5.0,
+        trace_log: Optional[str] = None,
+        trace_sink: Optional[TraceSink] = None,
     ) -> None:
         self.state = state
         self.host = host
         self.port = port
         self.drain_s = float(drain_s)
+        if trace_sink is None and trace_log:
+            trace_sink = TraceSink(trace_log)
+        self.trace_sink = trace_sink
+        metrics = state.metrics
+        self._m_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests seen, by endpoint",
+            labelnames=("endpoint",),
+        )
+        self._m_responses = metrics.counter(
+            "repro_http_responses_total",
+            "HTTP responses written, by status",
+            labelnames=("status",),
+        )
+        self._m_duration = metrics.histogram(
+            "repro_request_duration_seconds",
+            "Wall-clock request latency, by path",
+            labelnames=("path",),
+        )
+        self._m_traces = metrics.counter(
+            "repro_traces_written_total", "Trace records written to the sink"
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight: Dict[str, asyncio.Future] = {}
         self._idem_inflight: Dict[str, asyncio.Future] = {}
@@ -290,10 +340,15 @@ class DiscServer:
                 parsed = await self._read_request(reader)
                 if parsed is None:
                     break
-                method, path, keep_alive, body = parsed
+                method, path, keep_alive, body, headers = parsed
                 self._active_requests += 1
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    self._m_requests.inc(endpoint=f"{method} {path[:32]}")
+                    with obs_trace.request_scope(
+                        "request",
+                        header=headers.get("x-repro-trace"),
+                    ) as root:
+                        status, payload = await self._dispatch(method, path, body)
                     faults = self.state.faults
                     if faults is not None and faults.should_reset_connection():
                         # Injected connection reset: the work happened,
@@ -302,7 +357,15 @@ class DiscServer:
                         writer.transport.abort()
                         return
                     self.state.count_response(status)
-                    await self._write_response(writer, status, payload, keep_alive)
+                    self._m_responses.inc(status=status)
+                    self._m_duration.observe(
+                        root.elapsed_ms() / 1000.0, path=self._metric_path(path)
+                    )
+                    await self._write_response(
+                        writer, status, payload, keep_alive,
+                        extra_headers=self._trace_headers(root),
+                    )
+                    self._emit_trace(root, status, method, path)
                 finally:
                     self._active_requests -= 1
                 if not keep_alive:
@@ -327,13 +390,57 @@ class DiscServer:
 
     async def _read_request(
         self, reader
-    ) -> Optional[Tuple[str, str, bool, Optional[dict]]]:
+    ) -> Optional[Tuple[str, str, bool, Optional[dict], Dict[str, str]]]:
         return await read_http_request(reader)
 
     async def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
+        self, writer, status: int, payload: dict, keep_alive: bool,
+        extra_headers=None,
     ) -> None:
-        await write_http_response(writer, status, payload, keep_alive)
+        await write_http_response(
+            writer, status, payload, keep_alive, extra_headers=extra_headers
+        )
+
+    @staticmethod
+    def _metric_path(path: str) -> str:
+        """Bound the duration histogram's label cardinality."""
+        if path in ("/select", "/zoom", "/mutate", "/stats", "/healthz",
+                    "/datasets", "/metrics"):
+            return path
+        return "other"
+
+    def _trace_headers(self, root: obs_trace.Span):
+        """``X-Repro-Trace`` + ``Server-Timing`` for one finished root.
+
+        ``build`` totals the adjacency-build and shm-attach phases
+        wherever they nested; ``select`` is the selection phase net of
+        builds that ran inside it — so the client's load harness reads
+        measured phase costs instead of inferring them.
+        """
+        totals = obs_trace.phase_totals(root)
+        build_ms = totals.get("adjacency-build", 0.0) + totals.get("shm-attach", 0.0)
+        select_ms = max(totals.get("selection", 0.0) - build_ms, 0.0)
+        timing = (
+            f"total;dur={root.elapsed_ms():.3f}, "
+            f"build;dur={build_ms:.3f}, "
+            f"select;dur={select_ms:.3f}"
+        )
+        return [
+            (obs_trace.TRACE_HEADER, obs_trace.format_trace_header(root)),
+            ("Server-Timing", timing),
+        ]
+
+    def _emit_trace(self, root: obs_trace.Span, status: int, method: str,
+                    path: str) -> None:
+        if self.trace_sink is None:
+            return
+        self.trace_sink.emit(
+            build_record(
+                root, status=status, method=method, path=path,
+                worker=self.state.identity,
+            )
+        )
+        self._m_traces.inc()
 
     # ------------------------------------------------------------------
     # Routing
@@ -355,6 +462,8 @@ class DiscServer:
                     return 200, self._healthz()
                 if path == "/stats":
                     return 200, self.state.stats()
+                if path == "/metrics":
+                    return 200, {"\x00text": self.state.metrics.render()}
                 if path == "/datasets":
                     return 200, {"datasets": self.state.registry.describe()}
                 if path in ("/select", "/zoom", "/mutate"):
@@ -379,7 +488,7 @@ class DiscServer:
                     return await self._zoom(body or {})
                 if path == "/mutate":
                     return await self._mutate(body or {})
-                if path in ("/healthz", "/stats", "/datasets"):
+                if path in ("/healthz", "/stats", "/datasets", "/metrics"):
                     return 405, error_body(
                         "method_not_allowed", f"{path} requires GET"
                     )
@@ -426,7 +535,8 @@ class DiscServer:
     # ------------------------------------------------------------------
     async def _select(self, payload: dict) -> Tuple[int, dict]:
         payload, timeout_ms, idem = extract_request_meta(payload)
-        handle, request = self.state.validate_select(payload)
+        with obs_trace.phase("validate"):
+            handle, request = self.state.validate_select(payload)
         token = self.state.deadline_token(timeout_ms)
         key = canonical_key("select", handle.dataset_id, request.to_dict())
         shared, coalesced = await self._single_flight(
@@ -435,13 +545,16 @@ class DiscServer:
         )
         response = dict(shared)
         response["coalesced"] = coalesced
+        if coalesced:
+            obs_trace.annotate_root(coalesced=True)
         return 200, response
 
     async def _zoom(self, payload: dict) -> Tuple[int, dict]:
         payload, timeout_ms, idem = extract_request_meta(payload)
-        handle, request, to_radius, zoom_options, previous = (
-            self.state.validate_zoom(payload)
-        )
+        with obs_trace.phase("validate"):
+            handle, request, to_radius, zoom_options, previous = (
+                self.state.validate_zoom(payload)
+            )
         token = self.state.deadline_token(timeout_ms)
         key_payload = {
             "request": request.to_dict(), "to": to_radius, **zoom_options,
@@ -460,11 +573,14 @@ class DiscServer:
         )
         response = dict(shared)
         response["coalesced"] = coalesced
+        if coalesced:
+            obs_trace.annotate_root(coalesced=True)
         return 200, response
 
     async def _mutate(self, payload: dict) -> Tuple[int, dict]:
         payload, timeout_ms, idem = extract_request_meta(payload)
-        live, inserts, deletes, repair = self.state.validate_mutate(payload)
+        with obs_trace.phase("validate"):
+            live, inserts, deletes, repair = self.state.validate_mutate(payload)
         token = self.state.deadline_token(timeout_ms)
         # A mutation is a state transition, never a cacheable read: two
         # identical-looking batches are two distinct mutations, so the
@@ -556,8 +672,17 @@ class DiscServer:
         if idem is not None:
             self._idem_inflight[idem] = future
         state.adjust_inflight(1)
+        # run_in_executor does not copy contextvars: capture the
+        # request's span here and re-enter it inside the worker thread
+        # so compute phases nest under the request's trace.
+        parent_span = obs_trace.current_span()
+
+        def traced_thunk():
+            with obs_trace.attach(parent_span):
+                return thunk()
+
         try:
-            result = await loop.run_in_executor(state.executor, thunk)
+            result = await loop.run_in_executor(state.executor, traced_thunk)
         except Exception as exc:
             if not future.done():
                 future.set_exception(exc)
@@ -613,6 +738,8 @@ class RunningService:
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=30)
         self._loop.close()
+        if self.server.trace_sink is not None:
+            self.server.trace_sink.close()
         self.state.close()
         self._thread = None
 
@@ -624,7 +751,10 @@ class RunningService:
 
 
 def start_in_thread(
-    state: ServiceState, host: str = "127.0.0.1", port: int = 0
+    state: ServiceState,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    trace_log: Optional[str] = None,
 ) -> RunningService:
     """Start a :class:`DiscServer` on a background event-loop thread.
 
@@ -632,7 +762,7 @@ def start_in_thread(
     the loop in the foreground instead (see :mod:`repro.cli`).
     """
     loop = asyncio.new_event_loop()
-    server = DiscServer(state, host=host, port=port)
+    server = DiscServer(state, host=host, port=port, trace_log=trace_log)
     started = threading.Event()
 
     def _run() -> None:

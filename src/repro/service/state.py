@@ -35,6 +35,8 @@ from typing import Dict, Optional, Tuple
 from repro.cancellation import CancellationToken, cancellation_scope
 from repro.core import zoom_in, zoom_out
 from repro.core.result import DiscResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.requests import METHODS, EngineSpec, SelectRequest
 from repro.service.cache import LazyMigration, SharedCacheManager
 from repro.service.registry import DatasetHandle, DatasetRegistry
@@ -132,6 +134,7 @@ class ServiceState:
         max_timeout_ms: Optional[float] = None,
         faults=None,
         identity: Optional[dict] = None,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -158,6 +161,21 @@ class ServiceState:
         #: under ``/stats`` -> ``worker`` so the front's rollup can
         #: label each worker's counters.
         self.identity = dict(identity) if identity else None
+        #: Metrics registry shared with the server/cache instruments;
+        #: defaults to the process-wide one (``GET /metrics``), but
+        #: tests can pass an isolated registry.
+        self.metrics = metrics if metrics is not None else obs_metrics.registry()
+        self._m_phase = self.metrics.histogram(
+            "repro_phase_duration_seconds",
+            "Measured compute-phase durations, by phase",
+            labelnames=("phase",),
+        )
+        self._m_computations = self.metrics.counter(
+            "repro_computations_total", "Selections/zooms/mutations executed"
+        )
+        self._m_degraded = self.metrics.counter(
+            "repro_degraded_responses_total", "Responses served from the stale tier"
+        )
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="disc-service"
         )
@@ -198,10 +216,12 @@ class ServiceState:
     def count_computation(self) -> None:
         with self._counter_lock:
             self.computations += 1
+        self._m_computations.inc()
 
     def count_degraded(self) -> None:
         with self._counter_lock:
             self.degraded_responses += 1
+        self._m_degraded.inc()
 
     def count_mutation(self) -> None:
         with self._counter_lock:
@@ -556,10 +576,14 @@ class ServiceState:
             if self.faults is not None:
                 self.faults.on_compute()
             index = self.ensure_index(handle, request.engine)
+            self._annotate_features(handle, request)
             algorithm = METHODS[request.method]
-            result = algorithm(
-                index, request.radius, **dict(request.method_options)
-            )
+            with obs_trace.phase("selection", method=request.method):
+                sel0 = time.perf_counter()
+                result = algorithm(
+                    index, request.radius, **dict(request.method_options)
+                )
+            self._m_phase.observe(time.perf_counter() - sel0, phase="selection")
         degraded = token.degraded is not None
         if degraded:
             self.count_degraded()
@@ -572,6 +596,24 @@ class ServiceState:
         }
         self._stamp_live(handle, response, result)
         return response
+
+    def _annotate_features(self, handle: DatasetHandle, request: SelectRequest) -> None:
+        """Stamp the request feature vector on the trace root.
+
+        These are the workload features the ROADMAP's adaptive-policy
+        item needs next to the measured phase timings: the sink record
+        carries them under ``features``.  No-op outside a trace.
+        """
+        if obs_trace.current_span() is None:
+            return
+        dataset = handle.dataset
+        features = request.trace_features()
+        features["dataset"] = handle.dataset_id
+        features["n"] = int(dataset.n)
+        features["metric"] = str(getattr(dataset.metric, "name", dataset.metric))
+        if handle.spec.get("live"):
+            features["live_version"] = handle.spec.get("version")
+        obs_trace.annotate_root(features=features)
 
     @staticmethod
     def _stamp_live(handle: DatasetHandle, response: dict, result) -> None:
@@ -619,25 +661,30 @@ class ServiceState:
             if self.faults is not None:
                 self.faults.on_compute()
             index = self.ensure_index(handle, request.engine)
-            if previous is not None:
-                first = self._result_from_previous(request, previous)
-            else:
-                algorithm = METHODS[request.method]
-                first = algorithm(
-                    index, request.radius, **dict(request.method_options)
-                )
-            if to_radius < request.radius:
-                direction = "in"
-                adapted = zoom_in(
-                    index, first, to_radius,
-                    greedy=zoom_options.get("greedy", True),
-                )
-            else:
-                direction = "out"
-                adapted = zoom_out(
-                    index, first, to_radius,
-                    greedy_variant=zoom_options.get("variant", "a"),
-                )
+            self._annotate_features(handle, request)
+            obs_trace.annotate_root(to_radius=float(to_radius))
+            with obs_trace.phase("selection", method=request.method):
+                sel0 = time.perf_counter()
+                if previous is not None:
+                    first = self._result_from_previous(request, previous)
+                else:
+                    algorithm = METHODS[request.method]
+                    first = algorithm(
+                        index, request.radius, **dict(request.method_options)
+                    )
+                if to_radius < request.radius:
+                    direction = "in"
+                    adapted = zoom_in(
+                        index, first, to_radius,
+                        greedy=zoom_options.get("greedy", True),
+                    )
+                else:
+                    direction = "out"
+                    adapted = zoom_out(
+                        index, first, to_radius,
+                        greedy_variant=zoom_options.get("variant", "a"),
+                    )
+            self._m_phase.observe(time.perf_counter() - sel0, phase="selection")
         degraded = token.degraded is not None
         if degraded:
             self.count_degraded()
@@ -729,13 +776,19 @@ class ServiceState:
 
                 migrated = 0
                 if self.cache is not None:
-                    migrated = self.cache.migrate_dataset(
-                        old_id, new_id, patcher
-                    )
+                    with obs_trace.phase("cache-migrate"):
+                        migrated = self.cache.migrate_dataset(
+                            old_id, new_id, patcher
+                        )
                 self._drop_stale_live_indexes(live.name, new_id)
                 repair_out = None
                 if repair is not None:
-                    repair_out = self._repair_selection(live, repair, delta)
+                    with obs_trace.phase("repair"):
+                        rep0 = time.perf_counter()
+                        repair_out = self._repair_selection(live, repair, delta)
+                    self._m_phase.observe(
+                        time.perf_counter() - rep0, phase="repair"
+                    )
         self.count_mutation()
         degraded = token.degraded is not None
         if degraded:
@@ -821,10 +874,15 @@ class ServiceState:
             "default_timeout_ms": self.default_timeout_ms,
             "max_timeout_ms": self.max_timeout_ms,
             **counters,
+            # Executor backlog: computations admitted but not yet
+            # running (inflight counts queued + running; this isolates
+            # the queued component the rollup was blind to).
+            "queue_depth": self.executor._work_queue.qsize(),
             "indexes": indexes,
             "cache": None if self.cache is None else self.cache.cache_info(),
             "faults": None if self.faults is None else self.faults.counters(),
             "datasets": self.registry.describe(),
+            "metrics": self.metrics.snapshot(),
         }
 
     def close(self) -> None:

@@ -59,6 +59,9 @@ from collections import deque
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.sink import TraceSink, build_record
 from repro.service.resilience import error_body
 from repro.service.server import (
     _json_bytes,
@@ -390,6 +393,7 @@ class Supervisor:
         backoff_cap_s: float = BACKOFF_CAP_S,
         max_replays: int = DEFAULT_MAX_REPLAYS,
         worker_start_timeout_s: float = WORKER_START_TIMEOUT_S,
+        trace_log: Optional[str] = None,
     ) -> None:
         if not worker_configs:
             raise ValueError("at least one worker config is required")
@@ -436,6 +440,23 @@ class Supervisor:
         self._mutation_logs: Dict[str, List[dict]] = {}
         #: Per-dataset ordering: one mutation fan-out at a time.
         self._mutation_locks: Dict[str, asyncio.Lock] = {}
+        #: Front-side trace sink (workers write their own `.w<k>` logs).
+        self.trace_sink = None if trace_log is None else TraceSink(trace_log)
+        metrics = obs_metrics.registry()
+        self._m_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests received, by endpoint.",
+            ("endpoint",),
+        )
+        self._m_responses = metrics.counter(
+            "repro_http_responses_total",
+            "HTTP responses written, by status code.",
+            ("status",),
+        )
+        self._m_replays = metrics.counter(
+            "repro_request_replays_total",
+            "Requests replayed onto another worker after a transport failure.",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -506,6 +527,8 @@ class Supervisor:
                     slot.process.wait(timeout=5.0)
 
         await loop.run_in_executor(None, _reap)
+        if self.trace_sink is not None:
+            self.trace_sink.close()
 
     # ------------------------------------------------------------------
     # Connection handling (mirrors DiscServer's loop)
@@ -519,13 +542,29 @@ class Supervisor:
                 parsed = await read_http_request(reader)
                 if parsed is None:
                     break
-                method, path, keep_alive, body = parsed
+                method, path, keep_alive, body, headers = parsed
                 self._active_requests += 1
                 try:
-                    status, payload = await self._route(method, path, body)
+                    with obs_trace.request_scope(
+                        "request", header=headers.get("x-repro-trace")
+                    ) as root:
+                        status, payload = await self._route(method, path, body)
                     key = str(status)
                     self.responses[key] = self.responses.get(key, 0) + 1
-                    await write_http_response(writer, status, payload, keep_alive)
+                    self._m_responses.inc(status=status)
+                    await write_http_response(
+                        writer,
+                        status,
+                        payload,
+                        keep_alive,
+                        extra_headers=[
+                            (
+                                obs_trace.TRACE_HEADER,
+                                obs_trace.format_trace_header(root),
+                            )
+                        ],
+                    )
+                    self._emit_trace(root, status, method, path)
                 finally:
                     self._active_requests -= 1
                 if not keep_alive:
@@ -557,11 +596,14 @@ class Supervisor:
             return 400, error_body("bad_request", "request body is not valid JSON")
         endpoint = f"{method} {path}"
         self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+        self._m_requests.inc(endpoint=endpoint[:48])
         if method == "GET":
             if path == "/healthz":
                 return 200, self._healthz()
             if path == "/stats":
                 return 200, await self._rollup()
+            if path == "/metrics":
+                return 200, {"\x00text": await self._metrics_text()}
             if path == "/datasets":
                 return await self._forward_get(path)
             if path in ("/select", "/zoom", "/mutate"):
@@ -572,7 +614,7 @@ class Supervisor:
                 return await self._compute(path, body)
             if path == "/mutate":
                 return await self._mutate_fanout(body)
-            if path in ("/healthz", "/stats", "/datasets"):
+            if path in ("/healthz", "/stats", "/datasets", "/metrics"):
                 return 405, error_body("method_not_allowed", f"{path} requires GET")
             return 404, error_body("not_found", f"unknown path {path!r}")
         return 405, error_body("method_not_allowed", f"unsupported method {method}")
@@ -590,6 +632,36 @@ class Supervisor:
             "inflight": sum(slot.inflight for slot in self.slots),
             "uptime_s": round(time.time() - self.started_at, 3),
         }
+
+    def _emit_trace(self, root, status: int, method: str, path: str) -> None:
+        """Write the front's record for one finished request (runs on
+        the event loop; the sink itself is thread-safe)."""
+        if self.trace_sink is None:
+            return
+        self.trace_sink.emit(
+            build_record(
+                root, status=status, method=method, path=path,
+                worker={"role": "front"},
+            )
+        )
+
+    async def _metrics_text(self) -> str:
+        """The cluster-wide Prometheus exposition: the front's own
+        registry merged with every healthy worker's snapshot (carried
+        inside each worker's ``/stats`` payload)."""
+        snaps = [obs_metrics.registry().snapshot()]
+        for slot in self.slots:
+            if slot.state != "healthy":
+                continue
+            try:
+                status, payload = await self._proxy(slot, "GET", "/stats", b"")
+            except _TRANSPORT_ERRORS:
+                continue
+            if status == 200 and isinstance(payload, dict):
+                snap = payload.get("metrics")
+                if isinstance(snap, dict):
+                    snaps.append(snap)
+        return obs_metrics.render_snapshot(obs_metrics.merge_snapshots(snaps))
 
     # ------------------------------------------------------------------
     # Routing + failover
@@ -659,7 +731,10 @@ class Supervisor:
                 )
             slot.inflight += 1
             try:
-                status, payload = await self._proxy(slot, "POST", path, raw)
+                with obs_trace.phase(
+                    "proxy", worker=slot.id, attempt=replays + 1
+                ):
+                    status, payload = await self._proxy(slot, "POST", path, raw)
             except _TRANSPORT_ERRORS:
                 # The worker died (or its socket did) with our request
                 # in flight.  If the process is already a corpse, start
@@ -679,7 +754,9 @@ class Supervisor:
                         break
                     await asyncio.sleep(0.02)
                 self.replays += 1
+                self._m_replays.inc()
                 replays += 1
+                obs_trace.annotate_root(replayed=True, replays=replays)
                 if replays > self.max_replays:
                     return 503, error_body(
                         "replay_exhausted",
@@ -804,11 +881,24 @@ class Supervisor:
         generation = slot.generation
         reader, writer = await self._checkout(slot)
         try:
+            # Propagate the ambient trace to the worker: rebuilt on
+            # every attempt, so a replayed request carries the same
+            # trace id to whichever replica answers it.  Heartbeat
+            # probes and rollups run outside any request scope and add
+            # no header.
+            span = obs_trace.current_span()
+            trace_line = (
+                ""
+                if span is None
+                else f"{obs_trace.TRACE_HEADER}: "
+                f"{obs_trace.format_trace_header(span)}\r\n"
+            )
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(raw)}\r\n"
+                f"{trace_line}"
                 "Connection: keep-alive\r\n"
                 "\r\n"
             ).encode("latin-1")
@@ -995,10 +1085,15 @@ class Supervisor:
         totals = {
             "computations": 0,
             "coalesced_requests": 0,
+            "degraded_responses": 0,
             "builds": 0,
             "shm_hits": 0,
             "shm_stores": 0,
+            "migrations": 0,
+            "stale_served": 0,
+            "corrupt_entries": 0,
             "inflight": 0,
+            "queue_depth": 0,
         }
         for slot in self.slots:
             entry = slot.describe()
@@ -1014,11 +1109,20 @@ class Supervisor:
                     totals["coalesced_requests"] += (
                         payload.get("coalesced_requests", 0) or 0
                     )
+                    totals["degraded_responses"] += (
+                        payload.get("degraded_responses", 0) or 0
+                    )
                     totals["inflight"] += payload.get("inflight", 0) or 0
+                    totals["queue_depth"] += payload.get("queue_depth", 0) or 0
                     cache = payload.get("cache") or {}
                     totals["builds"] += cache.get("builds", 0) or 0
                     totals["shm_hits"] += cache.get("shm_hits", 0) or 0
                     totals["shm_stores"] += cache.get("shm_stores", 0) or 0
+                    totals["migrations"] += cache.get("migrations", 0) or 0
+                    totals["stale_served"] += cache.get("stale_served", 0) or 0
+                    totals["corrupt_entries"] += (
+                        cache.get("corrupt_entries", 0) or 0
+                    )
             workers.append(entry)
         totals["inflight_front"] = sum(slot.inflight for slot in self.slots)
         return {
@@ -1152,6 +1256,7 @@ def build_worker_configs(
     host: str = "127.0.0.1",
     live: bool = False,
     drain_s: float = 5.0,
+    trace_log: Optional[str] = None,
 ) -> List[dict]:
     """One config dict per worker slot, with the dataset assignment.
 
@@ -1219,6 +1324,11 @@ def build_worker_configs(
                 "run_id": run_id,
                 "live": live,
                 "drain_s": drain_s,
+                # Workers write sibling logs next to the front's (one
+                # writer per file; no cross-process interleaving).
+                "trace_log": (
+                    None if trace_log is None else f"{trace_log}.w{worker_id}"
+                ),
             }
         )
     return configs
@@ -1239,6 +1349,7 @@ def start_supervised(
     crash_window_s: float = DEFAULT_CRASH_WINDOW_S,
     max_replays: int = DEFAULT_MAX_REPLAYS,
     worker_start_timeout_s: float = WORKER_START_TIMEOUT_S,
+    trace_log: Optional[str] = None,
     **worker_options,
 ) -> SupervisorCluster:
     """Start a supervised cluster on a background thread (sync entry).
@@ -1257,13 +1368,15 @@ def start_supervised(
         run_id = shm_mod.new_run_id()
         store = shm_mod.SharedSegmentStore(run_id, hold_lease=True)
     configs = build_worker_configs(
-        datasets, workers, run_id=run_id, host=host, **worker_options
+        datasets, workers, run_id=run_id, host=host, trace_log=trace_log,
+        **worker_options
     )
     supervisor = Supervisor(
         configs,
         host=host,
         port=port,
         run_id=run_id,
+        trace_log=trace_log,
         heartbeat_s=heartbeat_s,
         probe_timeout_s=probe_timeout_s,
         stall_probes=stall_probes,

@@ -30,6 +30,7 @@ _WATCHDOG_FILES = {
     "test_resilience.py",
     "test_supervisor.py",
     "test_cancellation_paths.py",
+    "test_obs.py",
 }
 _WATCHDOG_S = 120
 

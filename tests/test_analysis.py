@@ -50,6 +50,7 @@ class TestFramework:
             "dtype-discipline",
             "blocking-in-async",
             "swallowed-cancellation",
+            "span-discipline",
         } <= names
 
     def test_clean_file_yields_no_findings(self, tmp_path):
@@ -485,6 +486,62 @@ class TestSwallowedCancellation:
         assert findings == []
 
 
+class TestSpanDiscipline:
+    def test_positive_spanless_handler_and_bad_metric_names(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            '''
+            # repro-lint: scope=service
+            async def handle(reader, writer):
+                method, path, keep_alive, body, headers = (
+                    await read_http_request(reader)
+                )
+                write_http_response(writer, 200, {}, keep_alive)
+
+            def instruments(registry):
+                a = registry.counter("http_requests_total", "no prefix")
+                b = registry.gauge("repro_InFlight", "bad case")
+                c = registry.histogram("repro-latency", "bad separator")
+                return a, b, c
+            ''',
+            rules=["span-discipline"],
+        )
+        assert len(findings) == 4
+        messages = " | ".join(f.message for f in findings)
+        assert "'handle'" in messages
+        assert "http_requests_total" in messages
+        assert "repro_InFlight" in messages
+        assert "repro-latency" in messages
+
+    def test_negative_spanned_handler_wrapper_and_good_names(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            '''
+            # repro-lint: scope=service
+            async def handle(reader, writer, trace):
+                parsed = await _read_request(reader)
+                with trace.request_scope("request", header=None):
+                    write_http_response(writer, 200, {}, True)
+
+            async def _read_request(reader):
+                # Read-only helper: parses but never answers, so it is
+                # not a handler and needs no span of its own.
+                return await read_http_request(reader)
+
+            def instruments(registry, numpy, data):
+                a = registry.counter("repro_http_requests_total", "ok")
+                b = registry.histogram("repro_phase_duration_seconds", "ok")
+                # Non-registry calls and computed names are not checked.
+                hist = numpy.histogram(data)
+                name = "repro-" + "latency"
+                c = registry.counter(name, "computed name, runtime checks it")
+                return a, b, c, hist
+            ''',
+            rules=["span-discipline"],
+        )
+        assert findings == []
+
+
 # ----------------------------------------------------------------------
 # Seeded-violation self-test (run by the CI lint lane)
 # ----------------------------------------------------------------------
@@ -540,6 +597,12 @@ _SEEDED = {
                 return build()
             except Exception:
                 return None
+        ''',
+    "span-discipline": '''
+        # repro-lint: scope=service
+        async def handle(reader, writer):
+            parsed = await read_http_request(reader)
+            write_http_response(writer, 200, {}, False)
         ''',
 }
 

@@ -458,6 +458,16 @@ def test_kill9_mid_trace_loses_nothing():
     assert out["restarts"] >= 1
     assert out["inflight_final"] == 0
     assert out["leaked_segments"] == []
+    # PR 10 acceptance: one trace id correlates the front span with the
+    # worker that answered after the SIGKILL replay.
+    correlation = out["trace_correlation"]
+    # >=: the front also logs health/stat polls, not just the trace load.
+    assert correlation["front_records"] >= out["requests"]
+    assert correlation["correlated"], correlation
+    replayed = correlation["replayed_request"]
+    assert replayed is not None, "no front record shows a replay"
+    assert replayed["proxy_attempts"] >= 2
+    assert replayed["served_by_workers"], replayed
 
 
 @pytest.mark.chaos
